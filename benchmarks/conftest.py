@@ -1,0 +1,30 @@
+"""Shared fixtures for the experiment benchmarks.
+
+The full suite (profile -> allocate with both allocators -> execute) is
+expensive, so it runs once per session and every table/figure benchmark
+reads from the same result object.
+"""
+
+import pytest
+
+from repro.bench import load_all, run_suite
+from repro.core import AllocatorConfig
+from repro.target import x86_target
+
+#: Scaled-down counterpart of the paper's 1024-second CPLEX limit.
+TIME_LIMIT = 64.0
+
+
+@pytest.fixture(scope="session")
+def target():
+    return x86_target()
+
+
+@pytest.fixture(scope="session")
+def config():
+    return AllocatorConfig(time_limit=TIME_LIMIT)
+
+
+@pytest.fixture(scope="session")
+def suite(target, config):
+    return run_suite(target, config)

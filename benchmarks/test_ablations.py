@@ -1,0 +1,73 @@
+"""Ablation benchmarks — the contribution of each §5 extension.
+
+Not a paper table; DESIGN.md calls these out as quality gates.  For
+each feature, disabling it must never *improve* the optimal objective
+(each extension only adds cheaper options to the model), and for the
+features with a measurable win on this suite the objective must get
+strictly worse without them.
+"""
+
+import pytest
+
+from repro.analysis import profiled_frequencies
+from repro.bench import load_benchmark
+from repro.core import AllocatorConfig, IPAllocator
+from repro.sim import Interpreter
+
+FEATURES = [
+    "enable_copy_insertion",
+    "enable_memory_operands",
+    "enable_rematerialization",
+    "enable_predefined_memory",
+    "enable_encoding_costs",
+    "enable_copy_deletion",
+]
+
+
+def total_objective(target, overrides):
+    config = AllocatorConfig(time_limit=64.0, **overrides)
+    allocator = IPAllocator(target, config)
+    bench, module = load_benchmark("compress")
+    profile = Interpreter(module).run(bench.entry, list(bench.args))
+    total = 0.0
+    for fn in module:
+        freq = profiled_frequencies(fn, profile.blocks_of(fn.name))
+        alloc = allocator.allocate(fn, freq)
+        if not alloc.succeeded:
+            return float("inf")
+        total += alloc.objective
+    return total
+
+
+@pytest.fixture(scope="module")
+def baseline_objective(target):
+    return total_objective(target, {})
+
+
+@pytest.mark.parametrize("feature", FEATURES)
+def test_ablation(benchmark, target, feature, baseline_objective):
+    ablated = benchmark.pedantic(
+        total_objective, args=(target, {feature: False}),
+        iterations=1, rounds=1,
+    )
+    # Removing an option can only make the optimum worse (or equal) —
+    # except encoding costs, which change the objective function itself.
+    if feature != "enable_encoding_costs":
+        assert ablated >= baseline_objective - 1e-6, (
+            f"disabling {feature} improved the objective?!"
+        )
+    print(f"\n{feature}: full model {baseline_objective:.0f}, "
+          f"without {ablated:.0f} "
+          f"(delta {ablated - baseline_objective:+.0f})")
+
+
+def test_predefined_memory_has_measurable_win(benchmark, target,
+                                              baseline_objective):
+    ablated = benchmark.pedantic(
+        total_objective,
+        args=(target, {"enable_predefined_memory": False}),
+        iterations=1, rounds=1,
+    )
+    assert ablated > baseline_objective, (
+        "§5.5 coalescing should save cost on parameter-loading code"
+    )

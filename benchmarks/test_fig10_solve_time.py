@@ -1,0 +1,68 @@
+"""Figure 10 — optimal solution time vs number of constraints.
+
+Paper: "The growth rate of the optimal solution time is roughly
+O(n^2.5) with respect to the number of constraints" on CPLEX 6.0.
+
+Modern HiGHS presolve flattens small instances dramatically, so the
+exponent we measure is lower; the shape assertions are: solve time
+grows with constraint count (positive exponent, super-constant) and
+the largest instances are measurably slower than the smallest.
+"""
+
+import numpy as np
+
+from repro.bench import (
+    FunctionReport,
+    fig10_series,
+    render_figure,
+    scaling_functions,
+)
+from repro.core import AllocatorConfig, IPAllocator
+from repro.solver import SolveStatus, solve
+
+from conftest import TIME_LIMIT
+
+
+def timed_reports(target):
+    allocator = IPAllocator(target)
+    reports = []
+    for module, fn in scaling_functions(
+        seeds=range(4)
+    ):
+        _, model, _, _ = allocator.build_model(fn)
+        result = solve(model, "scipy", time_limit=TIME_LIMIT)
+        reports.append(FunctionReport(
+            benchmark=module.name,
+            function=fn.name,
+            n_instructions=fn.n_instructions,
+            n_constraints=model.n_constraints,
+            solved=result.status.has_solution,
+            optimal=result.status is SolveStatus.OPTIMAL,
+            solve_seconds=result.solve_seconds,
+        ))
+    return reports
+
+
+def test_fig10(benchmark, suite, target):
+    generated = benchmark.pedantic(
+        timed_reports, args=(target,), iterations=1, rounds=1
+    )
+    reports = suite.function_reports + generated
+    series = fig10_series(reports)
+    fit = series.fit()
+    assert fit.exponent > 0.5, (
+        f"solve time must grow with constraints, got x^{fit.exponent:.2f}"
+    )
+    # Largest instances should be at least 5x slower than smallest
+    # (the paper's spread covers five orders of magnitude).
+    order = np.argsort(series.xs)
+    small = np.mean([series.ys[i] for i in order[:3]])
+    large = np.mean([series.ys[i] for i in order[-3:]])
+    assert large > 5 * small
+    print()
+    print(render_figure(
+        series,
+        "Figure 10. Optimal solution time vs. number of constraints.",
+        f"paper: ~O(n^2.5) on CPLEX 6.0; HiGHS measured x^"
+        f"{fit.exponent:.2f}",
+    ))

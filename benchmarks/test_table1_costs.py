@@ -1,0 +1,22 @@
+"""Table 1 — spill code cost.
+
+Static machine data; the benchmark regenerates the table and asserts it
+matches the paper's values exactly.
+"""
+
+from repro.bench import render_table1, table1_rows
+
+PAPER_TABLE1 = {
+    "load": (1, 3),
+    "store": (1, 3),
+    "rematerialization": (1, 3),
+    "copy": (1, 2),
+}
+
+
+def test_table1(benchmark):
+    rows = benchmark(table1_rows)
+    measured = {name: (cycles, size) for name, cycles, size in rows}
+    assert measured == PAPER_TABLE1
+    print()
+    print(render_table1())

@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""A tour of the paper's §5 irregularity models, one small function each.
+
+Each stop builds a function that isolates one x86 irregularity, runs the
+IP allocator, and prints what it decided — so you can see the combined
+source/destination handling, memory operands, overlapping registers,
+encoding costs and predefined-memory coalescing acting individually.
+
+Run:  python examples/irregularities_tour.py
+"""
+
+from repro import (
+    AllocatorConfig,
+    Interpreter,
+    IPAllocator,
+    compile_program,
+    x86_target,
+)
+from repro.ir import format_function
+
+TARGET = x86_target()
+
+
+def show(title, source, fn_name, note):
+    print("=" * 72)
+    print(title)
+    print("-" * 72)
+    module = compile_program(source)
+    fn = module.functions[fn_name]
+    alloc = IPAllocator(TARGET).allocate(fn)
+    assert alloc.succeeded
+    print(format_function(alloc.function))
+    s = alloc.stats
+    print(f"\nstats: loads={s.loads} stores={s.stores} "
+          f"remats={s.remats} copies+={s.copies_inserted} "
+          f"copies-={s.copies_deleted} memuses={s.mem_operand_uses} "
+          f"rmw={s.rmw_mem_defs} deleted-loads={s.loads_deleted}")
+    print(f"note: {note}\n")
+    return alloc
+
+
+def main() -> None:
+    # --- §5.1 combined source/destination specifiers -----------------
+    show(
+        "§5.1 Combined source/destination specifiers",
+        """
+        int f(int a, int b) {
+            int d = a + b;
+            return d * a;     // a survives the add
+        }
+        """,
+        "f",
+        "the ADD is two-address: the solver ties the *dying* operand b "
+        "(commutative choice made inside the allocation context), so no "
+        "copy is needed even though a lives on",
+    )
+
+    # --- §5.2 memory operands ---------------------------------------
+    show(
+        "§5.2 Memory operands under register pressure",
+        """
+        int f(int n) {
+            int v0 = n + 0; int v1 = n + 1; int v2 = n + 2;
+            int v3 = n + 3; int v4 = n + 4; int v5 = n + 5;
+            int v6 = n + 6; int v7 = n + 7;
+            return v0 + v1 + v2 + v3 + v4 + v5 + v6 + v7;
+        }
+        """,
+        "f",
+        "nine simultaneously-live values beat six registers; instead of "
+        "load+use the allocator reads spilled values straight from "
+        "memory operands (ADD r, [slot])",
+    )
+
+    # --- §5.3 overlapping registers -----------------------------------
+    show(
+        "§5.3 Overlapping registers (AL/AH share EAX)",
+        """
+        int f(char n) {
+            char c0 = (char)(n + 1); char c1 = (char)(n + 2);
+            char c2 = (char)(n + 3); char c3 = (char)(n + 4);
+            char c4 = (char)(n + 5); char c5 = (char)(n + 6);
+            char c6 = (char)(n + 7);
+            return c0 + c1 + c2 + c3 + c4 + c5 + c6;
+        }
+        """,
+        "f",
+        "eight live 8-bit values fit because AL and AH (and BL/BH, ...) "
+        "are independent — the generalized single-symbolic constraints "
+        "let two bytes share one 32-bit register",
+    )
+
+    # --- implicit registers (§3.2) --------------------------------------
+    show(
+        "§3.2 Implicit registers: division and shift counts",
+        """
+        int f(int a, int b) {
+            int q = a / b;
+            int r = a % b;
+            return q << (r & 7);
+        }
+        """,
+        "f",
+        "IDIV wants the dividend in EAX and clobbers EDX; the shift "
+        "count must sit in CL — watch the @EAX/@EDX/@ECX placements",
+    )
+
+    # --- §5.5 predefined memory ---------------------------------------
+    show(
+        "§5.5 Predefined memory symbolic registers",
+        """
+        int f(int a, int b) {
+            if (a > 0) { return a; }
+            return a + b;       // b only used on the cold path
+        }
+        """,
+        "f",
+        "parameter b lives in memory at entry; coalescing deletes its "
+        "defining load, and the cold path reads it via a load or a "
+        "memory operand at its single use",
+    )
+
+    # --- §5.4 encoding costs -------------------------------------------
+    module = compile_program("""
+        int f(int a, int b) {
+            int x = a + 12345;   // short form if x is in EAX
+            return x ^ b;
+        }
+    """)
+    fn = module.functions["f"]
+    with_enc = IPAllocator(TARGET).allocate(fn)
+    without = IPAllocator(
+        TARGET, AllocatorConfig(enable_encoding_costs=False)
+    ).allocate(fn)
+    print("=" * 72)
+    print("§5.4 Instruction-encoding costs (short EAX forms)")
+    print("-" * 72)
+    print(format_function(with_enc.function))
+    print(f"\nobjective with encoding model:    {with_enc.objective:.0f}")
+    print(f"objective without encoding model: {without.objective:.0f}")
+    print("note: with the model on, ADD-with-immediate gravitates to "
+          "the A family for the 1-byte-shorter encoding\n")
+
+
+if __name__ == "__main__":
+    main()

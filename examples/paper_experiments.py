@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure from the paper's evaluation (§6).
+
+This is the one-shot driver behind EXPERIMENTS.md: it runs the full
+mini-SPEC suite through both allocators and prints Table 1, Table 2,
+Table 3, the Figure 9 and Figure 10 series with fitted growth
+exponents, and the x86-vs-RISC model-size comparison.
+
+Run:  python examples/paper_experiments.py          (full, ~2-5 min)
+      python examples/paper_experiments.py --fast   (2 benchmarks)
+"""
+
+import sys
+import time
+
+import numpy as np
+
+from repro import AllocatorConfig, x86_target
+from repro.bench import (
+    load_all,
+    load_benchmark,
+    render_figure,
+    render_table1,
+    render_table2,
+    render_table3,
+    run_suite,
+    suite_fig9,
+    suite_fig10,
+)
+from repro.core import IPAllocator
+from repro.target import risc_target
+
+TIME_LIMIT = 64.0
+
+
+def main() -> None:
+    fast = "--fast" in sys.argv
+    target = x86_target()
+    config = AllocatorConfig(time_limit=TIME_LIMIT)
+    benchmarks = (
+        [load_benchmark("compress"), load_benchmark("cc1")]
+        if fast else load_all()
+    )
+
+    start = time.time()
+    suite = run_suite(target, config, benchmarks)
+    print(f"suite ran in {time.time() - start:.1f}s\n")
+
+    print(render_table1())
+    print()
+    print(render_table2(suite, TIME_LIMIT))
+    print()
+    print(render_table3(suite))
+    print()
+    print(render_figure(
+        suite_fig9(suite),
+        "Figure 9. Number of constraints vs. number of intermediate "
+        "instructions.",
+        "paper: growth only slightly higher than linear",
+    ))
+    print()
+    print(render_figure(
+        suite_fig10(suite),
+        "Figure 10. Optimal solution time vs. number of constraints.",
+        "paper: roughly O(n^2.5) on CPLEX 6.0",
+    ))
+    print()
+
+    # §6 text: x86 model is ~4x smaller than the RISC-24 model.
+    risc = risc_target()
+    ratios = []
+    for bench, module in benchmarks:
+        for fn in module:
+            _, mx, _, _ = IPAllocator(target).build_model(fn)
+            _, mr, _, _ = IPAllocator(risc).build_model(fn)
+            if mx.n_constraints:
+                ratios.append(mr.n_constraints / mx.n_constraints)
+    geo = float(np.exp(np.mean(np.log(ratios))))
+    print(f"x86-vs-RISC model size: RISC-24 has {geo:.1f}x the "
+          f"constraints of the x86 model (paper: ~4x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Precise register allocation for irregular architectures.
+
+A full reproduction of Kong & Wilken, *Precise Register Allocation for
+Irregular Architectures* (MICRO-31, 1998): a 0-1 integer-programming
+register allocator that precisely models x86 register irregularities —
+combined source/destination specifiers, memory operands, overlapping
+registers, encoding irregularities and predefined memory values —
+compared against a Chaitin/Briggs graph-coloring baseline on a
+mini-SPECint92 suite.
+
+Quickstart::
+
+    from repro import (
+        IPAllocator, GraphColoringAllocator, x86_target,
+        compile_program, Interpreter,
+    )
+
+    module = compile_program("int dbl(int x) { return x + x; }")
+    fn = module.functions["dbl"]
+    alloc = IPAllocator(x86_target()).allocate(fn)
+    print(alloc.status, {v: r.name for v, r in alloc.assignment.items()})
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from .allocation import (
+    Allocation,
+    AllocationError,
+    SpillStats,
+    validate_allocation,
+)
+from .baseline import GraphColoringAllocator
+from .core import AllocatorConfig, IPAllocator
+from .ir import IRBuilder, Module, parse_function, parse_module
+from .lang import compile_program
+from .lowering import lower_for_target
+from .postpass import merge_noop_copies
+from .sim import AllocatedFunction, Interpreter
+from .target import risc_target, x86_target
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AllocatedFunction",
+    "Allocation",
+    "AllocationError",
+    "AllocatorConfig",
+    "GraphColoringAllocator",
+    "IPAllocator",
+    "IRBuilder",
+    "Interpreter",
+    "Module",
+    "SpillStats",
+    "compile_program",
+    "lower_for_target",
+    "merge_noop_copies",
+    "parse_function",
+    "parse_module",
+    "risc_target",
+    "validate_allocation",
+    "x86_target",
+]

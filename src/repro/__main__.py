@@ -1,0 +1,208 @@
+"""Command-line interface.
+
+    python -m repro alloc FILE.c [--function f] [--allocator ip|gc]
+                                 [--target x86|x86+ebp|risc]
+                                 [--size-only] [--backend scipy|branch-bound]
+    python -m repro run FILE.c [--entry main] [--args 1 2 3]
+                               [--allocator ip|gc|none]
+    python -m repro experiments [--fast]
+
+``alloc`` compiles a mini-C file, allocates one or all functions, and
+prints the rewritten code with register assignments.  ``run`` executes
+a program (optionally through an allocator) and reports the result and
+cycle counts.  ``experiments`` regenerates the paper's tables/figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .allocation import allocation_code_size, validate_allocation
+from .analysis import profiled_frequencies
+from .baseline import GraphColoringAllocator
+from .core import AllocatorConfig, IPAllocator
+from .ir import format_function
+from .lang import compile_program
+from .sim import AllocatedFunction, Interpreter
+from .target import risc_target, x86_target
+
+TARGETS = {
+    "x86": lambda: x86_target(),
+    "x86+ebp": lambda: x86_target(allow_ebp=True),
+    "risc": lambda: risc_target(),
+}
+
+
+def _load(path: str):
+    with open(path) as handle:
+        return compile_program(handle.read(), name=path)
+
+
+def _make_allocator(args, target):
+    if args.allocator == "gc":
+        return GraphColoringAllocator(target)
+    config = AllocatorConfig(
+        backend=getattr(args, "backend", "scipy"),
+        time_limit=getattr(args, "time_limit", 64.0),
+        optimize_size_only=getattr(args, "size_only", False),
+    )
+    return IPAllocator(target, config)
+
+
+def cmd_alloc(args) -> int:
+    module = _load(args.file)
+    target = TARGETS[args.target]()
+    allocator = _make_allocator(args, target)
+    functions = (
+        [module.functions[args.function]]
+        if args.function else list(module)
+    )
+    for fn in functions:
+        alloc = allocator.allocate(fn)
+        print(f"== {fn.name}: {alloc.status}", end="")
+        if alloc.n_constraints:
+            print(f" ({alloc.n_variables} vars, "
+                  f"{alloc.n_constraints} constraints, "
+                  f"{alloc.solve_seconds:.2f}s)", end="")
+        print(" ==")
+        if not alloc.succeeded:
+            continue
+        validate_allocation(alloc, target)
+        print(format_function(alloc.function))
+        print("assignment:", {
+            v: r.name for v, r in sorted(alloc.assignment.items())
+        })
+        print(f"code size: {allocation_code_size(alloc, target)} bytes")
+        s = alloc.stats
+        print(f"spill: loads={s.loads} stores={s.stores} "
+              f"remats={s.remats} copies+={s.copies_inserted} "
+              f"copies-={s.copies_deleted} memuse={s.mem_operand_uses} "
+              f"rmw={s.rmw_mem_defs} coalesced={s.loads_deleted}")
+        print()
+    return 0
+
+
+def cmd_run(args) -> int:
+    module = _load(args.file)
+    run_args = [int(a) for a in args.args]
+    reference = Interpreter(module).run(args.entry, run_args)
+    print(f"symbolic result: {reference.return_value} "
+          f"(cycles {reference.cycles:.0f}, steps {reference.steps})")
+    if args.allocator == "none":
+        return 0
+    target = TARGETS[args.target]()
+    allocator = _make_allocator(args, target)
+    allocations = {}
+    for fn in module:
+        freq = profiled_frequencies(fn, reference.blocks_of(fn.name))
+        alloc = allocator.allocate(fn, freq)
+        if not alloc.succeeded:
+            print(f"warning: {fn.name} not allocated "
+                  f"({alloc.status}); runs symbolically",
+                  file=sys.stderr)
+            continue
+        validate_allocation(alloc, target)
+        allocations[fn.name] = AllocatedFunction(
+            alloc.function, alloc.assignment
+        )
+    allocated = Interpreter(
+        module, target=target, allocations=allocations
+    ).run(args.entry, run_args)
+    tag = "ip" if args.allocator == "ip" else "graph-coloring"
+    print(f"{tag} result:     {allocated.return_value} "
+          f"(cycles {allocated.cycles:.0f})")
+    if allocated.return_value != reference.return_value:
+        print("MISMATCH against symbolic execution!", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_experiments(args) -> int:
+    from .bench import (
+        load_all,
+        load_benchmark,
+        render_figure,
+        render_table1,
+        render_table2,
+        render_table3,
+        run_suite,
+        suite_fig9,
+        suite_fig10,
+    )
+
+    target = x86_target()
+    config = AllocatorConfig(time_limit=args.time_limit)
+    benchmarks = (
+        [load_benchmark("compress"), load_benchmark("cc1")]
+        if args.fast else load_all()
+    )
+    suite = run_suite(target, config, benchmarks)
+    print(render_table1())
+    print()
+    print(render_table2(suite, config.time_limit))
+    print()
+    print(render_table3(suite))
+    print()
+    print(render_figure(
+        suite_fig9(suite),
+        "Figure 9. Constraints vs intermediate instructions.",
+        "paper: slightly superlinear",
+    ))
+    print()
+    print(render_figure(
+        suite_fig10(suite),
+        "Figure 10. Optimal solution time vs constraints.",
+        "paper: roughly O(n^2.5) on CPLEX 6.0",
+    ))
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="IP register allocation for irregular "
+                    "architectures (Kong & Wilken, MICRO 1998)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_alloc = sub.add_parser("alloc", help="allocate a mini-C file")
+    p_alloc.add_argument("file")
+    p_alloc.add_argument("--function", default=None)
+    p_alloc.add_argument("--allocator", choices=("ip", "gc"),
+                         default="ip")
+    p_alloc.add_argument("--target", choices=sorted(TARGETS),
+                         default="x86")
+    p_alloc.add_argument("--backend",
+                         choices=("scipy", "branch-bound"),
+                         default="scipy")
+    p_alloc.add_argument("--size-only", action="store_true")
+    p_alloc.add_argument("--time-limit", type=float, default=64.0)
+    p_alloc.set_defaults(func=cmd_alloc)
+
+    p_run = sub.add_parser("run", help="execute a mini-C program")
+    p_run.add_argument("file")
+    p_run.add_argument("--entry", default="main")
+    p_run.add_argument("--args", nargs="*", default=[])
+    p_run.add_argument("--allocator", choices=("ip", "gc", "none"),
+                       default="ip")
+    p_run.add_argument("--target", choices=sorted(TARGETS),
+                       default="x86")
+    p_run.add_argument("--backend",
+                       choices=("scipy", "branch-bound"),
+                       default="scipy")
+    p_run.set_defaults(func=cmd_run)
+
+    p_exp = sub.add_parser(
+        "experiments", help="regenerate the paper's tables and figures"
+    )
+    p_exp.add_argument("--fast", action="store_true")
+    p_exp.add_argument("--time-limit", type=float, default=64.0)
+    p_exp.set_defaults(func=cmd_experiments)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,123 @@
+"""Control-flow graph utilities: predecessors, orderings, dominators.
+
+All analyses key blocks by name (block names are unique per function).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir import Function
+
+
+@dataclass(slots=True)
+class CFG:
+    """Predecessor/successor maps plus common traversal orders."""
+
+    entry: str
+    succs: dict[str, tuple[str, ...]]
+    preds: dict[str, tuple[str, ...]]
+    #: Blocks in reverse post-order (entry first); unreachable blocks are
+    #: appended after the reachable ones in layout order.
+    rpo: tuple[str, ...]
+
+    @property
+    def blocks(self) -> tuple[str, ...]:
+        return self.rpo
+
+    def reachable(self) -> set[str]:
+        seen = {self.entry}
+        stack = [self.entry]
+        while stack:
+            b = stack.pop()
+            for s in self.succs[b]:
+                if s not in seen:
+                    seen.add(s)
+                    stack.append(s)
+        return seen
+
+
+def build_cfg(fn: Function) -> CFG:
+    succs = {b.name: b.successors() for b in fn.blocks}
+    preds: dict[str, list[str]] = {b.name: [] for b in fn.blocks}
+    for b in fn.blocks:
+        for s in succs[b.name]:
+            preds[s].append(b.name)
+
+    # Reverse post-order via iterative DFS.
+    order: list[str] = []
+    visited: set[str] = set()
+    stack: list[tuple[str, int]] = [(fn.entry.name, 0)]
+    visited.add(fn.entry.name)
+    while stack:
+        node, child = stack[-1]
+        children = succs[node]
+        if child < len(children):
+            stack[-1] = (node, child + 1)
+            nxt = children[child]
+            if nxt not in visited:
+                visited.add(nxt)
+                stack.append((nxt, 0))
+        else:
+            stack.pop()
+            order.append(node)
+    order.reverse()
+    for b in fn.blocks:  # keep unreachable blocks addressable
+        if b.name not in visited:
+            order.append(b.name)
+
+    return CFG(
+        entry=fn.entry.name,
+        succs=succs,
+        preds={k: tuple(v) for k, v in preds.items()},
+        rpo=tuple(order),
+    )
+
+
+def immediate_dominators(cfg: CFG) -> dict[str, str | None]:
+    """Cooper-Harvey-Kennedy iterative dominator computation.
+
+    Returns the idom of each reachable block (entry maps to ``None``).
+    Unreachable blocks are absent from the result.
+    """
+    reachable = cfg.reachable()
+    rpo = [b for b in cfg.rpo if b in reachable]
+    index = {b: i for i, b in enumerate(rpo)}
+    idom: dict[str, str | None] = {cfg.entry: cfg.entry}
+
+    def intersect(a: str, b: str) -> str:
+        while a != b:
+            while index[a] > index[b]:
+                a = idom[a]  # type: ignore[assignment]
+            while index[b] > index[a]:
+                b = idom[b]  # type: ignore[assignment]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for b in rpo[1:]:
+            processed = [p for p in cfg.preds[b]
+                         if p in idom and p in reachable]
+            if not processed:
+                continue
+            new = processed[0]
+            for p in processed[1:]:
+                new = intersect(new, p)
+            if idom.get(b) != new:
+                idom[b] = new
+                changed = True
+
+    result: dict[str, str | None] = {b: idom[b] for b in rpo}
+    result[cfg.entry] = None
+    return result
+
+
+def dominates(idom: dict[str, str | None], a: str, b: str) -> bool:
+    """Does block ``a`` dominate block ``b`` (reflexive)?"""
+    node: str | None = b
+    while node is not None:
+        if node == a:
+            return True
+        node = idom.get(node)
+    return False

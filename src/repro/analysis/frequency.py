@@ -1,0 +1,56 @@
+"""Execution-frequency estimates — the A factor of the paper's eq. (1).
+
+The paper obtains A by *profiling* instruction execution counts.  We
+support exactly that (the :mod:`repro.sim` interpreter returns per-block
+execution counts), plus the classic static fallback
+``freq(b) = base^loop_depth(b)`` for use without a profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir import Function
+from .cfg import build_cfg
+from .loops import find_loops
+
+#: Assumed iterations per loop level for static estimates.
+STATIC_LOOP_WEIGHT = 10.0
+
+
+@dataclass(slots=True)
+class ExecutionFrequencies:
+    """Per-block execution counts (floats; profiles give exact ints)."""
+
+    counts: dict[str, float]
+    source: str  # "static" | "profile"
+
+    def of(self, block: str) -> float:
+        return self.counts.get(block, 0.0)
+
+
+def static_frequencies(fn: Function) -> ExecutionFrequencies:
+    """Estimate block frequencies from loop nesting depth."""
+    cfg = build_cfg(fn)
+    loops = find_loops(cfg)
+    counts = {
+        b.name: STATIC_LOOP_WEIGHT ** loops.depth_of(b.name)
+        for b in fn.blocks
+    }
+    return ExecutionFrequencies(counts=counts, source="static")
+
+
+def profiled_frequencies(
+    fn: Function, block_counts: dict[str, int]
+) -> ExecutionFrequencies:
+    """Wrap interpreter-measured block counts.
+
+    Blocks never executed get a small non-zero weight so the allocator
+    still treats their spill code as (mildly) undesirable — matching the
+    usual practice when profiles are incomplete.
+    """
+    counts = {
+        b.name: float(block_counts.get(b.name, 0)) or 0.01
+        for b in fn.blocks
+    }
+    return ExecutionFrequencies(counts=counts, source="profile")

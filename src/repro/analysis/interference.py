@@ -1,0 +1,90 @@
+"""Interference graph construction for the graph-coloring baseline.
+
+Vertices are virtual registers; an edge joins two registers that are
+simultaneously live (and thus cannot share a real register).  Copy
+instructions get the classic special case: the copy source does not
+interfere with the copy destination (enabling coalescing).
+
+The graph also records *move pairs* for coalescing and per-register spill
+costs (frequency-weighted def/use counts — Chaitin's heuristic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir import Function, Opcode, VirtualRegister
+from .frequency import ExecutionFrequencies
+from .liveness import Liveness, compute_liveness
+
+
+@dataclass(slots=True)
+class InterferenceGraph:
+    nodes: set[VirtualRegister] = field(default_factory=set)
+    adj: dict[VirtualRegister, set[VirtualRegister]] = field(
+        default_factory=dict
+    )
+    #: (dst, src) pairs of COPY instructions, candidates for coalescing
+    move_pairs: list[tuple[VirtualRegister, VirtualRegister]] = field(
+        default_factory=list
+    )
+    #: Chaitin spill cost: sum of freq over defs and uses
+    spill_cost: dict[VirtualRegister, float] = field(default_factory=dict)
+
+    def add_node(self, reg: VirtualRegister) -> None:
+        if reg not in self.nodes:
+            self.nodes.add(reg)
+            self.adj[reg] = set()
+            self.spill_cost.setdefault(reg, 0.0)
+
+    def add_edge(self, a: VirtualRegister, b: VirtualRegister) -> None:
+        if a == b:
+            return
+        self.add_node(a)
+        self.add_node(b)
+        self.adj[a].add(b)
+        self.adj[b].add(a)
+
+    def interferes(self, a: VirtualRegister, b: VirtualRegister) -> bool:
+        return b in self.adj.get(a, ())
+
+    def degree(self, reg: VirtualRegister) -> int:
+        return len(self.adj.get(reg, ()))
+
+    def neighbors(self, reg: VirtualRegister) -> set[VirtualRegister]:
+        return self.adj.get(reg, set())
+
+
+def build_interference(
+    fn: Function,
+    liveness: Liveness | None = None,
+    freq: ExecutionFrequencies | None = None,
+) -> InterferenceGraph:
+    liveness = liveness or compute_liveness(fn)
+    graph = InterferenceGraph()
+
+    for reg in fn.vregs():
+        graph.add_node(reg)
+
+    for block in fn.blocks:
+        weight = freq.of(block.name) if freq else 1.0
+        for i, instr in enumerate(block.instrs):
+            live_after = liveness.live_after(block.name, i)
+            for d in instr.defs():
+                graph.spill_cost[d] = graph.spill_cost.get(d, 0.0) + weight
+                for other in live_after:
+                    if other == d:
+                        continue
+                    # Copy special case: dst does not interfere with src.
+                    if (instr.opcode is Opcode.COPY
+                            and other == instr.srcs[0]):
+                        continue
+                    graph.add_edge(d, other)
+            for u in instr.uses():
+                graph.spill_cost[u] = graph.spill_cost.get(u, 0.0) + weight
+            if instr.opcode is Opcode.COPY and isinstance(
+                instr.srcs[0], VirtualRegister
+            ):
+                graph.move_pairs.append((instr.dst, instr.srcs[0]))
+
+    return graph

@@ -1,0 +1,111 @@
+"""Live-variable analysis.
+
+Backward may-analysis over the CFG; per-instruction live sets are
+materialised lazily per block.  The register allocators use:
+
+* ``live_in[b]`` / ``live_out[b]`` — block-boundary live sets,
+* :meth:`Liveness.live_after` — registers live immediately after an
+  instruction (i.e. whose current value may still be read),
+* :meth:`Liveness.dies_at` — uses whose register is not live afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir import BasicBlock, Function, VirtualRegister
+from .cfg import CFG, build_cfg
+
+
+@dataclass(slots=True)
+class Liveness:
+    fn: Function
+    cfg: CFG
+    live_in: dict[str, frozenset[VirtualRegister]]
+    live_out: dict[str, frozenset[VirtualRegister]]
+    #: per block: tuple of live-after sets, one per instruction index
+    _after: dict[str, tuple[frozenset[VirtualRegister], ...]]
+
+    def live_after(self, block: str, index: int) -> frozenset[VirtualRegister]:
+        """Registers live immediately after ``block.instrs[index]``."""
+        return self._after[block][index]
+
+    def live_before(self, block: str, index: int) -> frozenset[VirtualRegister]:
+        """Registers live immediately before ``block.instrs[index]``."""
+        return self._transfer_one(
+            self.fn.block(block).instrs[index],
+            self._after[block][index],
+        )
+
+    def dies_at(self, block: str, index: int) -> frozenset[VirtualRegister]:
+        """Registers used by the instruction whose value dies there."""
+        instr = self.fn.block(block).instrs[index]
+        after = self._after[block][index]
+        return frozenset(u for u in instr.uses() if u not in after)
+
+    def is_live_after(
+        self, reg: VirtualRegister, block: str, index: int
+    ) -> bool:
+        return reg in self._after[block][index]
+
+    @staticmethod
+    def _transfer_one(instr, after: frozenset) -> frozenset:
+        before = set(after)
+        before.difference_update(instr.defs())
+        before.update(instr.uses())
+        return frozenset(before)
+
+
+def _block_use_def(block: BasicBlock):
+    use: set[VirtualRegister] = set()
+    deff: set[VirtualRegister] = set()
+    for instr in block.instrs:
+        for u in instr.uses():
+            if u not in deff:
+                use.add(u)
+        deff.update(instr.defs())
+    return use, deff
+
+
+def compute_liveness(fn: Function, cfg: CFG | None = None) -> Liveness:
+    cfg = cfg or build_cfg(fn)
+    use: dict[str, set] = {}
+    deff: dict[str, set] = {}
+    for b in fn.blocks:
+        use[b.name], deff[b.name] = _block_use_def(b)
+
+    live_in: dict[str, set] = {b.name: set() for b in fn.blocks}
+    live_out: dict[str, set] = {b.name: set() for b in fn.blocks}
+
+    # Iterate in reverse RPO for fast convergence.
+    order = list(reversed(cfg.rpo))
+    changed = True
+    while changed:
+        changed = False
+        for b in order:
+            out: set[VirtualRegister] = set()
+            for s in cfg.succs[b]:
+                out |= live_in[s]
+            inn = use[b] | (out - deff[b])
+            if out != live_out[b] or inn != live_in[b]:
+                live_out[b] = out
+                live_in[b] = inn
+                changed = True
+
+    # Materialise per-instruction live-after sets.
+    after: dict[str, tuple[frozenset, ...]] = {}
+    for b in fn.blocks:
+        sets: list[frozenset] = [frozenset()] * len(b.instrs)
+        live = frozenset(live_out[b.name])
+        for i in range(len(b.instrs) - 1, -1, -1):
+            sets[i] = live
+            live = Liveness._transfer_one(b.instrs[i], live)
+        after[b.name] = tuple(sets)
+
+    return Liveness(
+        fn=fn,
+        cfg=cfg,
+        live_in={k: frozenset(v) for k, v in live_in.items()},
+        live_out={k: frozenset(v) for k, v in live_out.items()},
+        _after=after,
+    )

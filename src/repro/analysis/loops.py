@@ -1,0 +1,69 @@
+"""Natural-loop detection and loop-nesting depth.
+
+Loop depth feeds the *static* execution-frequency estimate used when no
+profile is available (the paper obtains its A factors by profiling; we
+support both, see :mod:`repro.analysis.frequency`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .cfg import CFG, dominates, immediate_dominators
+
+
+@dataclass(slots=True)
+class Loop:
+    """A natural loop: header plus body block names (header included)."""
+
+    header: str
+    body: frozenset[str]
+    back_edges: tuple[tuple[str, str], ...]
+
+
+@dataclass(slots=True)
+class LoopInfo:
+    loops: tuple[Loop, ...]
+    #: nesting depth per block (0 = not in any loop)
+    depth: dict[str, int]
+
+    def depth_of(self, block: str) -> int:
+        return self.depth.get(block, 0)
+
+
+def find_loops(cfg: CFG) -> LoopInfo:
+    idom = immediate_dominators(cfg)
+    reachable = set(idom)
+
+    # Back edge: tail -> head where head dominates tail.
+    loops_by_header: dict[str, tuple[set[str], list[tuple[str, str]]]] = {}
+    for tail in reachable:
+        for head in cfg.succs[tail]:
+            if head in reachable and dominates(idom, head, tail):
+                body, edges = loops_by_header.setdefault(
+                    head, ({head}, [])
+                )
+                edges.append((tail, head))
+                # Collect the natural loop body by walking predecessors
+                # from the tail, never crossing the header.
+                stack = [tail]
+                while stack:
+                    node = stack.pop()
+                    if node in body:
+                        continue
+                    body.add(node)
+                    stack.extend(
+                        p for p in cfg.preds[node] if p in reachable
+                    )
+
+    loops = tuple(
+        Loop(header, frozenset(body), tuple(edges))
+        for header, (body, edges) in loops_by_header.items()
+    )
+
+    depth: dict[str, int] = {b: 0 for b in cfg.blocks}
+    for loop in loops:
+        for block in loop.body:
+            depth[block] += 1
+
+    return LoopInfo(loops=loops, depth=depth)

@@ -1,0 +1,207 @@
+"""Web construction: split virtual registers into independent live units.
+
+A *web* is the union of def-use chains that share a value.  Two disjoint
+uses of the same source-level variable (e.g. a temporary reused by the
+frontend) form separate webs and can be allocated independently.  Both
+allocators benefit equally, so running this pass keeps the IP-vs-coloring
+comparison fair.
+
+The pass renames each web to a fresh virtual register.  It relies on
+reaching-definitions: a use belongs to the same web as every definition
+that reaches it; definitions connected through a common use merge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir import Function, Instr, VirtualRegister
+from .cfg import build_cfg
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self.parent: dict[object, object] = {}
+
+    def find(self, x: object) -> object:
+        self.parent.setdefault(x, x)
+        root = x
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[x] != root:
+            self.parent[x], x = root, self.parent[x]
+        return root
+
+    def union(self, a: object, b: object) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[ra] = rb
+
+
+@dataclass(frozen=True, slots=True)
+class _DefSite:
+    reg: VirtualRegister
+    block: str
+    index: int
+
+
+def split_webs(fn: Function) -> int:
+    """Rename independent webs apart, in place.
+
+    Returns the number of new registers introduced.  Registers live into
+    the function entry (there should be none in verified IR) are left
+    untouched.
+    """
+    cfg = build_cfg(fn)
+
+    # --- reaching definitions (per register, def sites as bits) -------
+    def_sites: list[_DefSite] = []
+    sites_of: dict[VirtualRegister, list[int]] = {}
+    for block in fn.blocks:
+        for i, instr in enumerate(block.instrs):
+            for d in instr.defs():
+                site = _DefSite(d, block.name, i)
+                sites_of.setdefault(d, []).append(len(def_sites))
+                def_sites.append(site)
+
+    n = len(def_sites)
+    gen: dict[str, int] = {}
+    kill_mask: dict[str, int] = {}
+    reg_mask: dict[VirtualRegister, int] = {}
+    for reg, ids in sites_of.items():
+        m = 0
+        for i in ids:
+            m |= 1 << i
+        reg_mask[reg] = m
+
+    for block in fn.blocks:
+        g = 0
+        k = 0
+        for i, instr in enumerate(block.instrs):
+            for d in instr.defs():
+                k |= reg_mask[d]
+                g &= ~reg_mask[d]
+                site_id = next(
+                    s for s in sites_of[d]
+                    if def_sites[s].block == block.name
+                    and def_sites[s].index == i
+                )
+                g |= 1 << site_id
+        gen[block.name] = g
+        kill_mask[block.name] = k
+
+    reach_in: dict[str, int] = {b.name: 0 for b in fn.blocks}
+    reach_out: dict[str, int] = {
+        b.name: gen[b.name] for b in fn.blocks
+    }
+    changed = True
+    while changed:
+        changed = False
+        for b in cfg.rpo:
+            inn = 0
+            for p in cfg.preds[b]:
+                inn |= reach_out[p]
+            out = gen[b] | (inn & ~kill_mask[b])
+            if inn != reach_in[b] or out != reach_out[b]:
+                reach_in[b] = inn
+                reach_out[b] = out
+                changed = True
+
+    # --- union defs that reach a common use ---------------------------
+    uf = _UnionFind()
+    use_webs: dict[tuple[str, int, VirtualRegister], int] = {}
+    for block in fn.blocks:
+        current = reach_in[block.name]
+        for i, instr in enumerate(block.instrs):
+            for u in instr.uses():
+                reaching = current & reg_mask.get(u, 0)
+                first = None
+                bit = reaching
+                while bit:
+                    low = bit & -bit
+                    site_id = low.bit_length() - 1
+                    bit ^= low
+                    if first is None:
+                        first = site_id
+                        use_webs[(block.name, i, u)] = site_id
+                    else:
+                        uf.union(first, site_id)
+            for d in instr.defs():
+                current &= ~reg_mask[d]
+                site_id = next(
+                    s for s in sites_of[d]
+                    if def_sites[s].block == block.name
+                    and def_sites[s].index == i
+                )
+                current |= 1 << site_id
+
+    # --- assign a register per web and rewrite ------------------------
+    web_reg: dict[object, VirtualRegister] = {}
+    new_count = 0
+
+    def reg_for_site(site_id: int) -> VirtualRegister:
+        nonlocal new_count
+        root = uf.find(site_id)
+        if root not in web_reg:
+            orig = def_sites[site_id].reg
+            roots_of_orig = {uf.find(s) for s in sites_of[orig]}
+            if len(roots_of_orig) == 1:
+                web_reg[root] = orig  # single web: keep the name
+            else:
+                web_reg[root] = fn.new_vreg(f"{orig.name}.w", orig.type)
+                new_count += 1
+        return web_reg[root]
+
+    for block in fn.blocks:
+        for i, instr in enumerate(block.instrs):
+            block.instrs[i] = _rewrite_instr(
+                instr,
+                use_map={
+                    u: reg_for_site(use_webs[(block.name, i, u)])
+                    for u in instr.uses()
+                    if (block.name, i, u) in use_webs
+                },
+                def_map={
+                    d: reg_for_site(
+                        next(
+                            s for s in sites_of[d]
+                            if def_sites[s].block == block.name
+                            and def_sites[s].index == i
+                        )
+                    )
+                    for d in instr.defs()
+                },
+            )
+
+    fn.refresh_vregs()
+    return new_count
+
+
+def _rewrite_instr(
+    instr: Instr,
+    use_map: dict[VirtualRegister, VirtualRegister],
+    def_map: dict[VirtualRegister, VirtualRegister],
+) -> Instr:
+    from ..ir.values import Address
+
+    def map_use(v):
+        return use_map.get(v, v) if isinstance(v, VirtualRegister) else v
+
+    addr = instr.addr
+    if addr is not None and (addr.base or addr.index):
+        addr = Address(
+            slot=addr.slot,
+            base=map_use(addr.base) if addr.base else None,
+            index=map_use(addr.index) if addr.index else None,
+            scale=addr.scale,
+            disp=addr.disp,
+        )
+    return Instr(
+        opcode=instr.opcode,
+        dst=def_map.get(instr.dst, instr.dst),
+        srcs=tuple(map_use(s) for s in instr.srcs),
+        addr=addr,
+        cond=instr.cond,
+        targets=instr.targets,
+        callee=instr.callee,
+    )

@@ -1,0 +1,23 @@
+"""Graph-coloring register allocation — the traditional comparator.
+
+Implements the Chaitin/Briggs approach the paper measures GCC against:
+heuristic pre-RA handling of two-address and implicit-register operands,
+interference-graph coloring with register classes and subregister
+overlap, cost-driven spill-everywhere, and no-op copy deletion.
+"""
+
+from .allocator import GraphColoringAllocator
+from .coloring import ColoringFailure, ColoringResult, color_function
+from .spill import SpillOutcome, insert_spill_code
+from .twoaddr import OperandClasses, fixup_operands
+
+__all__ = [
+    "ColoringFailure",
+    "ColoringResult",
+    "GraphColoringAllocator",
+    "OperandClasses",
+    "SpillOutcome",
+    "color_function",
+    "fixup_operands",
+    "insert_spill_code",
+]

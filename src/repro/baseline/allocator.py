@@ -1,0 +1,103 @@
+"""The graph-coloring register allocator (the paper's GCC comparator).
+
+Pipeline::
+
+    clone -> lower immediates -> traditional operand fixup (§5.1 done
+    the pre-RA way) -> [build -> simplify -> select -> spill]* ->
+    apply assignment -> delete no-op copies
+
+The result is an :class:`repro.allocation.Allocation` directly
+comparable with the IP allocator's output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..allocation import Allocation, SpillStats
+from ..analysis import ExecutionFrequencies
+from ..ir import Function, Opcode, VirtualRegister, clone_function
+from ..lowering import lower_for_target
+from ..postpass import merge_noop_copies
+from ..target import TargetMachine
+from .coloring import ColoringFailure, color_function
+from .spill import insert_spill_code
+from .twoaddr import fixup_operands
+
+MAX_SPILL_ROUNDS = 12
+
+
+@dataclass(slots=True)
+class GraphColoringAllocator:
+    """Facade: allocate one function with Chaitin-Briggs coloring."""
+
+    target: TargetMachine
+    max_rounds: int = MAX_SPILL_ROUNDS
+
+    def allocate(
+        self,
+        fn: Function,
+        freq: ExecutionFrequencies | None = None,
+    ) -> Allocation:
+        work = clone_function(fn)
+        lower_for_target(work, self.target)
+        classes = fixup_operands(work, self.target)
+
+        stats = SpillStats()
+        unspillable: set[str] = set()
+        # Class-constrained temporaries from the fixup are tiny ranges;
+        # spilling them rarely helps and can loop, so pin them.
+        unspillable.update(classes.required.keys())
+
+        result = None
+        for _ in range(self.max_rounds):
+            try:
+                result = color_function(
+                    work, self.target, classes, freq, unspillable
+                )
+            except ColoringFailure:
+                return Allocation(
+                    fn_name=fn.name,
+                    function=work,
+                    assignment={},
+                    allocator="graph-coloring",
+                    status="failed",
+                    stats=stats,
+                )
+            if not result.needs_spill:
+                break
+            outcome = insert_spill_code(work, result.spilled)
+            stats.loads += outcome.loads
+            stats.stores += outcome.stores
+            stats.remats += outcome.remats
+            unspillable.update(outcome.temporaries)
+            for tmp, parent in outcome.parent.items():
+                if parent in classes.required:
+                    classes.require(tmp, classes.required[parent])
+                if parent in classes.forbidden:
+                    classes.forbid(tmp, classes.forbidden[parent])
+        else:
+            return Allocation(
+                fn_name=fn.name,
+                function=work,
+                assignment={},
+                allocator="graph-coloring",
+                status="failed",
+                stats=stats,
+            )
+
+        deleted = merge_noop_copies(work, result.assignment)
+        stats.copies_deleted += deleted
+        work.refresh_vregs()
+
+        assignment = {
+            v.name: result.assignment[v.name] for v in work.vregs()
+        }
+        return Allocation(
+            fn_name=fn.name,
+            function=work,
+            assignment=assignment,
+            allocator="graph-coloring",
+            status="feasible",
+            stats=stats,
+        )

@@ -1,0 +1,129 @@
+"""Spill-everywhere rewrite for the graph-coloring baseline.
+
+A spilled register lives in a dedicated stack slot; every definition is
+followed by a store, every use preceded by a load into a short-lived
+temporary.  Constant-defined registers are rematerialised instead
+(``LI`` re-executed at each use, the original definition deleted) — the
+classic Chaitin optimisation that the paper's Table 3 tracks in its
+"Rematerialization" row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir import (
+    Function,
+    Immediate,
+    Instr,
+    MemorySlot,
+    Opcode,
+    SlotKind,
+    VirtualRegister,
+    map_registers,
+    plain,
+)
+
+
+@dataclass(slots=True)
+class SpillOutcome:
+    loads: int = 0
+    stores: int = 0
+    remats: int = 0
+    deleted_defs: int = 0
+    #: spill temporaries created (never spill candidates themselves)
+    temporaries: set[str] = field(default_factory=set)
+    #: temporary -> vreg it reloads (for register-class inheritance)
+    parent: dict[str, str] = field(default_factory=dict)
+
+
+def _is_rematerializable(fn: Function, reg: VirtualRegister) -> Instr | None:
+    """If ``reg``'s only definition is an LI, return that instruction."""
+    defining: Instr | None = None
+    for _, _, instr in fn.instructions():
+        if reg in instr.defs():
+            if defining is not None or instr.opcode is not Opcode.LI:
+                return None
+            defining = instr
+    return defining
+
+
+def insert_spill_code(
+    fn: Function, spilled: set[VirtualRegister]
+) -> SpillOutcome:
+    """Rewrite ``fn`` in place with spill code for ``spilled``."""
+    outcome = SpillOutcome()
+    remat_def: dict[VirtualRegister, Immediate] = {}
+    slots: dict[VirtualRegister, MemorySlot] = {}
+
+    for reg in spilled:
+        li = _is_rematerializable(fn, reg)
+        if li is not None:
+            remat_def[reg] = li.srcs[0]
+        else:
+            slots[reg] = fn.add_slot(MemorySlot(
+                f"spill.{reg.name}", reg.type, SlotKind.SPILL
+            ))
+
+    for block in fn.blocks:
+        new_instrs: list[Instr] = []
+        for instr in block.instrs:
+            # Delete the defining LI of a rematerialised register.
+            if (instr.opcode is Opcode.LI and instr.dst in remat_def):
+                outcome.deleted_defs += 1
+                continue
+
+            use_tmp: dict[VirtualRegister, VirtualRegister] = {}
+            for use in instr.uses():
+                if use not in spilled:
+                    continue
+                tmp = fn.new_vreg(f"{use.name}.r", use.type)
+                outcome.temporaries.add(tmp.name)
+                outcome.parent[tmp.name] = use.name
+                use_tmp[use] = tmp
+                if use in remat_def:
+                    new_instrs.append(Instr(
+                        Opcode.LI, dst=tmp, srcs=(remat_def[use],),
+                        origin="remat",
+                    ))
+                    outcome.remats += 1
+                else:
+                    new_instrs.append(Instr(
+                        Opcode.LOAD, dst=tmp, addr=plain(slots[use]),
+                        origin="spill-load",
+                    ))
+                    outcome.loads += 1
+
+            def_tmp: dict[VirtualRegister, VirtualRegister] = {}
+            store_after: Instr | None = None
+            if instr.dst is not None and instr.dst in spilled:
+                dst = instr.dst
+                if dst in remat_def:
+                    # A rematerialised register has exactly one LI def,
+                    # already deleted above; any other def would have
+                    # disqualified rematerialisation.
+                    raise AssertionError("remat register redefined")
+                tmp = use_tmp.get(dst) or fn.new_vreg(
+                    f"{dst.name}.s", dst.type
+                )
+                outcome.temporaries.add(tmp.name)
+                outcome.parent.setdefault(tmp.name, dst.name)
+                def_tmp[dst] = tmp
+                store_after = Instr(
+                    Opcode.STORE, srcs=(tmp,), addr=plain(slots[dst]),
+                    origin="spill-store",
+                )
+                outcome.stores += 1
+
+            rewritten = map_registers(
+                instr,
+                use_map=lambda r: use_tmp.get(r, r),
+                def_map=lambda r: def_tmp.get(r, r),
+            )
+            new_instrs.append(rewritten)
+            if store_after is not None:
+                new_instrs.append(store_after)
+        block.instrs = new_instrs
+
+    fn.refresh_vregs()
+    return outcome

@@ -1,0 +1,157 @@
+"""The *traditional* handling of irregular operands (paper §5.1, §3.2).
+
+This is precisely the approach the paper contrasts the IP allocator
+against: a compiler phase **prior to** register allocation commits to
+operand placements using local heuristics —
+
+* two-address instructions: pick one source to share the combined
+  source/destination specifier (preferring a source that dies at the
+  instruction), insert ``COPY dst <- src`` and rewrite the instruction
+  to use ``dst``;
+* implicit-register operands (CL shift counts, EAX/EDX division, EAX
+  return values and call results): insert copies through fresh
+  *register-class-constrained* temporaries.
+
+Because these choices are made outside the allocation context they are
+sometimes poor — which is the paper's motivation for folding them into
+the IP model instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis import compute_liveness
+from ..ir import (
+    Function,
+    Instr,
+    Opcode,
+    VirtualRegister,
+)
+from ..target import TargetMachine
+
+
+@dataclass(slots=True)
+class OperandClasses:
+    """Register-class metadata produced by the fixup pass."""
+
+    #: vreg name -> the only families it may use
+    required: dict[str, frozenset[str]] = field(default_factory=dict)
+    #: vreg name -> families it must avoid
+    forbidden: dict[str, frozenset[str]] = field(default_factory=dict)
+
+    def require(self, name: str, families: frozenset[str]) -> None:
+        current = self.required.get(name)
+        self.required[name] = (
+            families if current is None else current & families
+        )
+
+    def forbid(self, name: str, families: frozenset[str]) -> None:
+        self.forbidden[name] = self.forbidden.get(name, frozenset()) | families
+
+
+def fixup_operands(
+    fn: Function, target: TargetMachine
+) -> OperandClasses:
+    """Apply the traditional pre-RA operand fixups to ``fn`` in place."""
+    classes = OperandClasses()
+    if not target.irregular:
+        # Uniform RISC still constrains the calling convention.
+        for block in fn.blocks:
+            block.instrs = _fixup_block_regular(fn, block.instrs, target,
+                                                classes)
+        return classes
+
+    liveness = compute_liveness(fn)
+    for block in fn.blocks:
+        new_instrs: list[Instr] = []
+        for i, instr in enumerate(block.instrs):
+            dies = liveness.dies_at(block.name, i)
+            new_instrs.extend(
+                _fixup_instr(fn, instr, target, classes, dies)
+            )
+        block.instrs = new_instrs
+    fn.refresh_vregs()
+    return classes
+
+
+def _fixup_block_regular(fn, instrs, target, classes):
+    out: list[Instr] = []
+    for instr in instrs:
+        rules = target.constraints(instr)
+        out.extend(_apply_family_rules(fn, instr, rules, classes))
+    return out
+
+
+def _fixup_instr(fn, instr, target, classes, dies) -> list[Instr]:
+    rules = target.constraints(instr)
+    out: list[Instr] = []
+
+    # 1. Combined source/destination specifier: commit to a tied source.
+    if rules.two_address and instr.dst is not None:
+        candidates = instr.tied_source_candidates()
+        tied_idx = None
+        for k in candidates:
+            if instr.srcs[k] == instr.dst:
+                tied_idx = None  # already tied to itself
+                break
+        else:
+            if candidates:
+                # Heuristic: prefer a source that dies here (its register
+                # can be overwritten for free).
+                dying = [k for k in candidates if instr.srcs[k] in dies]
+                tied_idx = (dying or list(candidates))[0]
+        if tied_idx is not None:
+            srcs = list(instr.srcs)
+            # Hazard: if dst also appears as a *non-tied* source
+            # (e.g. ``a = b - a``), the tie copy would destroy the old
+            # value; save it into a temporary first.
+            for k, s in enumerate(srcs):
+                if k != tied_idx and s == instr.dst:
+                    tmp = fn.new_vreg(f"{instr.dst.name}.sav",
+                                      instr.dst.type)
+                    out.append(Instr(Opcode.COPY, dst=tmp, srcs=(s,)))
+                    srcs[k] = tmp
+            tied = srcs[tied_idx]
+            out.append(Instr(Opcode.COPY, dst=instr.dst, srcs=(tied,)))
+            if tied_idx != 0 and instr.info.commutative:
+                srcs[0], srcs[tied_idx] = srcs[tied_idx], srcs[0]
+                tied_idx = 0
+            srcs[tied_idx] = instr.dst
+            instr.srcs = tuple(srcs)
+
+    # 2. Family-constrained operands via fresh temporaries.
+    out.extend(_apply_family_rules(fn, instr, rules, classes))
+    return out
+
+
+def _apply_family_rules(fn, instr, rules, classes) -> list[Instr]:
+    before: list[Instr] = []
+    after: list[Instr] = []
+
+    srcs = list(instr.srcs)
+    for k, src in enumerate(srcs):
+        if not isinstance(src, VirtualRegister) or k >= len(rules.src_rules):
+            continue
+        rule = rules.src_rules[k]
+        if rule.families is not None:
+            # Tied sources rewritten to dst in step 1 are handled through
+            # the dst rule; all family-constrained positions here are
+            # plain uses.
+            if src == instr.dst:
+                continue
+            tmp = fn.new_vreg(f"{src.name}.cc", src.type)
+            classes.require(tmp.name, rule.families)
+            before.append(Instr(Opcode.COPY, dst=tmp, srcs=(src,)))
+            srcs[k] = tmp
+        elif rule.exclude_families:
+            classes.forbid(src.name, rule.exclude_families)
+    instr.srcs = tuple(srcs)
+
+    if instr.dst is not None and rules.dst_rule.families is not None:
+        tmp = fn.new_vreg(f"{instr.dst.name}.cc", instr.dst.type)
+        classes.require(tmp.name, rules.dst_rule.families)
+        after.append(Instr(Opcode.COPY, dst=instr.dst, srcs=(tmp,)))
+        instr.dst = tmp
+
+    return before + [instr] + after

@@ -1,0 +1,242 @@
+"""Seeded random mini-C program generator.
+
+Used for two things:
+
+* the Figure 9/10 scaling studies need functions spanning two orders of
+  magnitude of instruction count — the six hand-written benchmarks top
+  out around sixty instructions per function;
+* property-based testing: random-but-well-formed programs that both
+  allocators must handle correctly.
+
+Generated programs are always terminating (loops have static trip
+counts), free of division faults (divisors are ``(expr & 7) + 1``),
+and definite-assignment clean (every variable is initialised at
+declaration).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..ir import Module
+from ..lang import compile_program
+
+
+@dataclass(slots=True)
+class GeneratorConfig:
+    """Knobs for program shape."""
+
+    n_functions: int = 4
+    #: roughly how many statements per function body
+    body_statements: tuple[int, int] = (4, 14)
+    max_expr_depth: int = 3
+    max_loop_nest: int = 2
+    loop_trip: tuple[int, int] = (2, 6)
+    #: probability weights
+    p_loop: float = 0.25
+    p_if: float = 0.2
+    p_array: float = 0.25
+    p_call: float = 0.2
+    p_narrow_types: float = 0.2
+
+
+class ProgramGenerator:
+    """Generates a compilable mini-C module from a seed."""
+
+    def __init__(self, seed: int, config: GeneratorConfig | None = None):
+        self.rng = random.Random(seed)
+        self.config = config or GeneratorConfig()
+        self._label = 0
+
+    # -- naming -----------------------------------------------------------
+
+    def _fresh(self, hint: str) -> str:
+        self._label += 1
+        return f"{hint}{self._label}"
+
+    # -- expressions --------------------------------------------------------
+
+    def _expr(self, vars_: list[str], depth: int,
+              callees: list[tuple[str, int]]) -> str:
+        rng = self.rng
+        if depth <= 0 or rng.random() < 0.35 or not vars_:
+            if vars_ and rng.random() < 0.7:
+                return rng.choice(vars_)
+            return str(rng.randrange(0, 64))
+        roll = rng.random()
+        if roll < self.config.p_call and callees:
+            name, arity = rng.choice(callees)
+            args = ", ".join(
+                self._expr(vars_, depth - 1, []) for _ in range(arity)
+            )
+            return f"{name}({args})"
+        if roll < self.config.p_call + self.config.p_array:
+            idx = self._expr(vars_, depth - 1, [])
+            return f"data[({idx}) & 31]"
+        op = rng.choice(["+", "-", "*", "&", "|", "^", "+", "-"])
+        left = self._expr(vars_, depth - 1, callees)
+        right = self._expr(vars_, depth - 1, callees)
+        if rng.random() < 0.12:
+            return f"(({left}) / ((({right}) & 7) + 1))"
+        if rng.random() < 0.12:
+            return f"(({left}) << (({right}) & 7))"
+        return f"(({left}) {op} ({right}))"
+
+    def _cond(self, vars_: list[str]) -> str:
+        rng = self.rng
+        op = rng.choice(["<", "<=", ">", ">=", "==", "!="])
+        left = self._expr(vars_, 1, [])
+        right = self._expr(vars_, 1, [])
+        return f"({left}) {op} ({right})"
+
+    # -- statements --------------------------------------------------------
+
+    def _body(self, vars_: list[str], statements: int, nest: int,
+              callees: list[tuple[str, int]], indent: str) -> list[str]:
+        rng = self.rng
+        lines: list[str] = []
+        local_vars = list(vars_)
+        for _ in range(statements):
+            roll = rng.random()
+            if roll < self.config.p_loop and nest > 0:
+                trip = rng.randrange(*self.config.loop_trip)
+                iv = self._fresh("i")
+                inner_vars = local_vars + [iv]
+                # No calls inside loops: call chains across generated
+                # functions would multiply into runaway step counts.
+                inner = self._body(
+                    inner_vars, max(1, statements // 3), nest - 1,
+                    [], indent + "    ",
+                )
+                lines.append(
+                    f"{indent}for (int {iv} = 0; {iv} < {trip}; "
+                    f"{iv} += 1) {{"
+                )
+                lines.extend(inner)
+                lines.append(f"{indent}}}")
+            elif roll < self.config.p_loop + self.config.p_if:
+                inner = self._body(
+                    local_vars, max(1, statements // 3), nest,
+                    callees, indent + "    ",
+                )
+                lines.append(f"{indent}if ({self._cond(local_vars)}) {{")
+                lines.extend(inner)
+                if rng.random() < 0.5:
+                    other = self._body(
+                        local_vars, max(1, statements // 4), nest,
+                        callees, indent + "    ",
+                    )
+                    lines.append(f"{indent}}} else {{")
+                    lines.extend(other)
+                lines.append(f"{indent}}}")
+            elif roll < 0.6 or not local_vars:
+                type_ = "int"
+                if rng.random() < self.config.p_narrow_types:
+                    type_ = rng.choice(["short", "char"])
+                name = self._fresh("v")
+                init = self._expr(
+                    local_vars, self.config.max_expr_depth, callees
+                )
+                lines.append(f"{indent}{type_} {name} = ({type_})({init});")
+                local_vars.append(name)
+            elif rng.random() < 0.3:
+                idx = self._expr(local_vars, 1, [])
+                value = self._expr(
+                    local_vars, self.config.max_expr_depth, callees
+                )
+                lines.append(f"{indent}data[({idx}) & 31] = {value};")
+            else:
+                # Never assign to loop induction variables ("i..."):
+                # a rewritten loop variable may never terminate.
+                assignable = [
+                    v for v in local_vars if not v.startswith("i")
+                ]
+                if not assignable:
+                    continue
+                target = rng.choice(assignable)
+                op = rng.choice(["=", "+=", "-=", "^=", "&=", "|="])
+                value = self._expr(
+                    local_vars, self.config.max_expr_depth, callees
+                )
+                lines.append(f"{indent}{target} {op} {value};")
+        return lines
+
+    # -- functions/program ----------------------------------------------------
+
+    def function_source(self, name: str, arity: int, statements: int,
+                        callees: list[tuple[str, int]]) -> str:
+        params = ", ".join(f"int p{k}" for k in range(arity))
+        vars_ = [f"p{k}" for k in range(arity)]
+        body = self._body(
+            vars_, statements, self.config.max_loop_nest, callees, "    "
+        )
+        result = self._expr(vars_, 2, [])
+        lines = [f"int {name}({params or 'void'}) {{"]
+        lines.extend(body)
+        lines.append(f"    return ({result}) & 65535;")
+        lines.append("}")
+        return "\n".join(lines)
+
+    def program_source(self) -> str:
+        rng = self.rng
+        parts = ["int data[32];"]
+        callees: list[tuple[str, int]] = []
+        lo, hi = self.config.body_statements
+        for k in range(self.config.n_functions):
+            name = f"fn{k}"
+            arity = rng.randrange(1, 4)
+            statements = rng.randrange(lo, hi + 1)
+            parts.append(self.function_source(
+                name, arity, statements, list(callees)
+            ))
+            callees.append((name, arity))
+        # A driver calling everything.
+        calls = " + ".join(
+            f"{name}({', '.join(str(rng.randrange(1, 30)) for _ in range(arity))})"
+            for name, arity in callees
+        )
+        parts.append(
+            "int main(int n) {\n"
+            "    int acc = 0;\n"
+            "    for (int r = 0; r < (n & 7) + 1; r += 1) {\n"
+            f"        acc += {calls};\n"
+            "    }\n"
+            "    return acc & 16383;\n"
+            "}"
+        )
+        return "\n\n".join(parts)
+
+    def module(self, name: str = "generated") -> Module:
+        return compile_program(self.program_source(), name)
+
+
+def generate_module(seed: int, config: GeneratorConfig | None = None,
+                    name: str | None = None) -> Module:
+    """One-call helper: seeded random module."""
+    gen = ProgramGenerator(seed, config)
+    return gen.module(name or f"gen{seed}")
+
+
+#: Default size sweep for the Figure 9/10 growth studies.  Statement
+#: counts expand ~20x into instructions (expressions, bool diamonds,
+#: loop scaffolding), so this sweep yields roughly 15-300-instruction
+#: functions — above that the IP models stop being interactive.
+SCALING_SIZES = [1, 2, 3, 5, 8]
+
+
+def scaling_functions(seeds: range, sizes: list[int] | None = None):
+    """Yield (module, function) pairs spanning a range of function
+    sizes, for the Figure 9/10 growth studies."""
+    for seed in seeds:
+        for size in (sizes or SCALING_SIZES):
+            config = GeneratorConfig(
+                n_functions=1,
+                body_statements=(size, size + 1),
+                max_loop_nest=2,
+                max_expr_depth=2,
+            )
+            module = generate_module(seed * 1000 + size, config,
+                                     name=f"scale{seed}_{size}")
+            for fn in module:
+                yield module, fn

@@ -1,0 +1,126 @@
+"""Dynamic spill-overhead accounting (paper Table 3).
+
+Each Table 3 row is the *difference* in dynamic executions of one
+instruction category between allocated code and the original symbolic
+code:
+
+* Spill Load  = Δ executed ``LOAD``  (inserted reloads minus §5.5-deleted
+  defining loads),
+* Spill Store = Δ executed ``STORE``,
+* Rematerialization = Δ executed ``LI`` (re-executed constant defines
+  minus deleted ones),
+* Copy        = Δ executed ``COPY`` (inserted copies minus deleted input
+  copies — negative when an allocator deletes hot copies).
+
+Cycle overhead follows eq. (1) with the Table 1 costs, plus the memory-
+operand cycle deltas the interpreter already accumulates in its total
+cycle counter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir import Opcode
+from ..sim import RunResult
+from ..target import SPILL_COPY, SPILL_LOAD, SPILL_REMAT, SPILL_STORE
+
+#: Table 3 row -> (opcode measured, Table 1 cost entry)
+ROWS = (
+    ("Spill Load", Opcode.LOAD, SPILL_LOAD),
+    ("Spill Store", Opcode.STORE, SPILL_STORE),
+    ("Rematerialization", Opcode.LI, SPILL_REMAT),
+    ("Copy", Opcode.COPY, SPILL_COPY),
+)
+
+
+@dataclass(slots=True)
+class OverheadRow:
+    name: str
+    ip: float
+    gc: float
+
+    @property
+    def ratio(self) -> float:
+        if self.gc == 0:
+            return float("inf") if self.ip else 1.0
+        return self.ip / self.gc
+
+
+@dataclass(slots=True)
+class SpillOverhead:
+    """Dynamic spill-code overhead for one or more benchmarks."""
+
+    rows: list[OverheadRow]
+    ip_cycles: float
+    gc_cycles: float
+    ref_cycles: float
+
+    @property
+    def total_row(self) -> OverheadRow:
+        return OverheadRow(
+            "Total",
+            sum(r.ip for r in self.rows),
+            sum(r.gc for r in self.rows),
+        )
+
+    @property
+    def ip_cycle_overhead(self) -> float:
+        return self.ip_cycles - self.ref_cycles
+
+    @property
+    def gc_cycle_overhead(self) -> float:
+        return self.gc_cycles - self.ref_cycles
+
+    @property
+    def overhead_reduction(self) -> float:
+        """The paper's headline: fraction of the baseline's allocation
+        overhead that the IP allocator removes (0.61 in the paper)."""
+        gc = self.gc_cycle_overhead
+        if gc <= 0:
+            return 0.0
+        return 1.0 - self.ip_cycle_overhead / gc
+
+
+def _count(run: RunResult, opcode: Opcode) -> int:
+    return run.opcode_counts.get(opcode, 0)
+
+
+def spill_overhead(
+    reference: RunResult, ip_run: RunResult, gc_run: RunResult
+) -> SpillOverhead:
+    rows = [
+        OverheadRow(
+            name,
+            float(_count(ip_run, op) - _count(reference, op)),
+            float(_count(gc_run, op) - _count(reference, op)),
+        )
+        for name, op, _cost in ROWS
+    ]
+    return SpillOverhead(
+        rows=rows,
+        ip_cycles=ip_run.cycles,
+        gc_cycles=gc_run.cycles,
+        ref_cycles=reference.cycles,
+    )
+
+
+def aggregate(parts: list[SpillOverhead]) -> SpillOverhead:
+    """Sum overheads across benchmarks (the paper reports suite totals)."""
+    if not parts:
+        raise ValueError("nothing to aggregate")
+    names = [r.name for r in parts[0].rows]
+    rows = [
+        OverheadRow(
+            name,
+            sum(p.rows[k].ip for p in parts),
+            sum(p.rows[k].gc for p in parts),
+        )
+        for k, name in enumerate(names)
+    ]
+    return SpillOverhead(
+        rows=rows,
+        ip_cycles=sum(p.ip_cycles for p in parts),
+        gc_cycles=sum(p.gc_cycles for p in parts),
+        ref_cycles=sum(p.ref_cycles for p in parts),
+    )

@@ -1,0 +1,174 @@
+"""Experiment driver: profile, allocate, execute and compare.
+
+This is the reproduction of the paper's experimental setup (§6):
+
+1. run each benchmark symbolically with its reference input to obtain
+   per-block execution profiles (the A factors) and reference outputs;
+2. allocate every function with the IP allocator (with a solver time
+   limit) and with the graph-coloring baseline;
+3. validate each allocation structurally and run the allocated code,
+   checking outputs against the reference and collecting the dynamic
+   statistics behind Tables 2 and 3 and Figures 9 and 10.
+
+Functions the IP solver cannot finish keep the baseline's allocation —
+mirroring the paper, where unattempted functions keep GCC's.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..allocation import Allocation, AllocationError, validate_allocation
+from ..analysis import profiled_frequencies
+from ..baseline import GraphColoringAllocator
+from ..core import AllocatorConfig, IPAllocator
+from ..ir import Module, Opcode
+from ..sim import AllocatedFunction, Interpreter, RunResult
+from ..target import TargetMachine
+from .workloads import Benchmark, load_all
+
+
+@dataclass(slots=True)
+class FunctionReport:
+    """Per-function allocation outcome (Table 2 / Fig. 9 / Fig. 10 row)."""
+
+    benchmark: str
+    function: str
+    n_instructions: int
+    attempted: bool = True
+    solved: bool = False
+    optimal: bool = False
+    n_variables: int = 0
+    n_constraints: int = 0
+    solve_seconds: float = 0.0
+    objective: float = 0.0
+
+
+@dataclass(slots=True)
+class BenchmarkResult:
+    """Everything measured for one benchmark program."""
+
+    benchmark: Benchmark
+    reference: RunResult
+    ip_run: RunResult
+    gc_run: RunResult
+    functions: list[FunctionReport] = field(default_factory=list)
+    ip_allocations: dict[str, Allocation] = field(default_factory=dict)
+    gc_allocations: dict[str, Allocation] = field(default_factory=dict)
+
+    def check_outputs(self) -> None:
+        ref = self.reference.return_value
+        if self.ip_run.return_value != ref:
+            raise AssertionError(
+                f"{self.benchmark.name}: IP output "
+                f"{self.ip_run.return_value} != reference {ref}"
+            )
+        if self.gc_run.return_value != ref:
+            raise AssertionError(
+                f"{self.benchmark.name}: baseline output "
+                f"{self.gc_run.return_value} != reference {ref}"
+            )
+
+
+@dataclass(slots=True)
+class SuiteResult:
+    results: list[BenchmarkResult] = field(default_factory=list)
+
+    @property
+    def function_reports(self) -> list[FunctionReport]:
+        return [f for r in self.results for f in r.functions]
+
+
+def run_benchmark(
+    bench: Benchmark,
+    module: Module,
+    target: TargetMachine,
+    config: AllocatorConfig | None = None,
+    validate: bool = True,
+) -> BenchmarkResult:
+    """Run the full experiment pipeline for one benchmark."""
+    config = config or AllocatorConfig()
+    args = list(bench.args)
+
+    reference = Interpreter(module).run(bench.entry, args)
+
+    ip = IPAllocator(target, config)
+    gc = GraphColoringAllocator(target)
+
+    reports: list[FunctionReport] = []
+    ip_allocs: dict[str, AllocatedFunction] = {}
+    gc_allocs: dict[str, AllocatedFunction] = {}
+    ip_allocations: dict[str, Allocation] = {}
+    gc_allocations: dict[str, Allocation] = {}
+
+    for fn in module:
+        freq = profiled_frequencies(fn, reference.blocks_of(fn.name))
+        report = FunctionReport(
+            benchmark=bench.name,
+            function=fn.name,
+            n_instructions=fn.n_instructions,
+        )
+
+        g = gc.allocate(fn, freq)
+        if not g.succeeded:
+            raise AllocationError(
+                f"baseline failed on {bench.name}/{fn.name}"
+            )
+        if validate:
+            validate_allocation(g, target)
+        gc_allocs[fn.name] = AllocatedFunction(g.function, g.assignment)
+        gc_allocations[fn.name] = g
+
+        a = ip.allocate(fn, freq)
+        report.n_variables = a.n_variables
+        report.n_constraints = a.n_constraints
+        report.solve_seconds = a.solve_seconds
+        report.objective = a.objective
+        report.solved = a.succeeded
+        report.optimal = a.status == "optimal"
+        if a.succeeded:
+            if validate and not config.validate:
+                validate_allocation(a, target)
+            ip_allocs[fn.name] = AllocatedFunction(
+                a.function, a.assignment
+            )
+            ip_allocations[fn.name] = a
+        else:
+            # Paper behaviour: unsolved functions keep the traditional
+            # allocator's code.
+            ip_allocs[fn.name] = gc_allocs[fn.name]
+        reports.append(report)
+
+    ip_run = Interpreter(
+        module, target=target, allocations=ip_allocs
+    ).run(bench.entry, args)
+    gc_run = Interpreter(
+        module, target=target, allocations=gc_allocs
+    ).run(bench.entry, args)
+
+    result = BenchmarkResult(
+        benchmark=bench,
+        reference=reference,
+        ip_run=ip_run,
+        gc_run=gc_run,
+        functions=reports,
+        ip_allocations=ip_allocations,
+        gc_allocations=gc_allocations,
+    )
+    result.check_outputs()
+    return result
+
+
+def run_suite(
+    target: TargetMachine,
+    config: AllocatorConfig | None = None,
+    benchmarks: list[tuple[Benchmark, Module]] | None = None,
+) -> SuiteResult:
+    """Run the whole suite (all six programs by default)."""
+    suite = SuiteResult()
+    for bench, module in (benchmarks or load_all()):
+        suite.results.append(
+            run_benchmark(bench, module, target, config)
+        )
+    return suite

@@ -1,0 +1,118 @@
+"""Pre-allocation copy folding.
+
+The frontend emits ``t = <expr>; COPY x <- t`` for every assignment.
+Production middle ends fold such single-use temporaries before register
+allocation; without this pass the input code carries thousands of
+trivially-deletable copies, which would let *any* allocator report huge
+copy-deletion numbers and distort the Table 3 comparison.
+
+The fold: for ``COPY d <- s`` where
+
+* ``s`` has exactly one definition and exactly one use (this copy),
+* the definition is in the same block, earlier than the copy, and is a
+  plain register-defining instruction,
+* ``d`` is neither defined nor used between that definition and the
+  copy,
+
+rewrite the definition to target ``d`` directly and delete the copy.
+Applied to a fixpoint.  Copies that survive (multi-use temporaries,
+cross-block flows) are exactly the interesting ones the allocators
+compete over.
+"""
+
+from __future__ import annotations
+
+from .ir import Function, Instr, Module, Opcode, VirtualRegister
+
+
+def fold_copies(fn: Function) -> int:
+    """Fold single-use temporaries through copies, in place.
+
+    Returns the number of copies removed.
+    """
+    removed_total = 0
+    while True:
+        removed = _fold_once(fn)
+        removed_total += removed
+        if removed == 0:
+            break
+    if removed_total:
+        fn.refresh_vregs()
+    return removed_total
+
+
+def _fold_once(fn: Function) -> int:
+    def_count: dict[str, int] = {}
+    use_count: dict[str, int] = {}
+    for _, _, instr in fn.instructions():
+        for d in instr.defs():
+            def_count[d.name] = def_count.get(d.name, 0) + 1
+        for u in instr.uses():
+            use_count[u.name] = use_count.get(u.name, 0) + 1
+        # Count address/mem uses of the same register twice so that a
+        # double-appearance never looks like a single use.
+        if instr.opcode is Opcode.RET and instr.srcs:
+            pass
+
+    removed = 0
+    for block in fn.blocks:
+        instrs = block.instrs
+        kept: list[Instr] = []
+        # Positions of the defining instruction per register, within
+        # the *kept* list.
+        def_pos: dict[str, int] = {}
+        last_touch: dict[str, int] = {}
+
+        for instr in instrs:
+            if (
+                instr.opcode is Opcode.COPY
+                and isinstance(instr.srcs[0], VirtualRegister)
+                and instr.dst is not None
+            ):
+                s = instr.srcs[0]
+                d = instr.dst
+                pos = def_pos.get(s.name)
+                if (
+                    pos is not None
+                    and def_count.get(s.name) == 1
+                    and use_count.get(s.name) == 1
+                    and s.type == d.type
+                    # d may be read *by* the defining instruction itself
+                    # (reads precede the write), but must be untouched
+                    # strictly between it and the copy.
+                    and last_touch.get(d.name, -1) <= pos
+                ):
+                    defining = kept[pos]
+                    kept[pos] = Instr(
+                        opcode=defining.opcode,
+                        dst=d,
+                        srcs=defining.srcs,
+                        addr=defining.addr,
+                        cond=defining.cond,
+                        targets=defining.targets,
+                        callee=defining.callee,
+                        mem_dst=defining.mem_dst,
+                        origin=defining.origin,
+                    )
+                    # The rewritten instruction now defines (and possibly
+                    # uses) d at position pos.
+                    def_pos[d.name] = pos
+                    last_touch[d.name] = len(kept)
+                    def_pos.pop(s.name, None)
+                    removed += 1
+                    continue
+
+            k = len(kept)
+            kept.append(instr)
+            for u in instr.uses():
+                last_touch[u.name] = k
+            for dd in instr.defs():
+                def_pos[dd.name] = k
+                last_touch[dd.name] = k
+        block.instrs = kept
+    return removed
+
+
+def fold_module(module: Module) -> int:
+    """Fold copies in every function of a module."""
+    return sum(fold_copies(fn) for fn in module)

@@ -1,0 +1,100 @@
+"""The paper's cost model (§4, eq. 1):
+
+    cost(x) = A * cycle(x) + B * instruction_size(x) + C * data_size(x)
+
+``A`` is the execution count of the instruction the action applies to
+(profiled, or statically estimated from loop depth), ``B`` the cycle
+cost of one byte of code growth, ``C`` of one byte of data traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis import ExecutionFrequencies
+from ..target import (
+    MEM_OPERAND_EXTRA_CYCLES,
+    MEM_OPERAND_EXTRA_SIZE,
+    MEM_RMW_EXTRA_CYCLES,
+    SPILL_COPY,
+    SPILL_LOAD,
+    SPILL_REMAT,
+    SPILL_STORE,
+    base_cycles,
+    base_size,
+)
+from .config import AllocatorConfig
+
+
+@dataclass(slots=True)
+class CostModel:
+    """Computes eq.-(1) costs for every allocation action."""
+
+    freq: ExecutionFrequencies
+    config: AllocatorConfig
+
+    def _a(self, block: str) -> float:
+        scale = (
+            self.config.profile_scale
+            if self.freq.source == "profile" else 1.0
+        )
+        return self.freq.of(block) * scale
+
+    def _combine(self, block: str, cycles: float, size: float,
+                 data: float = 0.0) -> float:
+        if self.config.optimize_size_only:
+            # §4: pure code-size optimisation drops the A and C terms.
+            return self.config.code_size_weight * size
+        return (
+            self._a(block) * cycles
+            + self.config.code_size_weight * size
+            + self.config.data_size_weight * data
+        )
+
+    # -- spill-code actions (Table 1) -----------------------------------
+
+    def load(self, block: str, data_bytes: int) -> float:
+        return self._combine(block, SPILL_LOAD.cycles, SPILL_LOAD.size,
+                             data_bytes)
+
+    def store(self, block: str, data_bytes: int) -> float:
+        return self._combine(block, SPILL_STORE.cycles, SPILL_STORE.size,
+                             data_bytes)
+
+    def remat(self, block: str) -> float:
+        return self._combine(block, SPILL_REMAT.cycles, SPILL_REMAT.size)
+
+    def copy(self, block: str) -> float:
+        return self._combine(block, SPILL_COPY.cycles, SPILL_COPY.size)
+
+    def copy_deletion(self, block: str) -> float:
+        """Savings (negative cost) for deleting an input copy."""
+        return -self.copy(block)
+
+    # -- §5.2 memory operands -----------------------------------------------
+
+    def memory_use(self, block: str, data_bytes: int) -> float:
+        return self._combine(
+            block, MEM_OPERAND_EXTRA_CYCLES, MEM_OPERAND_EXTRA_SIZE,
+            data_bytes,
+        )
+
+    def combined_mem_use_def(self, block: str, data_bytes: int) -> float:
+        return self._combine(
+            block, MEM_RMW_EXTRA_CYCLES, MEM_OPERAND_EXTRA_SIZE,
+            2 * data_bytes,
+        )
+
+    # -- §5.4 encoding deltas --------------------------------------------
+
+    def size_delta(self, block: str, bytes_delta: float) -> float:
+        """Pure code-size cost (short opcodes, address penalties)."""
+        return self.config.code_size_weight * bytes_delta
+
+    # -- §5.5 predefined-memory coalescing ---------------------------------
+
+    def coalesce_saving(self, block: str, load_instr) -> float:
+        """Savings from deleting the original defining load."""
+        return -self._combine(
+            block, base_cycles(load_instr), base_size(load_instr)
+        )

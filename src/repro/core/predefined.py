@@ -1,0 +1,86 @@
+"""§5.5 — predefined memory symbolic registers.
+
+A symbolic register S may coalesce its home memory location with a
+predefined memory value X (a value already in memory at function entry:
+an incoming parameter or a global) when:
+
+1. S is defined by a load of X (and by nothing else),
+2. the live ranges of S and X do not interfere, and
+3. X is not aliased.
+
+We enforce the conditions conservatively:
+
+* S has exactly one definition, a ``LOAD`` from a plain (register-free,
+  displacement-free) slot reference;
+* the slot is an incoming ``PARAM``, or a ``GLOBAL`` in a function that
+  makes no calls (a callee could store to a global — that is the
+  paper's aliasing example);
+* the slot is never the target of a ``STORE`` anywhere in the function
+  and is not marked ``aliased``.
+
+Because S has a single definition, its value always equals X's, so even
+a spill store of S into the shared location rewrites the same bytes —
+condition 2 can never be violated once these checks pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir import Function, Instr, Opcode, SlotKind, VirtualRegister
+
+
+@dataclass(frozen=True, slots=True)
+class CoalesceCandidate:
+    """S may share its home location with ``slot``; its defining load
+    sits at ``(block, index)``."""
+
+    vreg: VirtualRegister
+    slot_name: str
+    block: str
+    index: int
+    defining: Instr
+
+
+def find_predefined_candidates(
+    fn: Function,
+) -> dict[str, CoalesceCandidate]:
+    """Map vreg name -> coalescing opportunity (§5.5)."""
+    has_calls = any(
+        instr.opcode is Opcode.CALL for _, _, instr in fn.instructions()
+    )
+    stored_slots: set[str] = set()
+    for _, _, instr in fn.instructions():
+        if instr.opcode is Opcode.STORE and instr.addr.slot is not None:
+            stored_slots.add(instr.addr.slot.name)
+
+    defs_of: dict[VirtualRegister, list[tuple[str, int, Instr]]] = {}
+    for block, i, instr in fn.instructions():
+        for d in instr.defs():
+            defs_of.setdefault(d, []).append((block.name, i, instr))
+
+    candidates: dict[str, CoalesceCandidate] = {}
+    for vreg, sites in defs_of.items():
+        if len(sites) != 1:
+            continue
+        block, index, instr = sites[0]
+        if instr.opcode is not Opcode.LOAD:
+            continue
+        if not instr.addr.is_plain_slot:
+            continue
+        slot = instr.addr.slot
+        if slot.aliased or slot.name in stored_slots:
+            continue
+        if slot.kind is SlotKind.PARAM:
+            pass
+        elif slot.kind is SlotKind.GLOBAL and not has_calls:
+            pass
+        else:
+            continue
+        if slot.type != vreg.type:
+            continue
+        candidates[vreg.name] = CoalesceCandidate(
+            vreg=vreg, slot_name=slot.name, block=block, index=index,
+            defining=instr,
+        )
+    return candidates

@@ -1,0 +1,23 @@
+"""The ORA solver module (paper §2): hand the 0-1 IP to a solver and
+record the solution in the decision-variable table."""
+
+from __future__ import annotations
+
+from ..solver import IPModel, SolveResult, SolveStatus, solve
+from .config import AllocatorConfig
+from .table import DecisionVariableTable
+
+
+def solve_allocation(
+    model: IPModel,
+    table: DecisionVariableTable,
+    config: AllocatorConfig,
+) -> SolveResult:
+    """Solve the allocation IP under the configured backend and time
+    limit; the solution (if any) is recorded in the table."""
+    result = solve(
+        model, backend=config.backend, time_limit=config.time_limit
+    )
+    if result.status.has_solution:
+        table.set_solution(result)
+    return result

@@ -1,0 +1,231 @@
+"""A convenience builder for constructing IR functions.
+
+Used by the mini-C code generator, the workload generator and most tests.
+Each ``emit_*`` method appends one instruction to the current block and
+returns the defined register (when there is one), so straight-line
+construction reads like three-address code:
+
+    b = IRBuilder("f")
+    entry = b.block("entry")
+    x = b.load(slot_x)
+    y = b.add(x, b.imm(1))
+    b.ret(y)
+"""
+
+from __future__ import annotations
+
+from .function import BasicBlock, Function
+from .instructions import Cond, Instr, Opcode
+from .types import I32, IntType
+from .values import (
+    Address,
+    Immediate,
+    MemorySlot,
+    Operand,
+    SlotKind,
+    VirtualRegister,
+    plain,
+)
+
+
+class IRBuilder:
+    """Incrementally builds a :class:`Function`."""
+
+    def __init__(
+        self,
+        name: str,
+        params: list[MemorySlot] | None = None,
+        return_type: IntType | None = I32,
+    ) -> None:
+        self.function = Function(name, params, return_type)
+        self._current: BasicBlock | None = None
+
+    # -- structure -------------------------------------------------------
+
+    def block(self, name: str) -> BasicBlock:
+        """Create a block and make it current."""
+        blk = self.function.add_block(name)
+        self._current = blk
+        return blk
+
+    def switch_to(self, block: BasicBlock | str) -> BasicBlock:
+        if isinstance(block, str):
+            block = self.function.block(block)
+        self._current = block
+        return block
+
+    @property
+    def current(self) -> BasicBlock:
+        if self._current is None:
+            raise ValueError("no current block; call block() first")
+        return self._current
+
+    def slot(
+        self,
+        name: str,
+        type: IntType = I32,
+        kind: SlotKind = SlotKind.LOCAL,
+        count: int = 1,
+        aliased: bool = False,
+    ) -> MemorySlot:
+        return self.function.add_slot(
+            MemorySlot(name, type, kind, count, aliased)
+        )
+
+    def vreg(self, hint: str = "t", type: IntType = I32) -> VirtualRegister:
+        return self.function.new_vreg(hint, type)
+
+    @staticmethod
+    def imm(value: int, type: IntType = I32) -> Immediate:
+        return Immediate(value, type)
+
+    def emit(self, instr: Instr) -> Instr:
+        self.current.instrs.append(instr)
+        return instr
+
+    # -- data movement ----------------------------------------------------
+
+    def li(
+        self, value: int, type: IntType = I32, hint: str = "c"
+    ) -> VirtualRegister:
+        dst = self.vreg(hint, type)
+        self.emit(Instr(Opcode.LI, dst=dst, srcs=(Immediate(value, type),)))
+        return dst
+
+    def copy(
+        self, src: VirtualRegister, hint: str = "t"
+    ) -> VirtualRegister:
+        dst = self.vreg(hint, src.type)
+        self.emit(Instr(Opcode.COPY, dst=dst, srcs=(src,)))
+        return dst
+
+    def copy_into(self, dst: VirtualRegister, src: VirtualRegister) -> None:
+        """Copy into an existing register (loop-variable update)."""
+        self.emit(Instr(Opcode.COPY, dst=dst, srcs=(src,)))
+
+    def load(
+        self, addr: Address | MemorySlot, type: IntType | None = None,
+        hint: str = "t",
+    ) -> VirtualRegister:
+        if isinstance(addr, MemorySlot):
+            addr = plain(addr)
+        if type is None:
+            if addr.slot is None:
+                raise ValueError("load type required for slot-less address")
+            type = addr.slot.type
+        dst = self.vreg(hint, type)
+        self.emit(Instr(Opcode.LOAD, dst=dst, addr=addr))
+        return dst
+
+    def load_into(
+        self, dst: VirtualRegister, addr: Address | MemorySlot
+    ) -> None:
+        if isinstance(addr, MemorySlot):
+            addr = plain(addr)
+        self.emit(Instr(Opcode.LOAD, dst=dst, addr=addr))
+
+    def store(self, addr: Address | MemorySlot, value: Operand) -> None:
+        if isinstance(addr, MemorySlot):
+            addr = plain(addr)
+        self.emit(Instr(Opcode.STORE, srcs=(value,), addr=addr))
+
+    # -- arithmetic ---------------------------------------------------------
+
+    def _binary(
+        self, op: Opcode, a: VirtualRegister, b: Operand, hint: str
+    ) -> VirtualRegister:
+        dst = self.vreg(hint, a.type)
+        self.emit(Instr(op, dst=dst, srcs=(a, b)))
+        return dst
+
+    def add(self, a: VirtualRegister, b: Operand, hint: str = "t"):
+        return self._binary(Opcode.ADD, a, b, hint)
+
+    def sub(self, a: VirtualRegister, b: Operand, hint: str = "t"):
+        return self._binary(Opcode.SUB, a, b, hint)
+
+    def and_(self, a: VirtualRegister, b: Operand, hint: str = "t"):
+        return self._binary(Opcode.AND, a, b, hint)
+
+    def or_(self, a: VirtualRegister, b: Operand, hint: str = "t"):
+        return self._binary(Opcode.OR, a, b, hint)
+
+    def xor(self, a: VirtualRegister, b: Operand, hint: str = "t"):
+        return self._binary(Opcode.XOR, a, b, hint)
+
+    def mul(self, a: VirtualRegister, b: Operand, hint: str = "t"):
+        return self._binary(Opcode.IMUL, a, b, hint)
+
+    def div(self, a: VirtualRegister, b: Operand, hint: str = "t"):
+        return self._binary(Opcode.DIV, a, b, hint)
+
+    def mod(self, a: VirtualRegister, b: Operand, hint: str = "t"):
+        return self._binary(Opcode.MOD, a, b, hint)
+
+    def shl(self, a: VirtualRegister, b: Operand, hint: str = "t"):
+        return self._binary(Opcode.SHL, a, b, hint)
+
+    def shr(self, a: VirtualRegister, b: Operand, hint: str = "t"):
+        return self._binary(Opcode.SHR, a, b, hint)
+
+    def sar(self, a: VirtualRegister, b: Operand, hint: str = "t"):
+        return self._binary(Opcode.SAR, a, b, hint)
+
+    def neg(self, a: VirtualRegister, hint: str = "t"):
+        dst = self.vreg(hint, a.type)
+        self.emit(Instr(Opcode.NEG, dst=dst, srcs=(a,)))
+        return dst
+
+    def not_(self, a: VirtualRegister, hint: str = "t"):
+        dst = self.vreg(hint, a.type)
+        self.emit(Instr(Opcode.NOT, dst=dst, srcs=(a,)))
+        return dst
+
+    def sext(self, a: VirtualRegister, to: IntType, hint: str = "t"):
+        dst = self.vreg(hint, to)
+        self.emit(Instr(Opcode.SEXT, dst=dst, srcs=(a,)))
+        return dst
+
+    def zext(self, a: VirtualRegister, to: IntType, hint: str = "t"):
+        dst = self.vreg(hint, to)
+        self.emit(Instr(Opcode.ZEXT, dst=dst, srcs=(a,)))
+        return dst
+
+    def trunc(self, a: VirtualRegister, to: IntType, hint: str = "t"):
+        dst = self.vreg(hint, to)
+        self.emit(Instr(Opcode.TRUNC, dst=dst, srcs=(a,)))
+        return dst
+
+    # -- control flow ---------------------------------------------------
+
+    def jump(self, target: str) -> None:
+        self.emit(Instr(Opcode.JUMP, targets=(target,)))
+
+    def cjump(
+        self, cond: Cond, a: Operand, b: Operand,
+        if_true: str, if_false: str,
+    ) -> None:
+        self.emit(
+            Instr(Opcode.CJUMP, srcs=(a, b), cond=cond,
+                  targets=(if_true, if_false))
+        )
+
+    def call(
+        self, callee: str, args: list[Operand] | None = None,
+        return_type: IntType | None = I32, hint: str = "ret",
+    ) -> VirtualRegister | None:
+        dst = self.vreg(hint, return_type) if return_type else None
+        self.emit(
+            Instr(Opcode.CALL, dst=dst, srcs=tuple(args or ()),
+                  callee=callee)
+        )
+        return dst
+
+    def ret(self, value: Operand | None = None) -> None:
+        srcs = (value,) if value is not None else ()
+        self.emit(Instr(Opcode.RET, srcs=srcs))
+
+    def done(self) -> Function:
+        """Finish and return the function (verification is the caller's
+        choice via :func:`repro.ir.verify.verify_function`)."""
+        return self.function

@@ -1,0 +1,64 @@
+"""Textual form of the IR.
+
+The printed form round-trips through :mod:`repro.ir.parser`; tests rely on
+``parse(print(f)) == print(parse(print(f)))`` style properties.
+
+Example::
+
+    func @abs(param @x:i32) -> i32 {
+      slot @x:i32 param
+    entry:
+      load %x:i32, [@x]
+      cjump %x:i32, 0:i32 lt -> neg, pos
+    neg:
+      neg %r:i32, %x:i32
+      ret %r:i32
+    pos:
+      ret %x:i32
+    }
+"""
+
+from __future__ import annotations
+
+from .function import Function
+from .instructions import Instr, Opcode
+from .values import SlotKind
+
+
+def format_instr(instr: Instr) -> str:
+    return str(instr)
+
+
+def format_function(fn: Function) -> str:
+    lines: list[str] = []
+    params = ", ".join(f"param @{p.name}:{p.type}" for p in fn.params)
+    ret = f" -> {fn.return_type}" if fn.return_type else ""
+    lines.append(f"func @{fn.name}({params}){ret} {{")
+    # Canonical slot order (params first, others by name) so that the
+    # printed form round-trips through the parser byte-for-byte.
+    param_names = [p.name for p in fn.params]
+    ordered = [fn.slots[n] for n in param_names] + sorted(
+        (s for n, s in fn.slots.items() if n not in param_names),
+        key=lambda s: s.name,
+    )
+    for slot in ordered:
+        extra = f" x{slot.count}" if slot.count > 1 else ""
+        alias = " aliased" if slot.aliased else ""
+        lines.append(
+            f"  slot @{slot.name}:{slot.type} {slot.kind.value}{extra}{alias}"
+        )
+    for block in fn.blocks:
+        lines.append(f"{block.name}:")
+        for instr in block.instrs:
+            lines.append(f"  {format_instr(instr)}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def format_module(module) -> str:
+    parts = []
+    for slot in module.globals.values():
+        extra = f" x{slot.count}" if slot.count > 1 else ""
+        parts.append(f"global @{slot.name}:{slot.type}{extra}")
+    parts.extend(format_function(fn) for fn in module)
+    return "\n\n".join(parts)

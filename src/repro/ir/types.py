@@ -1,0 +1,68 @@
+"""Integer value types for the x86-flavoured intermediate representation.
+
+The paper's irregularities around overlapping registers (EAX/AX/AL/AH)
+only matter because values come in multiple widths.  The IR therefore
+carries an explicit integer type on every virtual register and immediate:
+8, 16 or 32 bits, always signed two's-complement (the SPECint-style
+workloads the paper uses are integer codes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class IntType:
+    """A signed two's-complement integer type of a fixed bit width."""
+
+    bits: int
+
+    def __post_init__(self) -> None:
+        if self.bits not in (8, 16, 32):
+            raise ValueError(f"unsupported integer width: {self.bits}")
+
+    @property
+    def bytes(self) -> int:
+        """Size of a value of this type in bytes."""
+        return self.bits // 8
+
+    @property
+    def min_value(self) -> int:
+        return -(1 << (self.bits - 1))
+
+    @property
+    def max_value(self) -> int:
+        return (1 << (self.bits - 1)) - 1
+
+    def wrap(self, value: int) -> int:
+        """Reduce ``value`` into this type's range (two's-complement wrap)."""
+        mask = (1 << self.bits) - 1
+        value &= mask
+        if value > self.max_value:
+            value -= 1 << self.bits
+        return value
+
+    def contains(self, value: int) -> bool:
+        return self.min_value <= value <= self.max_value
+
+    def __str__(self) -> str:
+        return f"i{self.bits}"
+
+
+I8 = IntType(8)
+I16 = IntType(16)
+I32 = IntType(32)
+
+#: All IR types, widest first (allocation-order convention).
+ALL_TYPES = (I32, I16, I8)
+
+_BY_NAME = {str(t): t for t in ALL_TYPES}
+
+
+def type_from_name(name: str) -> IntType:
+    """Look up an :class:`IntType` from its textual form (``"i32"`` ...)."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise ValueError(f"unknown type name: {name!r}") from None

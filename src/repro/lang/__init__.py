@@ -1,0 +1,22 @@
+"""Mini-C frontend: a pointer-free C subset compiled to the IR.
+
+Plays the role of GCC's front/middle end in the paper's pipeline: it
+produces the symbolic-register code both allocators consume.
+"""
+
+from .ast import Program
+from .codegen import CodeGenError, Signature, compile_program
+from .lexer import LexError, tokenize
+from .parser import Parser, SyntaxErrorMC, parse_program
+
+__all__ = [
+    "CodeGenError",
+    "LexError",
+    "Parser",
+    "Program",
+    "Signature",
+    "SyntaxErrorMC",
+    "compile_program",
+    "parse_program",
+    "tokenize",
+]

@@ -1,0 +1,167 @@
+"""Abstract syntax tree of the mini-C workload language.
+
+The language is a small, pointer-free C subset: three signed integer
+types (``int``/``short``/``char`` = i32/i16/i8), scalar parameters,
+scalar and array locals, module-level globals and global arrays, the
+usual statements and operators, and by-value calls.  It is deliberately
+shaped like the integer SPEC92 codes the paper profiles: loops over
+arrays, bit manipulation, table lookups, helper calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir import I8, I16, I32, IntType
+
+TYPE_BY_NAME = {"int": I32, "short": I16, "char": I8}
+
+
+# -- expressions -------------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class Num:
+    value: int
+
+
+@dataclass(frozen=True, slots=True)
+class Var:
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class ArrayRef:
+    name: str
+    index: "Expr"
+
+
+@dataclass(frozen=True, slots=True)
+class Unary:
+    op: str  # "-", "~", "!"
+    operand: "Expr"
+
+
+@dataclass(frozen=True, slots=True)
+class Binary:
+    op: str  # + - * / % & | ^ << >> == != < <= > >= && ||
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True, slots=True)
+class Call:
+    name: str
+    args: tuple["Expr", ...]
+
+
+@dataclass(frozen=True, slots=True)
+class Cast:
+    type: IntType
+    operand: "Expr"
+
+
+Expr = Num | Var | ArrayRef | Unary | Binary | Call | Cast
+
+
+# -- statements -----------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class Decl:
+    type: IntType
+    name: str
+    count: int = 1  # >1 makes it a local array
+    init: Expr | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class Assign:
+    target: Var | ArrayRef
+    op: str  # "=", "+=", "-=", ...
+    value: Expr
+
+
+@dataclass(frozen=True, slots=True)
+class ExprStmt:
+    expr: Expr
+
+
+@dataclass(frozen=True, slots=True)
+class If:
+    cond: Expr
+    then: "Block"
+    otherwise: "Block | None" = None
+
+
+@dataclass(frozen=True, slots=True)
+class While:
+    cond: Expr
+    body: "Block"
+
+
+@dataclass(frozen=True, slots=True)
+class DoWhile:
+    body: "Block"
+    cond: Expr
+
+
+@dataclass(frozen=True, slots=True)
+class For:
+    init: "Stmt | None"
+    cond: Expr | None
+    step: "Stmt | None"
+    body: "Block"
+
+
+@dataclass(frozen=True, slots=True)
+class Return:
+    value: Expr | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class Break:
+    pass
+
+
+@dataclass(frozen=True, slots=True)
+class Continue:
+    pass
+
+
+@dataclass(frozen=True, slots=True)
+class Block:
+    stmts: tuple["Stmt", ...]
+
+
+Stmt = (
+    Decl | Assign | ExprStmt | If | While | DoWhile | For | Return
+    | Break | Continue | Block
+)
+
+
+# -- top level -------------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class Param:
+    type: IntType
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class FunctionDef:
+    name: str
+    return_type: IntType | None
+    params: tuple[Param, ...]
+    body: Block
+
+
+@dataclass(frozen=True, slots=True)
+class GlobalDef:
+    type: IntType
+    name: str
+    count: int = 1
+
+
+@dataclass(frozen=True, slots=True)
+class Program:
+    globals: tuple[GlobalDef, ...]
+    functions: tuple[FunctionDef, ...]

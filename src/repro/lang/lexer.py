@@ -1,0 +1,53 @@
+"""Lexer for the mini-C workload language."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+KEYWORDS = frozenset({
+    "int", "short", "char", "void", "if", "else", "while", "do", "for",
+    "return", "break", "continue",
+})
+
+_TOKEN = re.compile(
+    r"""
+    (?P<ws>\s+|//[^\n]*|/\*.*?\*/)
+  | (?P<num>\d+)
+  | (?P<ident>[A-Za-z_]\w*)
+  | (?P<op><<=|>>=|<<|>>|<=|>=|==|!=|&&|\|\||[-+*/%&|^~!<>=]=?|[(){}\[\];,])
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    kind: str  # "num" | "ident" | "kw" | "op" | "eof"
+    text: str
+    line: int
+
+
+class LexError(Exception):
+    pass
+
+
+def tokenize(source: str) -> list[Token]:
+    tokens: list[Token] = []
+    pos = 0
+    line = 1
+    while pos < len(source):
+        m = _TOKEN.match(source, pos)
+        if m is None:
+            raise LexError(f"line {line}: bad character {source[pos]!r}")
+        text = m.group()
+        kind = m.lastgroup
+        if kind == "ws":
+            line += text.count("\n")
+        elif kind == "ident" and text in KEYWORDS:
+            tokens.append(Token("kw", text, line))
+        else:
+            tokens.append(Token(kind, text, line))
+        pos = m.end()
+    tokens.append(Token("eof", "", line))
+    return tokens

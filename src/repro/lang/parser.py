@@ -1,0 +1,301 @@
+"""Recursive-descent parser for the mini-C workload language."""
+
+from __future__ import annotations
+
+from . import ast
+from .ast import TYPE_BY_NAME
+from .lexer import Token, tokenize
+
+
+class SyntaxErrorMC(Exception):
+    pass
+
+
+_BINARY_LEVELS: list[tuple[str, ...]] = [
+    ("||",),
+    ("&&",),
+    ("|",),
+    ("^",),
+    ("&",),
+    ("==", "!="),
+    ("<", "<=", ">", ">="),
+    ("<<", ">>"),
+    ("+", "-"),
+    ("*", "/", "%"),
+]
+
+_ASSIGN_OPS = frozenset({
+    "=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>=",
+})
+
+
+class Parser:
+    def __init__(self, source: str) -> None:
+        self.tokens = tokenize(source)
+        self.pos = 0
+
+    # -- token plumbing ---------------------------------------------------
+
+    def peek(self, ahead: int = 0) -> Token:
+        return self.tokens[min(self.pos + ahead, len(self.tokens) - 1)]
+
+    def next(self) -> Token:
+        tok = self.peek()
+        self.pos += 1
+        return tok
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        tok = self.next()
+        if tok.kind != kind or (text is not None and tok.text != text):
+            raise SyntaxErrorMC(
+                f"line {tok.line}: expected {text or kind}, "
+                f"got {tok.text!r}"
+            )
+        return tok
+
+    def accept(self, kind: str, text: str | None = None) -> Token | None:
+        tok = self.peek()
+        if tok.kind == kind and (text is None or tok.text == text):
+            self.pos += 1
+            return tok
+        return None
+
+    # -- top level -----------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        globals_: list[ast.GlobalDef] = []
+        functions: list[ast.FunctionDef] = []
+        while self.peek().kind != "eof":
+            type_tok = self.expect("kw")
+            if type_tok.text == "void":
+                type_ = None
+            elif type_tok.text in TYPE_BY_NAME:
+                type_ = TYPE_BY_NAME[type_tok.text]
+            else:
+                raise SyntaxErrorMC(
+                    f"line {type_tok.line}: expected a type, got "
+                    f"{type_tok.text!r}"
+                )
+            name = self.expect("ident").text
+            if self.peek().text == "(":
+                functions.append(self._function(type_, name))
+            else:
+                if type_ is None:
+                    raise SyntaxErrorMC("void global is not allowed")
+                count = 1
+                if self.accept("op", "["):
+                    count = int(self.expect("num").text)
+                    self.expect("op", "]")
+                self.expect("op", ";")
+                globals_.append(ast.GlobalDef(type_, name, count))
+        return ast.Program(tuple(globals_), tuple(functions))
+
+    def _function(self, return_type, name) -> ast.FunctionDef:
+        self.expect("op", "(")
+        params: list[ast.Param] = []
+        while not self.accept("op", ")"):
+            if params:
+                self.expect("op", ",")
+            if self.accept("kw", "void"):
+                self.expect("op", ")")
+                break
+            ptype_tok = self.expect("kw")
+            if ptype_tok.text not in TYPE_BY_NAME:
+                raise SyntaxErrorMC(
+                    f"line {ptype_tok.line}: bad parameter type"
+                )
+            pname = self.expect("ident").text
+            params.append(ast.Param(TYPE_BY_NAME[ptype_tok.text], pname))
+        body = self._block()
+        return ast.FunctionDef(name, return_type, tuple(params), body)
+
+    # -- statements -----------------------------------------------------------
+
+    def _block(self) -> ast.Block:
+        self.expect("op", "{")
+        stmts: list[ast.Stmt] = []
+        while not self.accept("op", "}"):
+            stmts.append(self._statement())
+        return ast.Block(tuple(stmts))
+
+    def _statement(self) -> ast.Stmt:
+        tok = self.peek()
+        if tok.kind == "op" and tok.text == "{":
+            return self._block()
+        if tok.kind == "kw":
+            if tok.text in TYPE_BY_NAME:
+                return self._declaration()
+            if tok.text == "if":
+                return self._if()
+            if tok.text == "while":
+                return self._while()
+            if tok.text == "do":
+                return self._do_while()
+            if tok.text == "for":
+                return self._for()
+            if tok.text == "return":
+                self.next()
+                value = None
+                if not (self.peek().kind == "op"
+                        and self.peek().text == ";"):
+                    value = self._expression()
+                self.expect("op", ";")
+                return ast.Return(value)
+            if tok.text == "break":
+                self.next()
+                self.expect("op", ";")
+                return ast.Break()
+            if tok.text == "continue":
+                self.next()
+                self.expect("op", ";")
+                return ast.Continue()
+        stmt = self._simple_statement()
+        self.expect("op", ";")
+        return stmt
+
+    def _declaration(self) -> ast.Decl:
+        type_ = TYPE_BY_NAME[self.expect("kw").text]
+        name = self.expect("ident").text
+        count = 1
+        init = None
+        if self.accept("op", "["):
+            count = int(self.expect("num").text)
+            self.expect("op", "]")
+        elif self.accept("op", "="):
+            init = self._expression()
+        self.expect("op", ";")
+        return ast.Decl(type_, name, count, init)
+
+    def _simple_statement(self) -> ast.Stmt:
+        """Assignment or expression statement (no trailing ';')."""
+        start = self.pos
+        if self.peek().kind == "ident":
+            name = self.next().text
+            target: ast.Var | ast.ArrayRef
+            if self.accept("op", "["):
+                index = self._expression()
+                self.expect("op", "]")
+                target = ast.ArrayRef(name, index)
+            else:
+                target = ast.Var(name)
+            op_tok = self.peek()
+            if op_tok.kind == "op" and op_tok.text in _ASSIGN_OPS:
+                self.next()
+                value = self._expression()
+                return ast.Assign(target, op_tok.text, value)
+            self.pos = start  # plain expression after all
+        return ast.ExprStmt(self._expression())
+
+    def _if(self) -> ast.If:
+        self.expect("kw", "if")
+        self.expect("op", "(")
+        cond = self._expression()
+        self.expect("op", ")")
+        then = self._as_block(self._statement())
+        otherwise = None
+        if self.accept("kw", "else"):
+            otherwise = self._as_block(self._statement())
+        return ast.If(cond, then, otherwise)
+
+    def _while(self) -> ast.While:
+        self.expect("kw", "while")
+        self.expect("op", "(")
+        cond = self._expression()
+        self.expect("op", ")")
+        return ast.While(cond, self._as_block(self._statement()))
+
+    def _do_while(self) -> ast.DoWhile:
+        self.expect("kw", "do")
+        body = self._as_block(self._statement())
+        self.expect("kw", "while")
+        self.expect("op", "(")
+        cond = self._expression()
+        self.expect("op", ")")
+        self.expect("op", ";")
+        return ast.DoWhile(body, cond)
+
+    def _for(self) -> ast.For:
+        self.expect("kw", "for")
+        self.expect("op", "(")
+        init = None
+        if not (self.peek().kind == "op" and self.peek().text == ";"):
+            if self.peek().kind == "kw" and \
+                    self.peek().text in TYPE_BY_NAME:
+                type_ = TYPE_BY_NAME[self.next().text]
+                name = self.expect("ident").text
+                self.expect("op", "=")
+                init = ast.Decl(type_, name, 1, self._expression())
+            else:
+                init = self._simple_statement()
+        self.expect("op", ";")
+        cond = None
+        if not (self.peek().kind == "op" and self.peek().text == ";"):
+            cond = self._expression()
+        self.expect("op", ";")
+        step = None
+        if not (self.peek().kind == "op" and self.peek().text == ")"):
+            step = self._simple_statement()
+        self.expect("op", ")")
+        return ast.For(init, cond, step, self._as_block(self._statement()))
+
+    @staticmethod
+    def _as_block(stmt: ast.Stmt) -> ast.Block:
+        return stmt if isinstance(stmt, ast.Block) else ast.Block((stmt,))
+
+    # -- expressions --------------------------------------------------------
+
+    def _expression(self) -> ast.Expr:
+        return self._binary(0)
+
+    def _binary(self, level: int) -> ast.Expr:
+        if level >= len(_BINARY_LEVELS):
+            return self._unary()
+        ops = _BINARY_LEVELS[level]
+        left = self._binary(level + 1)
+        while self.peek().kind == "op" and self.peek().text in ops:
+            op = self.next().text
+            right = self._binary(level + 1)
+            left = ast.Binary(op, left, right)
+        return left
+
+    def _unary(self) -> ast.Expr:
+        tok = self.peek()
+        if tok.kind == "op" and tok.text in ("-", "~", "!"):
+            self.next()
+            return ast.Unary(tok.text, self._unary())
+        return self._primary()
+
+    def _primary(self) -> ast.Expr:
+        tok = self.next()
+        if tok.kind == "num":
+            return ast.Num(int(tok.text))
+        if tok.kind == "op" and tok.text == "(":
+            # Cast or parenthesised expression.
+            if self.peek().kind == "kw" and \
+                    self.peek().text in TYPE_BY_NAME:
+                type_ = TYPE_BY_NAME[self.next().text]
+                self.expect("op", ")")
+                return ast.Cast(type_, self._unary())
+            expr = self._expression()
+            self.expect("op", ")")
+            return expr
+        if tok.kind == "ident":
+            if self.accept("op", "("):
+                args: list[ast.Expr] = []
+                while not self.accept("op", ")"):
+                    if args:
+                        self.expect("op", ",")
+                    args.append(self._expression())
+                return ast.Call(tok.text, tuple(args))
+            if self.accept("op", "["):
+                index = self._expression()
+                self.expect("op", "]")
+                return ast.ArrayRef(tok.text, index)
+            return ast.Var(tok.text)
+        raise SyntaxErrorMC(
+            f"line {tok.line}: unexpected token {tok.text!r}"
+        )
+
+
+def parse_program(source: str) -> ast.Program:
+    return Parser(source).parse_program()

@@ -1,0 +1,72 @@
+"""Target-dependent lowering run before either register allocator.
+
+The x86 ISA cannot encode certain immediate placements; this pass
+materialises those immediates into registers via ``LI`` so that both
+allocators start from the same encodable IR:
+
+* ``IDIV`` has no immediate operand at all — dividend and divisor
+  immediates are materialised;
+* ``CMP``'s first operand must be a register or memory cell;
+* a two-address instruction whose only tie candidate is an immediate
+  (e.g. ``d = 5 - b``) gets the 5 materialised;
+* ``RET`` of an immediate needs the value in the return register.
+
+On regular (RISC) targets the pass is a no-op.
+"""
+
+from __future__ import annotations
+
+from .ir import (
+    Function,
+    Immediate,
+    Instr,
+    Opcode,
+    VirtualRegister,
+)
+from .ir.instructions import DIV_OPS
+from .target import TargetMachine
+
+
+def lower_for_target(fn: Function, target: TargetMachine) -> int:
+    """Lower ``fn`` in place for ``target``; returns the number of
+    immediates materialised."""
+    if not target.irregular:
+        return 0
+
+    materialised = 0
+    for block in fn.blocks:
+        new_instrs: list[Instr] = []
+        for instr in block.instrs:
+            for k in _positions_to_materialise(instr):
+                imm = instr.srcs[k]
+                tmp = fn.new_vreg("imm", imm.type)
+                new_instrs.append(Instr(Opcode.LI, dst=tmp, srcs=(imm,)))
+                srcs = list(instr.srcs)
+                srcs[k] = tmp
+                instr.srcs = tuple(srcs)
+                materialised += 1
+            new_instrs.append(instr)
+        block.instrs = new_instrs
+    if materialised:
+        fn.refresh_vregs()
+    return materialised
+
+
+def _positions_to_materialise(instr: Instr) -> list[int]:
+    op = instr.opcode
+    positions: list[int] = []
+    if op in DIV_OPS:
+        for k, s in enumerate(instr.srcs):
+            if isinstance(s, Immediate):
+                positions.append(k)
+    elif op is Opcode.CJUMP:
+        if isinstance(instr.srcs[0], Immediate):
+            positions.append(0)
+    elif op is Opcode.RET:
+        if instr.srcs and isinstance(instr.srcs[0], Immediate):
+            positions.append(0)
+    elif instr.info.two_address and instr.srcs:
+        if not instr.tied_source_candidates() and \
+                isinstance(instr.srcs[0], Immediate):
+            positions.append(0)
+    return positions

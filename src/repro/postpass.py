@@ -1,0 +1,59 @@
+"""Post-allocation cleanup shared by both allocators.
+
+``merge_noop_copies`` deletes ``COPY d <- s`` instructions whose
+operands were assigned the same real register, by *merging* the two
+virtual registers (renaming every occurrence of one to the other).
+
+Merging is unconditionally sound for capacity-valid allocations: two
+virtual registers assigned the same register can never be live
+simultaneously (the single-symbolic constraint), so unioning their live
+ranges cannot create a conflict, and at the deleted copy the two held
+the same value by definition.
+"""
+
+from __future__ import annotations
+
+from .ir import Function, Opcode, VirtualRegister, map_registers
+
+
+def merge_noop_copies(fn: Function, assignment: dict[str, object]) -> int:
+    """Delete same-register copies in place; returns how many."""
+    parent: dict[str, VirtualRegister] = {}
+
+    def find(reg: VirtualRegister) -> VirtualRegister:
+        seen = []
+        while reg.name in parent and parent[reg.name].name != reg.name:
+            seen.append(reg)
+            reg = parent[reg.name]
+        for r in seen:
+            parent[r.name] = reg
+        return reg
+
+    deleted = 0
+    for block in fn.blocks:
+        kept = []
+        for instr in block.instrs:
+            if (
+                instr.opcode is Opcode.COPY
+                and isinstance(instr.srcs[0], VirtualRegister)
+                and instr.dst.name in assignment
+                and assignment.get(instr.dst.name)
+                == assignment.get(instr.srcs[0].name)
+            ):
+                d = find(instr.dst)
+                s = find(instr.srcs[0])
+                if d != s:
+                    parent[d.name] = s
+                deleted += 1
+                continue
+            kept.append(instr)
+        block.instrs = kept
+
+    if deleted:
+        for block in fn.blocks:
+            block.instrs = [
+                map_registers(i, use_map=find, def_map=find)
+                for i in block.instrs
+            ]
+        fn.refresh_vregs()
+    return deleted

@@ -1,0 +1,22 @@
+"""Execution substrate: IR interpreter with real-register overlap
+semantics, profiling, and dynamic spill-overhead accounting."""
+
+from .interpreter import AllocatedFunction, Interpreter, RunResult
+from .state import (
+    CLOBBER_PATTERN,
+    Frame,
+    Memory,
+    RegisterState,
+    SimulationError,
+)
+
+__all__ = [
+    "AllocatedFunction",
+    "CLOBBER_PATTERN",
+    "Frame",
+    "Interpreter",
+    "Memory",
+    "RegisterState",
+    "RunResult",
+    "SimulationError",
+]

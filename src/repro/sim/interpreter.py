@@ -1,0 +1,396 @@
+"""IR interpreter: profiling runs and allocated-code execution.
+
+Two modes share one execution engine:
+
+* **Symbolic mode** — virtual registers live in a per-frame environment.
+  Used to (a) profile block execution counts, the paper's A factor, and
+  (b) produce reference outputs for semantic-equivalence checking.
+* **Allocated mode** — virtual registers are mapped through a register
+  assignment onto a :class:`~repro.sim.state.RegisterState` with real
+  x86 overlap semantics.  Caller-saved registers are scrambled at calls,
+  callee-saved registers are save/restored (modelling prologue/epilogue
+  spills), and division clobbers its implicit register — so an incorrect
+  allocation produces wrong *values*, not just a failed assertion.
+
+The interpreter also accumulates the dynamic statistics behind the
+paper's Table 3: executions of allocator-inserted spill loads/stores/
+remats/copies (via instruction ``origin`` tags) and total cycle cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir import (
+    I32,
+    Address,
+    Function,
+    Immediate,
+    Instr,
+    Module,
+    Opcode,
+    VirtualRegister,
+)
+from ..target import (
+    MEM_OPERAND_EXTRA_CYCLES,
+    MEM_RMW_EXTRA_CYCLES,
+    RealRegister,
+    TargetMachine,
+    base_cycles,
+)
+from .state import Frame, Memory, RegisterState, SimulationError
+
+
+@dataclass(slots=True)
+class RunResult:
+    """Outcome and dynamic statistics of one execution."""
+
+    return_value: int | None
+    steps: int = 0
+    cycles: float = 0.0
+    #: block execution counts per function: {fn: {block: count}}
+    block_counts: dict[str, dict[str, int]] = field(default_factory=dict)
+    #: executions of allocator-inserted code by origin tag
+    origin_counts: dict[str, int] = field(default_factory=dict)
+    #: dynamic count of executed COPY instructions per function
+    copy_executions: dict[str, int] = field(default_factory=dict)
+    #: dynamic execution count per opcode — spill-overhead rows are
+    #: computed as allocated-minus-original differences of these
+    opcode_counts: dict[Opcode, int] = field(default_factory=dict)
+
+    def blocks_of(self, fn_name: str) -> dict[str, int]:
+        return self.block_counts.get(fn_name, {})
+
+
+@dataclass(slots=True)
+class AllocatedFunction:
+    """A rewritten function plus its register assignment."""
+
+    function: Function
+    assignment: dict[str, RealRegister]
+
+
+@dataclass(slots=True)
+class _Context:
+    """Execution context of one activation."""
+
+    env: dict[str, int]
+    frame: Frame
+    assignment: dict[str, RealRegister] | None
+
+
+class Interpreter:
+    """Executes a module, symbolically or through register assignments.
+
+    Functions present in ``allocations`` run their rewritten bodies on
+    the real register file; other functions run symbolically (this
+    mirrors the paper's setup, where functions the IP allocator did not
+    attempt keep GCC's allocation).
+    """
+
+    def __init__(
+        self,
+        module: Module,
+        target: TargetMachine | None = None,
+        allocations: dict[str, AllocatedFunction] | None = None,
+        max_steps: int = 20_000_000,
+        scramble_clobbers: bool = True,
+    ) -> None:
+        self.module = module
+        self.target = target
+        self.allocations = allocations or {}
+        self.max_steps = max_steps
+        self.scramble_clobbers = scramble_clobbers
+        if self.allocations and target is None:
+            raise ValueError("allocated-mode execution requires a target")
+        self.memory = Memory()
+        self.registers: RegisterState | None = None
+        self.result = RunResult(return_value=None)
+
+    # -- public API -------------------------------------------------------
+
+    def run(self, fn_name: str, args: list[int] | None = None) -> RunResult:
+        """Execute ``fn_name`` with integer arguments; return statistics."""
+        self.memory = Memory()
+        self.registers = (
+            RegisterState(self.target.register_file)
+            if self.target is not None else None
+        )
+        self.result = RunResult(return_value=None)
+        self._globals = {
+            slot.name: self.memory.allocate(slot)
+            for slot in self.module.globals.values()
+        }
+        self.result.return_value = self._call(fn_name, list(args or ()), 0)
+        return self.result
+
+    # -- calls -------------------------------------------------------------
+
+    def _call(self, name: str, args: list[int], depth: int) -> int | None:
+        if depth > 200:
+            raise SimulationError("call depth exceeded")
+        alloc = self.allocations.get(name)
+        if alloc is not None:
+            fn = alloc.function
+            assignment: dict[str, RealRegister] | None = alloc.assignment
+        else:
+            fn = self.module.functions.get(name)
+            assignment = None
+            if fn is None:
+                raise SimulationError(f"call to unknown function @{name}")
+
+        mark = self.memory.mark
+        slot_addrs = dict(self._globals)
+        for slot in fn.slots.values():
+            if slot.name not in self._globals:
+                slot_addrs[slot.name] = self.memory.allocate(slot)
+        frame = Frame(slot_addrs=slot_addrs, memory_mark=mark)
+
+        if len(args) != len(fn.params):
+            raise SimulationError(
+                f"@{name} expects {len(fn.params)} args, got {len(args)}"
+            )
+        for slot, value in zip(fn.params, args):
+            self.memory.write(
+                slot_addrs[slot.name], slot.type.wrap(value), slot.type
+            )
+
+        ctx = _Context(env={}, frame=frame, assignment=assignment)
+        counts = self.result.block_counts.setdefault(name, {})
+
+        block = fn.entry
+        while True:
+            counts[block.name] = counts.get(block.name, 0) + 1
+            kind, value = self._run_block(fn, name, block, ctx, depth)
+            if kind == "ret":
+                self.memory.free_to(mark)
+                return value
+            block = fn.block(value)
+
+    # -- block execution -----------------------------------------------------
+
+    def _run_block(self, fn, fn_name, block, ctx: _Context, depth):
+        for instr in block.instrs:
+            self.result.steps += 1
+            if self.result.steps > self.max_steps:
+                raise SimulationError("step limit exceeded")
+            self._account(fn_name, instr)
+
+            op = instr.opcode
+            if op is Opcode.JUMP:
+                return ("jump", instr.targets[0])
+            if op is Opcode.CJUMP:
+                a = self._read(ctx, instr.srcs[0])
+                b = self._read(ctx, instr.srcs[1])
+                taken = instr.cond.evaluate(a, b)
+                return ("jump", instr.targets[0 if taken else 1])
+            if op is Opcode.RET:
+                if instr.srcs:
+                    return ("ret", self._read(ctx, instr.srcs[0]))
+                return ("ret", None)
+            if op is Opcode.CALL:
+                self._exec_call(ctx, instr, depth)
+            else:
+                self._exec_straightline(ctx, instr)
+
+        raise SimulationError(f"block {block.name} fell through")
+
+    # -- operand access --------------------------------------------------
+
+    def _read(self, ctx: _Context, operand, as_type=None) -> int:
+        """Read an operand; ``as_type`` overrides the interpreted width
+        (used for memory operands of typed instructions)."""
+        if isinstance(operand, Immediate):
+            return operand.value
+        if isinstance(operand, VirtualRegister):
+            type_ = as_type or operand.type
+            if ctx.assignment is None:
+                try:
+                    return type_.wrap(ctx.env[operand.name])
+                except KeyError:
+                    raise SimulationError(
+                        f"read of undefined %{operand.name}"
+                    ) from None
+            reg = ctx.assignment.get(operand.name)
+            if reg is None:
+                raise SimulationError(
+                    f"%{operand.name} has no register assignment"
+                )
+            return self.registers.read(reg, type_)
+        if isinstance(operand, Address):
+            type_ = as_type or _address_type(operand)
+            return self.memory.read(self._resolve(ctx, operand), type_)
+        raise SimulationError(f"unreadable operand {operand!r}")
+
+    def _write(self, ctx: _Context, vreg: VirtualRegister, value: int):
+        value = vreg.type.wrap(value)
+        if ctx.assignment is None:
+            ctx.env[vreg.name] = value
+        else:
+            reg = ctx.assignment.get(vreg.name)
+            if reg is None:
+                raise SimulationError(
+                    f"%{vreg.name} has no register assignment"
+                )
+            self.registers.write(reg, value)
+
+    def _resolve(self, ctx: _Context, addr: Address) -> int:
+        def reg_value(vreg):
+            return self._read(ctx, vreg)
+
+        return ctx.frame.address_of(addr, reg_value)
+
+    # -- instruction semantics -----------------------------------------------
+
+    def _exec_straightline(self, ctx: _Context, instr: Instr) -> None:
+        op = instr.opcode
+
+        if instr.mem_dst is not None:
+            self._exec_rmw(ctx, instr)
+            return
+
+        if op in (Opcode.LI, Opcode.COPY):
+            self._write(ctx, instr.dst, self._read(ctx, instr.srcs[0]))
+        elif op is Opcode.LOAD:
+            value = self.memory.read(
+                self._resolve(ctx, instr.addr), instr.dst.type
+            )
+            self._write(ctx, instr.dst, value)
+        elif op is Opcode.STORE:
+            slot_type = _address_type(instr.addr, instr.srcs[0].type)
+            self.memory.write(
+                self._resolve(ctx, instr.addr),
+                self._read(ctx, instr.srcs[0]),
+                slot_type,
+            )
+        elif op in (Opcode.SEXT, Opcode.ZEXT, Opcode.TRUNC):
+            src = instr.srcs[0]
+            src_type = (
+                _address_type(src) if isinstance(src, Address) else src.type
+            )
+            raw = self._read(ctx, src)
+            if op is Opcode.ZEXT:
+                raw &= (1 << src_type.bits) - 1
+            self._write(ctx, instr.dst, raw)
+        else:
+            self._exec_alu(ctx, instr)
+
+    def _exec_rmw(self, ctx: _Context, instr: Instr) -> None:
+        """§5.2 combined memory use/def: ``op [mem], src``."""
+        addr = self._resolve(ctx, instr.mem_dst)
+        slot_type = _address_type(instr.mem_dst)
+        current = self.memory.read(addr, slot_type)
+        operands = [current] + [
+            self._read(ctx, s, as_type=slot_type) for s in instr.srcs
+        ]
+        result = _alu_value(instr.opcode, operands, slot_type)
+        self.memory.write(addr, slot_type.wrap(result), slot_type)
+
+    def _exec_alu(self, ctx: _Context, instr: Instr) -> None:
+        dst = instr.dst
+        values = [
+            self._read(ctx, s,
+                       as_type=dst.type if isinstance(s, Address) else None)
+            for s in instr.srcs
+        ]
+        result = _alu_value(instr.opcode, values, dst.type)
+        # x86 division clobbers the sibling implicit register; scramble
+        # it *before* writing the result in case dst lives there.
+        if (self.registers is not None and self.target.irregular
+                and self.scramble_clobbers
+                and instr.opcode in (Opcode.DIV, Opcode.MOD)):
+            other = "D" if instr.opcode is Opcode.DIV else "A"
+            self.registers.clobber_family(other)
+        self._write(ctx, dst, result)
+
+    def _exec_call(self, ctx: _Context, instr: Instr, depth: int) -> None:
+        args = [self._read(ctx, s) for s in instr.srcs]
+
+        snap = self.registers.snapshot() if self.registers else None
+        value = self._call(instr.callee, args, depth + 1)
+
+        if self.registers is not None:
+            # Callee-saved families restored (prologue/epilogue saves);
+            # caller-saved families scrambled.
+            self.registers.restore(snap)
+            if self.scramble_clobbers:
+                for fam in self.target.caller_saved_families:
+                    self.registers.clobber_family(fam)
+            if instr.dst is not None:
+                if value is None:
+                    raise SimulationError(
+                        f"@{instr.callee} returned no value"
+                    )
+                # The machine delivers results in the return-value
+                # register; the caller reads the destination from its
+                # *assigned* register, so a mis-assignment reads junk.
+                ret_reg = self.target.family_reg(
+                    self.target.result_family, instr.dst.type.bits
+                )
+                self.registers.write(ret_reg, value)
+        elif instr.dst is not None:
+            if value is None:
+                raise SimulationError(f"@{instr.callee} returned no value")
+            self._write(ctx, instr.dst, value)
+
+    # -- accounting -----------------------------------------------------
+
+    def _account(self, fn_name: str, instr: Instr) -> None:
+        cycles = base_cycles(instr)
+        n_mem = sum(1 for s in instr.srcs if isinstance(s, Address))
+        cycles += MEM_OPERAND_EXTRA_CYCLES * n_mem
+        if instr.mem_dst is not None:
+            cycles += MEM_RMW_EXTRA_CYCLES
+        self.result.cycles += cycles
+        self.result.opcode_counts[instr.opcode] = (
+            self.result.opcode_counts.get(instr.opcode, 0) + 1
+        )
+        if instr.origin is not None:
+            self.result.origin_counts[instr.origin] = (
+                self.result.origin_counts.get(instr.origin, 0) + 1
+            )
+        if instr.opcode is Opcode.COPY:
+            self.result.copy_executions[fn_name] = (
+                self.result.copy_executions.get(fn_name, 0) + 1
+            )
+
+
+def _address_type(addr: Address, fallback=I32):
+    return addr.slot.type if addr.slot is not None else fallback
+
+
+def _alu_value(op: Opcode, values: list[int], type_) -> int:
+    a = values[0]
+    b = values[1] if len(values) > 1 else None
+    if op is Opcode.ADD:
+        return a + b
+    if op is Opcode.SUB:
+        return a - b
+    if op is Opcode.AND:
+        return a & b
+    if op is Opcode.OR:
+        return a | b
+    if op is Opcode.XOR:
+        return a ^ b
+    if op is Opcode.IMUL:
+        return a * b
+    if op is Opcode.NEG:
+        return -a
+    if op is Opcode.NOT:
+        return ~a
+    if op in (Opcode.SHL, Opcode.SHR, Opcode.SAR):
+        count = b & 31
+        if op is Opcode.SHL:
+            return a << count
+        unsigned = a & ((1 << type_.bits) - 1)
+        if op is Opcode.SHR:
+            return unsigned >> count
+        return a >> count  # SAR: arithmetic shift of the signed value
+    if op in (Opcode.DIV, Opcode.MOD):
+        if b == 0:
+            raise SimulationError("division by zero")
+        quotient = int(a / b)  # x86 IDIV truncates toward zero
+        if op is Opcode.DIV:
+            return quotient
+        return a - quotient * b
+    raise SimulationError(f"unhandled opcode {op}")

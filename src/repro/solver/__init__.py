@@ -1,0 +1,52 @@
+"""0-1 integer programming: the model layer plus three backends.
+
+* ``scipy-highs`` — the production backend (plays the paper's CPLEX).
+* ``branch-bound`` — a from-scratch LP-based branch and bound.
+* ``brute-force`` — exhaustive enumeration, the test oracle.
+"""
+
+from .branch_bound import solve_with_branch_bound
+from .brute_force import MAX_BRUTE_VARS, solve_brute_force
+from .model import Constraint, InfeasibleModel, IPModel, Sense, Variable
+from .result import SolveResult, SolveStatus, complete_values
+from .scipy_backend import solve_with_scipy
+
+#: Named backend registry used by the allocator configuration.
+BACKENDS = {
+    "scipy": solve_with_scipy,
+    "branch-bound": solve_with_branch_bound,
+}
+
+
+def solve(
+    model: IPModel,
+    backend: str = "scipy",
+    time_limit: float | None = None,
+) -> SolveResult:
+    """Solve ``model`` with the named backend."""
+    try:
+        fn = BACKENDS[backend]
+    except KeyError:
+        raise ValueError(
+            f"unknown solver backend {backend!r}; "
+            f"available: {sorted(BACKENDS)}"
+        ) from None
+    return fn(model, time_limit=time_limit)
+
+
+__all__ = [
+    "BACKENDS",
+    "Constraint",
+    "IPModel",
+    "InfeasibleModel",
+    "MAX_BRUTE_VARS",
+    "Sense",
+    "SolveResult",
+    "SolveStatus",
+    "Variable",
+    "complete_values",
+    "solve",
+    "solve_brute_force",
+    "solve_with_branch_bound",
+    "solve_with_scipy",
+]

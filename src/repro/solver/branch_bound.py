@@ -1,0 +1,196 @@
+"""A from-scratch branch-and-bound solver for 0-1 integer programs.
+
+This is the didactic/no-dependency counterpart to the HiGHS backend: LP
+relaxations are solved with ``scipy.optimize.linprog`` (dual simplex),
+branching is depth-first on the most fractional variable, and incumbents
+come from (a) integral LP solutions and (b) a greedy rounding heuristic.
+
+It proves optimality on the small-to-medium models typical of the
+per-function allocation problems in the paper's Figure 9 range, and is
+cross-checked against brute-force enumeration and the HiGHS backend in
+the test suite.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import linprog
+
+from .model import IPModel, Sense
+from .result import SolveResult, SolveStatus, complete_values
+
+_INT_TOL = 1e-6
+
+
+@dataclass(slots=True)
+class _Problem:
+    cost: np.ndarray
+    a_ub: sparse.csr_matrix | None
+    b_ub: np.ndarray
+    a_eq: sparse.csr_matrix | None
+    b_eq: np.ndarray
+    n: int
+
+    def lp(self, lb: np.ndarray, ub: np.ndarray):
+        res = linprog(
+            c=self.cost,
+            A_ub=self.a_ub,
+            b_ub=self.b_ub if self.a_ub is not None else None,
+            A_eq=self.a_eq,
+            b_eq=self.b_eq if self.a_eq is not None else None,
+            bounds=np.column_stack([lb, ub]),
+            method="highs",
+        )
+        return res
+
+
+def _build_problem(model: IPModel, free) -> _Problem:
+    n = len(free)
+    col_of = {v.index: j for j, v in enumerate(free)}
+    cost = np.array([v.cost for v in free], dtype=float)
+
+    ub_rows: list[tuple[list[int], list[float], float]] = []
+    eq_rows: list[tuple[list[int], list[float], float]] = []
+    for con in model.constraints:
+        cols = [col_of[v.index] for _, v in con.terms]
+        coefs = [c for c, _ in con.terms]
+        if con.sense is Sense.LE:
+            ub_rows.append((cols, coefs, con.rhs))
+        elif con.sense is Sense.GE:
+            ub_rows.append((cols, [-c for c in coefs], -con.rhs))
+        else:
+            eq_rows.append((cols, coefs, con.rhs))
+
+    def to_matrix(rows):
+        if not rows:
+            return None, np.zeros(0)
+        data, ri, ci, rhs = [], [], [], []
+        for i, (cols, coefs, b) in enumerate(rows):
+            ri.extend([i] * len(cols))
+            ci.extend(cols)
+            data.extend(coefs)
+            rhs.append(b)
+        return (
+            sparse.csr_matrix((data, (ri, ci)), shape=(len(rows), n)),
+            np.array(rhs, dtype=float),
+        )
+
+    a_ub, b_ub = to_matrix(ub_rows)
+    a_eq, b_eq = to_matrix(eq_rows)
+    return _Problem(cost, a_ub, b_ub, a_eq, b_eq, n)
+
+
+def _round_feasible(model: IPModel, free, x: np.ndarray) -> dict[int, int] | None:
+    """Try simple rounding of an LP point into a feasible 0-1 assignment."""
+    rounded = {v.index: int(round(x[j])) for j, v in enumerate(free)}
+    values = complete_values(model, rounded)
+    return values if model.check(values) else None
+
+
+def solve_with_branch_bound(
+    model: IPModel,
+    time_limit: float | None = None,
+    max_nodes: int = 200_000,
+) -> SolveResult:
+    """Solve a 0-1 :class:`IPModel` by LP-based branch and bound."""
+    free = model.free_variables()
+    n = len(free)
+    start = time.perf_counter()
+
+    if n == 0:
+        feasible = model.check({})
+        return SolveResult(
+            status=SolveStatus.OPTIMAL if feasible
+            else SolveStatus.INFEASIBLE,
+            values=complete_values(model, {}),
+            objective=model.objective_constant if feasible else float("inf"),
+            backend="branch-bound",
+        )
+
+    problem = _build_problem(model, free)
+
+    best_values: dict[int, int] | None = None
+    best_obj = float("inf")
+    nodes = 0
+    timed_out = False
+
+    # DFS stack of (lb, ub) bound pairs.
+    stack: list[tuple[np.ndarray, np.ndarray]] = [
+        (np.zeros(n), np.ones(n))
+    ]
+
+    while stack:
+        if time_limit is not None and \
+                time.perf_counter() - start > time_limit:
+            timed_out = True
+            break
+        if nodes >= max_nodes:
+            timed_out = True
+            break
+        lb, ub = stack.pop()
+        nodes += 1
+
+        res = problem.lp(lb, ub)
+        if res.status != 0:  # infeasible / unbounded subproblem
+            continue
+        relax_obj = res.fun + model.objective_constant
+        if relax_obj >= best_obj - 1e-9:
+            continue  # bound: cannot beat the incumbent
+
+        x = np.clip(res.x, 0.0, 1.0)
+        frac = np.abs(x - np.round(x))
+        if frac.max() <= _INT_TOL:
+            values = {
+                v.index: int(round(x[j])) for j, v in enumerate(free)
+            }
+            full = complete_values(model, values)
+            obj = model.evaluate(full)
+            if obj < best_obj:
+                best_obj = obj
+                best_values = full
+            continue
+
+        # Rounding heuristic for an early incumbent.
+        if best_values is None:
+            heur = _round_feasible(model, free, x)
+            if heur is not None:
+                obj = model.evaluate(heur)
+                if obj < best_obj:
+                    best_obj = obj
+                    best_values = heur
+
+        branch = int(np.argmax(frac))
+        # Explore the branch suggested by the LP value first
+        # (push it last so DFS pops it first).
+        lb0, ub0 = lb.copy(), ub.copy()
+        ub0[branch] = 0.0
+        lb1, ub1 = lb.copy(), ub.copy()
+        lb1[branch] = 1.0
+        if x[branch] >= 0.5:
+            stack.append((lb0, ub0))
+            stack.append((lb1, ub1))
+        else:
+            stack.append((lb1, ub1))
+            stack.append((lb0, ub0))
+
+    elapsed = time.perf_counter() - start
+    if best_values is None:
+        return SolveResult(
+            status=SolveStatus.UNSOLVED if timed_out
+            else SolveStatus.INFEASIBLE,
+            solve_seconds=elapsed,
+            nodes=nodes,
+            backend="branch-bound",
+        )
+    return SolveResult(
+        status=SolveStatus.FEASIBLE if timed_out else SolveStatus.OPTIMAL,
+        values=best_values,
+        objective=best_obj,
+        solve_seconds=elapsed,
+        nodes=nodes,
+        backend="branch-bound",
+    )

@@ -1,0 +1,52 @@
+"""Exhaustive 0-1 enumeration — the testing oracle for the real solvers.
+
+Only usable for tiny models (the test suite keeps it under ~20 free
+variables) but unconditionally correct, which makes it the ground truth
+for property-based solver tests.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+
+from .model import IPModel
+from .result import SolveResult, SolveStatus, complete_values
+
+MAX_BRUTE_VARS = 24
+
+
+def solve_brute_force(model: IPModel) -> SolveResult:
+    free = model.free_variables()
+    if len(free) > MAX_BRUTE_VARS:
+        raise ValueError(
+            f"brute force limited to {MAX_BRUTE_VARS} free variables, "
+            f"model has {len(free)}"
+        )
+    start = time.perf_counter()
+    best_values = None
+    best_obj = float("inf")
+    for bits in itertools.product((0, 1), repeat=len(free)):
+        values = complete_values(
+            model, {v.index: b for v, b in zip(free, bits)}
+        )
+        if not model.check(values):
+            continue
+        obj = model.evaluate(values)
+        if obj < best_obj:
+            best_obj = obj
+            best_values = values
+    elapsed = time.perf_counter() - start
+    if best_values is None:
+        return SolveResult(
+            status=SolveStatus.INFEASIBLE,
+            solve_seconds=elapsed,
+            backend="brute-force",
+        )
+    return SolveResult(
+        status=SolveStatus.OPTIMAL,
+        values=best_values,
+        objective=best_obj,
+        solve_seconds=elapsed,
+        backend="brute-force",
+    )

@@ -1,0 +1,191 @@
+"""A small modelling layer for 0-1 integer programs.
+
+The ORA allocator expresses every register-allocation decision as a 0-1
+variable with a cost, tied together by linear constraints (paper §2).
+This module is the neutral representation those decisions compile to;
+solver backends (:mod:`repro.solver.scipy_backend`,
+:mod:`repro.solver.branch_bound`) consume it.
+
+Variables carry their objective coefficient directly (each allocation
+action has exactly one cost), which matches the paper's formulation and
+keeps model construction linear in the number of actions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable
+
+
+class Sense(Enum):
+    LE = "<="
+    GE = ">="
+    EQ = "=="
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(slots=True)
+class Variable:
+    """A 0-1 decision variable."""
+
+    index: int
+    name: str
+    cost: float = 0.0
+    #: fixed value (0 or 1) when the variable is decided at build time
+    fixed: int | None = None
+
+    def __hash__(self) -> int:
+        return self.index
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Variable) and other.index == self.index
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: A linear term list: [(coefficient, variable), ...]
+Terms = list[tuple[float, Variable]]
+
+
+@dataclass(slots=True)
+class Constraint:
+    name: str
+    terms: Terms
+    sense: Sense
+    rhs: float
+
+    def __str__(self) -> str:
+        lhs = " + ".join(
+            (f"{c:g}*{v.name}" if c != 1 else v.name)
+            for c, v in self.terms
+        )
+        return f"{lhs} {self.sense} {self.rhs:g}"
+
+
+class IPModel:
+    """A 0-1 integer program: minimise total cost subject to constraints."""
+
+    def __init__(self, name: str = "ip") -> None:
+        self.name = name
+        self.variables: list[Variable] = []
+        self.constraints: list[Constraint] = []
+        #: constant added to the objective (costs of unavoidable actions)
+        self.objective_constant: float = 0.0
+
+    # -- construction ---------------------------------------------------
+
+    def add_var(self, name: str, cost: float = 0.0) -> Variable:
+        var = Variable(index=len(self.variables), name=name, cost=cost)
+        self.variables.append(var)
+        return var
+
+    def add_constraint(
+        self,
+        terms: Iterable[tuple[float, Variable]],
+        sense: Sense,
+        rhs: float,
+        name: str = "",
+    ) -> Constraint | None:
+        """Add a constraint, folding in fixed variables.
+
+        Constraints that become vacuously true after substituting fixed
+        variables are dropped (returns ``None``); constraints that become
+        unsatisfiable raise :class:`InfeasibleModel`.
+        """
+        live: Terms = []
+        rhs_eff = rhs
+        for coef, var in terms:
+            if coef == 0:
+                continue
+            if var.fixed is not None:
+                rhs_eff -= coef * var.fixed
+            else:
+                live.append((coef, var))
+        if not live:
+            ok = {
+                Sense.LE: 0 <= rhs_eff + 1e-9,
+                Sense.GE: 0 >= rhs_eff - 1e-9,
+                Sense.EQ: abs(rhs_eff) <= 1e-9,
+            }[sense]
+            if not ok:
+                raise InfeasibleModel(
+                    f"constraint {name or '<anon>'} is unsatisfiable "
+                    f"after fixings"
+                )
+            return None
+        constraint = Constraint(
+            name=name or f"c{len(self.constraints)}",
+            terms=live,
+            sense=sense,
+            rhs=rhs_eff,
+        )
+        self.constraints.append(constraint)
+        return constraint
+
+    def fix(self, var: Variable, value: int) -> None:
+        """Decide a variable at build time (0 or 1).
+
+        Fixed variables do not reach the solver; their cost (if fixed to
+        1) moves into the objective constant.  Must be called before the
+        variable appears in any constraint.
+        """
+        if value not in (0, 1):
+            raise ValueError("0-1 variable can only be fixed to 0 or 1")
+        if var.fixed is not None and var.fixed != value:
+            raise InfeasibleModel(
+                f"variable {var.name} fixed to both values"
+            )
+        if var.fixed is None:
+            var.fixed = value
+            if value == 1:
+                self.objective_constant += var.cost
+
+    # -- stats ------------------------------------------------------------
+
+    @property
+    def n_vars(self) -> int:
+        """Number of *free* (unfixed) decision variables."""
+        return sum(1 for v in self.variables if v.fixed is None)
+
+    @property
+    def n_constraints(self) -> int:
+        return len(self.constraints)
+
+    def free_variables(self) -> list[Variable]:
+        return [v for v in self.variables if v.fixed is None]
+
+    def evaluate(self, values: dict[int, int]) -> float:
+        """Objective value of a full assignment {var index: 0/1}."""
+        total = self.objective_constant
+        for v in self.variables:
+            val = v.fixed if v.fixed is not None else values[v.index]
+            total += v.cost * val
+        return total
+
+    def check(self, values: dict[int, int], tol: float = 1e-6) -> bool:
+        """Is the assignment feasible for every constraint?"""
+        for con in self.constraints:
+            lhs = sum(c * values[v.index] for c, v in con.terms)
+            if con.sense is Sense.LE and lhs > con.rhs + tol:
+                return False
+            if con.sense is Sense.GE and lhs < con.rhs - tol:
+                return False
+            if con.sense is Sense.EQ and abs(lhs - con.rhs) > tol:
+                return False
+        return True
+
+    def __str__(self) -> str:
+        lines = [f"min  {self.objective_constant:g} + sum(cost*x)"]
+        for v in self.variables:
+            tag = f" [fixed={v.fixed}]" if v.fixed is not None else ""
+            lines.append(f"  var {v.name} cost={v.cost:g}{tag}")
+        lines.extend(f"  s.t. {c}" for c in self.constraints)
+        return "\n".join(lines)
+
+
+class InfeasibleModel(Exception):
+    """Raised when build-time fixings already contradict a constraint."""

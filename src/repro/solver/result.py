@@ -1,0 +1,49 @@
+"""Solver results and status codes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from .model import IPModel
+
+
+class SolveStatus(Enum):
+    OPTIMAL = "optimal"
+    #: a feasible incumbent was found but optimality was not proven
+    #: within the limits (the paper's "solved" but not "optimal" bucket)
+    FEASIBLE = "feasible"
+    INFEASIBLE = "infeasible"
+    #: limits hit with no incumbent at all
+    UNSOLVED = "unsolved"
+
+    @property
+    def has_solution(self) -> bool:
+        return self in (SolveStatus.OPTIMAL, SolveStatus.FEASIBLE)
+
+
+@dataclass(slots=True)
+class SolveResult:
+    status: SolveStatus
+    #: values for every variable index (fixed ones included); empty when
+    #: no solution exists
+    values: dict[int, int] = field(default_factory=dict)
+    objective: float = float("inf")
+    solve_seconds: float = 0.0
+    #: branch-and-bound nodes explored (backend-dependent)
+    nodes: int = 0
+    backend: str = ""
+
+    def value(self, var) -> int:
+        return self.values[var.index]
+
+
+def complete_values(
+    model: IPModel, free_values: dict[int, int]
+) -> dict[int, int]:
+    """Merge solver output for free variables with build-time fixings."""
+    values = dict(free_values)
+    for v in model.variables:
+        if v.fixed is not None:
+            values[v.index] = v.fixed
+    return values

@@ -1,0 +1,179 @@
+"""Tests for the structural allocation validator — it must catch every
+class of machine-constraint violation."""
+
+import pytest
+
+from repro.allocation import Allocation, AllocationError, validate_allocation
+from repro.ir import (
+    I8,
+    I32,
+    Address,
+    IRBuilder,
+    Instr,
+    Module,
+    Opcode,
+    SlotKind,
+    clone_function,
+)
+from repro.target import x86_target
+
+
+def straightline_fn():
+    b = IRBuilder("f")
+    pn = b.slot("n", kind=SlotKind.PARAM)
+    b.block("entry")
+    n = b.load(pn)
+    a = b.add(n, b.imm(1), hint="a")
+    b.ret(a)
+    return b.done()
+
+
+def make_alloc(fn, assignment, x86):
+    return Allocation(
+        fn_name=fn.name,
+        function=fn,
+        assignment={
+            name: x86.register_file[reg]
+            for name, reg in assignment.items()
+        },
+        allocator="test",
+        status="feasible",
+    )
+
+
+class TestValidator:
+    def setup_method(self):
+        self.x86 = x86_target()
+
+    def test_valid_passes(self):
+        fn = straightline_fn()
+        # add: a tied to n? dst a, srcs (n, imm): tie requires same reg.
+        alloc = make_alloc(fn, {"t": "EAX", "a": "EAX"}, self.x86)
+        validate_allocation(alloc, self.x86)
+
+    def test_missing_assignment(self):
+        fn = straightline_fn()
+        alloc = make_alloc(fn, {"t": "EAX"}, self.x86)
+        with pytest.raises(AllocationError, match="no register"):
+            validate_allocation(alloc, self.x86)
+
+    def test_width_mismatch(self):
+        fn = straightline_fn()
+        alloc = make_alloc(fn, {"t": "AX", "a": "AX"}, self.x86)
+        with pytest.raises(AllocationError, match="inadmissible"):
+            validate_allocation(alloc, self.x86)
+
+    def test_two_address_violation(self):
+        fn = straightline_fn()
+        alloc = make_alloc(fn, {"t": "EAX", "a": "EBX"}, self.x86)
+        with pytest.raises(AllocationError, match="combined"):
+            validate_allocation(alloc, self.x86)
+
+    def test_overlap_violation(self):
+        b = IRBuilder("f")
+        pn = b.slot("n", kind=SlotKind.PARAM)
+        b.block("entry")
+        n = b.load(pn)
+        c = b.trunc(n, I8)
+        w = b.add(n, b.imm(1))
+        s = b.sext(c, I32)
+        b.ret(b.add(w, s))
+        fn = b.done()
+        # c (i8) in AL while w (i32) lives in EAX: overlap violation.
+        alloc = make_alloc(fn, {
+            "t": "EBX", "t.1": "AL", "t.2": "EAX",
+            "t.3": "ECX", "t.4": "EAX",
+        }, self.x86)
+        with pytest.raises(AllocationError, match="overlap"):
+            validate_allocation(alloc, self.x86)
+
+    def test_clobber_survival(self):
+        b = IRBuilder("f")
+        pn = b.slot("n", kind=SlotKind.PARAM)
+        b.block("entry")
+        n = b.load(pn)
+        r = b.call("g", [])
+        b.ret(b.add(r, n))
+        fn = b.done()
+        # n kept in caller-saved ECX across the call.
+        alloc = make_alloc(fn, {
+            "t": "ECX", "ret": "EAX", "t.1": "EAX",
+        }, self.x86)
+        with pytest.raises(AllocationError, match="clobbered"):
+            validate_allocation(alloc, self.x86)
+
+    def test_call_result_family(self):
+        b = IRBuilder("f")
+        b.block("entry")
+        r = b.call("g", [])
+        b.ret(r)
+        fn = b.done()
+        alloc = make_alloc(fn, {"ret": "EBX"}, self.x86)
+        with pytest.raises(AllocationError, match="family"):
+            validate_allocation(alloc, self.x86)
+
+    def test_shift_count_family(self):
+        b = IRBuilder("f")
+        pn = b.slot("n", kind=SlotKind.PARAM)
+        pc = b.slot("c", kind=SlotKind.PARAM)
+        b.block("entry")
+        n = b.load(pn)
+        c = b.load(pc)
+        d = b.shl(n, c)
+        b.ret(d)
+        fn = b.done()
+        alloc = make_alloc(fn, {
+            "t": "EAX", "t.1": "EBX", "t.2": "EAX",
+        }, self.x86)
+        with pytest.raises(AllocationError, match="family"):
+            validate_allocation(alloc, self.x86)
+
+    def test_scaled_index_exclusion(self):
+        # Construct with a fake target where ESP is allocatable to show
+        # §5.4.3 is enforced by the validator.
+        from repro.target import TargetMachine, X86_ENCODING
+        from repro.target import x86_register_file
+
+        target = TargetMachine(
+            name="x86+esp",
+            register_file=x86_register_file(),
+            allocatable_families=("A", "B", "SP"),
+            encoding=X86_ENCODING,
+            caller_saved_families=frozenset({"A"}),
+            irregular=True,
+            mem_operands=True,
+            width_aware=True,
+        )
+        b = IRBuilder("f")
+        arr = b.slot("a", I32, SlotKind.ARRAY, count=4)
+        pi = b.slot("i", kind=SlotKind.PARAM)
+        b.block("entry")
+        i = b.load(pi)
+        v = b.load(Address(slot=arr, index=i, scale=4), I32)
+        b.ret(v)
+        fn = b.done()
+        alloc = Allocation(
+            fn_name="f", function=fn,
+            assignment={
+                "t": target.register_file["ESP"],
+                "t.1": target.register_file["EAX"],
+            },
+            allocator="test", status="feasible",
+        )
+        with pytest.raises(AllocationError, match="scaled index"):
+            validate_allocation(alloc, target)
+
+    def test_one_memory_operand_max(self):
+        from repro.ir import MemorySlot, plain
+
+        b = IRBuilder("f")
+        b.block("entry")
+        s1 = b.slot("s1", I32, SlotKind.SPILL)
+        s2 = b.slot("s2", I32, SlotKind.SPILL)
+        d = b.vreg("d")
+        b.emit(Instr(Opcode.ADD, dst=d, srcs=(plain(s1), plain(s2))))
+        b.ret(d)
+        fn = b.done()
+        alloc = make_alloc(fn, {"d": "EAX"}, self.x86)
+        with pytest.raises(AllocationError, match="memory operand"):
+            validate_allocation(alloc, self.x86)

@@ -1,0 +1,90 @@
+"""Tests for CFG construction, RPO, and dominators."""
+
+from repro.analysis import build_cfg, dominates, immediate_dominators
+from repro.ir import Cond, IRBuilder, SlotKind
+
+
+def diamond():
+    b = IRBuilder("d")
+    pn = b.slot("n", kind=SlotKind.PARAM)
+    b.block("entry")
+    n = b.load(pn)
+    b.cjump(Cond.GT, n, b.imm(0), "left", "right")
+    b.block("left")
+    b.jump("join")
+    b.block("right")
+    b.jump("join")
+    b.block("join")
+    b.ret(n)
+    return b.done()
+
+
+def loop():
+    b = IRBuilder("l")
+    pn = b.slot("n", kind=SlotKind.PARAM)
+    b.block("entry")
+    n = b.load(pn)
+    i = b.li(0, hint="i")
+    b.jump("head")
+    b.block("head")
+    b.cjump(Cond.LT, i, n, "body", "exit")
+    b.block("body")
+    b.copy_into(i, b.add(i, b.imm(1)))
+    b.jump("head")
+    b.block("exit")
+    b.ret(i)
+    return b.done()
+
+
+class TestCFG:
+    def test_diamond_edges(self):
+        cfg = build_cfg(diamond())
+        assert set(cfg.succs["entry"]) == {"left", "right"}
+        assert cfg.preds["join"] == ("left", "right")
+        assert cfg.succs["join"] == ()
+
+    def test_rpo_starts_at_entry(self):
+        cfg = build_cfg(diamond())
+        assert cfg.rpo[0] == "entry"
+        assert cfg.rpo[-1] == "join"
+
+    def test_rpo_loop(self):
+        cfg = build_cfg(loop())
+        order = {b: i for i, b in enumerate(cfg.rpo)}
+        assert order["entry"] < order["head"]
+        assert order["head"] < order["body"]
+
+    def test_reachable(self):
+        fn = diamond()
+        # add an unreachable block
+        blk = fn.add_block("dead")
+        from repro.ir import Instr, Opcode
+
+        blk.instrs.append(Instr(Opcode.RET))
+        cfg = build_cfg(fn)
+        assert "dead" not in cfg.reachable()
+        assert "dead" in cfg.rpo  # still addressable
+
+
+class TestDominators:
+    def test_diamond(self):
+        cfg = build_cfg(diamond())
+        idom = immediate_dominators(cfg)
+        assert idom["entry"] is None
+        assert idom["left"] == "entry"
+        assert idom["right"] == "entry"
+        assert idom["join"] == "entry"
+
+    def test_loop(self):
+        cfg = build_cfg(loop())
+        idom = immediate_dominators(cfg)
+        assert idom["head"] == "entry"
+        assert idom["body"] == "head"
+        assert idom["exit"] == "head"
+
+    def test_dominates_reflexive_and_transitive(self):
+        cfg = build_cfg(loop())
+        idom = immediate_dominators(cfg)
+        assert dominates(idom, "entry", "body")
+        assert dominates(idom, "head", "head")
+        assert not dominates(idom, "body", "head")

@@ -1,0 +1,64 @@
+"""Tests for interference-graph construction."""
+
+from repro.analysis import build_interference, static_frequencies
+from repro.ir import IRBuilder, SlotKind
+
+
+def straightline():
+    b = IRBuilder("f")
+    pn = b.slot("n", kind=SlotKind.PARAM)
+    b.block("entry")
+    n = b.load(pn)
+    a = b.add(n, b.imm(1), hint="a")
+    c = b.add(a, n, hint="c")  # n and a overlap
+    b.ret(c)
+    return b.done(), (n, a, c)
+
+
+class TestInterference:
+    def test_overlapping_ranges_interfere(self):
+        fn, (n, a, c) = straightline()
+        g = build_interference(fn)
+        assert g.interferes(n, a)
+        assert not g.interferes(a, c)  # a dies where c is born
+        assert g.degree(n) >= 1
+
+    def test_copy_src_dst_do_not_interfere(self):
+        b = IRBuilder("f")
+        pn = b.slot("n", kind=SlotKind.PARAM)
+        b.block("entry")
+        n = b.load(pn)
+        x = b.vreg("x")
+        b.copy_into(x, n)
+        b.ret(b.add(x, b.imm(1)))
+        fn = b.done()
+        g = build_interference(fn)
+        assert not g.interferes(x, n)
+        assert (x, n) in g.move_pairs
+
+    def test_copy_pair_interferes_if_src_redefined(self):
+        b = IRBuilder("f")
+        pn = b.slot("n", kind=SlotKind.PARAM)
+        b.block("entry")
+        n = b.load(pn)
+        x = b.vreg("x")
+        b.copy_into(x, n)
+        b.load_into(n, pn)  # n redefined while x lives
+        b.ret(b.add(x, n))
+        fn = b.done()
+        g = build_interference(fn)
+        assert g.interferes(x, n)
+
+    def test_spill_costs_frequency_weighted(self, loop_sum_module):
+        fn = loop_sum_module.functions["sum"]
+        freq = static_frequencies(fn)
+        g = build_interference(fn, freq=freq)
+        i = next(v for v in fn.vregs() if v.name == "i")
+        n = next(v for v in fn.vregs() if v.name == "t")
+        # i is touched in the loop body; n only outside + the compare.
+        assert g.spill_cost[i] > g.spill_cost[n] / 3
+
+    def test_all_vregs_are_nodes(self, loop_sum_module):
+        fn = loop_sum_module.functions["sum"]
+        g = build_interference(fn)
+        assert set(fn.vregs()) <= g.nodes

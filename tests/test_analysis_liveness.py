@@ -1,0 +1,108 @@
+"""Tests for live-variable analysis, including a naive oracle check."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import build_cfg, compute_liveness
+from repro.bench.generator import GeneratorConfig, generate_module
+from repro.ir import Cond, IRBuilder, SlotKind
+
+
+def straightline():
+    b = IRBuilder("s")
+    pn = b.slot("n", kind=SlotKind.PARAM)
+    b.block("entry")
+    n = b.load(pn)
+    a = b.add(n, b.imm(1), hint="a")
+    c = b.mul(a, n, hint="c")
+    b.ret(c)
+    return b.done(), (n, a, c)
+
+
+class TestStraightline:
+    def test_dies_at(self):
+        fn, (n, a, c) = straightline()
+        lv = compute_liveness(fn)
+        # n dies at the mul (index 2), a dies there too.
+        assert n in lv.dies_at("entry", 2)
+        assert a in lv.dies_at("entry", 2)
+        assert c in lv.dies_at("entry", 3)
+
+    def test_live_after(self):
+        fn, (n, a, c) = straightline()
+        lv = compute_liveness(fn)
+        assert set(lv.live_after("entry", 0)) == {n}
+        assert set(lv.live_after("entry", 1)) == {n, a}
+        assert set(lv.live_after("entry", 2)) == {c}
+        assert set(lv.live_after("entry", 3)) == set()
+
+    def test_live_before(self):
+        fn, (n, a, c) = straightline()
+        lv = compute_liveness(fn)
+        assert set(lv.live_before("entry", 1)) == {n}
+        assert set(lv.live_before("entry", 2)) == {n, a}
+
+
+class TestLoop:
+    def test_loop_carried_live_through(self, loop_sum_module):
+        fn = loop_sum_module.functions["sum"]
+        lv = compute_liveness(fn)
+        names_in_head = {v.name for v in lv.live_in["head"]}
+        assert {"i", "s", "t"} <= names_in_head  # t holds n
+
+
+def naive_live_before(fn, block_name, index):
+    """Oracle: a register is live before (b, i) if some path from there
+    reaches a use before any def.  Computed by BFS over program points."""
+    from collections import deque
+
+    fn_blocks = {b.name: b for b in fn.blocks}
+    cfg = build_cfg(fn)
+    live = set()
+    for candidate in fn.vregs():
+        seen = set()
+        queue = deque([(block_name, index)])
+        found = False
+        while queue and not found:
+            bname, i = queue.popleft()
+            if (bname, i) in seen:
+                continue
+            seen.add((bname, i))
+            block = fn_blocks[bname]
+            if i >= len(block.instrs):
+                for s in cfg.succs[bname]:
+                    queue.append((s, 0))
+                continue
+            instr = block.instrs[i]
+            if candidate in instr.uses():
+                found = True
+                break
+            if candidate in instr.defs():
+                continue  # killed on this path
+            queue.append((bname, i + 1))
+        if found:
+            live.add(candidate)
+    return live
+
+
+class TestAgainstOracle:
+    @settings(deadline=None, max_examples=10)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_random_programs_match_oracle(self, seed):
+        module = generate_module(
+            seed,
+            GeneratorConfig(n_functions=1, body_statements=(2, 5)),
+        )
+        for fn in module:
+            lv = compute_liveness(fn)
+            rng = random.Random(seed)
+            points = [
+                (b.name, i)
+                for b in fn.blocks for i in range(len(b.instrs))
+            ]
+            for bname, i in rng.sample(points, min(5, len(points))):
+                expected = naive_live_before(fn, bname, i)
+                got = set(lv.live_before(bname, i))
+                assert got == expected, (fn.name, bname, i)

@@ -1,0 +1,167 @@
+"""Tests for the graph-coloring baseline allocator."""
+
+import pytest
+
+from repro.allocation import validate_allocation
+from repro.analysis import static_frequencies
+from repro.baseline import (
+    GraphColoringAllocator,
+    fixup_operands,
+    insert_spill_code,
+)
+from repro.ir import (
+    Cond,
+    I32,
+    IRBuilder,
+    Module,
+    Opcode,
+    SlotKind,
+    clone_function,
+    verify_function,
+)
+from repro.sim import AllocatedFunction, Interpreter
+from repro.target import x86_target
+
+
+def alloc_and_check(module, fn_name, entry_args, x86):
+    fn = module.functions[fn_name]
+    alloc = GraphColoringAllocator(x86).allocate(fn)
+    assert alloc.succeeded
+    validate_allocation(alloc, x86)
+    ref = Interpreter(module).run(fn_name, entry_args).return_value
+    got = Interpreter(
+        module, target=x86,
+        allocations={fn_name: AllocatedFunction(
+            alloc.function, alloc.assignment
+        )},
+    ).run(fn_name, entry_args).return_value
+    assert got == ref
+    return alloc
+
+
+class TestTwoAddressFixup:
+    def test_copy_inserted_for_live_source(self, x86):
+        b = IRBuilder("f")
+        pn = b.slot("n", kind=SlotKind.PARAM)
+        b.block("entry")
+        n = b.load(pn)
+        d = b.add(n, b.imm(1))
+        b.ret(b.add(d, n))  # n live after first add
+        fn = clone_function(b.done())
+        fixup_operands(fn, x86)
+        verify_function(fn)
+        adds = [i for _, _, i in fn.instructions()
+                if i.opcode is Opcode.ADD]
+        for add in adds:
+            assert add.srcs[0] == add.dst  # tied after fixup
+
+    def test_reversed_sub_hazard(self, x86):
+        # a = b - a must not clobber a before reading it.
+        from repro.ir import Instr
+
+        b = IRBuilder("f")
+        b.block("entry")
+        a = b.li(10, hint="a")
+        bb = b.li(3, hint="b")
+        b.emit(Instr(Opcode.SUB, dst=a, srcs=(bb, a)))
+        b.ret(a)
+        fn = b.done()
+        m = Module("t")
+        m.add_function(fn)
+        ref = Interpreter(m).run("f", []).return_value
+        assert ref == -7
+        work = clone_function(fn)
+        fixup_operands(work, x86)
+        verify_function(work)
+        m2 = Module("t2")
+        m2.add_function(work)
+        assert Interpreter(m2).run("f", []).return_value == -7
+
+    def test_division_through_class_temps(self, x86):
+        b = IRBuilder("f")
+        pn = b.slot("n", kind=SlotKind.PARAM)
+        b.block("entry")
+        n = b.load(pn)
+        b.ret(b.div(n, b.li(3)))
+        fn = clone_function(b.done())
+        classes = fixup_operands(fn, x86)
+        assert any(
+            fams == frozenset({"A"}) for fams in classes.required.values()
+        )
+
+
+class TestSpillEverywhere:
+    def test_spill_load_store_counts(self, x86):
+        b = IRBuilder("f")
+        pn = b.slot("n", kind=SlotKind.PARAM)
+        b.block("entry")
+        n = b.load(pn)
+        a = b.add(n, b.imm(1), hint="a")
+        b.ret(b.add(a, n))
+        fn = clone_function(b.done())
+        target_reg = next(v for v in fn.vregs() if v.name == "a")
+        outcome = insert_spill_code(fn, {target_reg})
+        assert outcome.stores == 1
+        assert outcome.loads == 1
+        verify_function(fn)
+
+    def test_remat_replaces_loads(self, x86):
+        b = IRBuilder("f")
+        b.block("entry")
+        c = b.li(42, hint="c")
+        x = b.add(c, b.imm(1))
+        b.ret(b.add(x, c))
+        fn = clone_function(b.done())
+        c_reg = next(v for v in fn.vregs() if v.name == "c")
+        outcome = insert_spill_code(fn, {c_reg})
+        assert outcome.remats == 2  # two uses
+        assert outcome.loads == 0 and outcome.stores == 0
+        assert outcome.deleted_defs == 1
+        verify_function(fn)
+        m = Module("t")
+        m.add_function(fn)
+        assert Interpreter(m).run("f", []).return_value == 85
+
+
+class TestEndToEnd:
+    def test_loop_sum(self, x86, loop_sum_module):
+        alloc = alloc_and_check(loop_sum_module, "sum", [10], x86)
+        assert alloc.allocator == "graph-coloring"
+
+    def test_high_pressure_spills(self, x86):
+        # 9 simultaneously-live values > 6 registers: must spill.
+        b = IRBuilder("f")
+        pn = b.slot("n", kind=SlotKind.PARAM)
+        b.block("entry")
+        n = b.load(pn)
+        vals = [b.add(n, b.imm(k), hint=f"v{k}") for k in range(9)]
+        acc = vals[0]
+        for v in vals[1:]:
+            acc = b.add(acc, v)
+        b.ret(acc)
+        fn = b.done()
+        m = Module("t")
+        m.add_function(fn)
+        alloc = alloc_and_check(m, "f", [100], x86)
+        assert alloc.stats.loads + alloc.stats.stores > 0
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_modules(self, x86, seed):
+        from repro.bench.generator import GeneratorConfig, generate_module
+
+        module = generate_module(
+            seed + 500,
+            GeneratorConfig(n_functions=2, body_statements=(3, 8)),
+        )
+        ref = Interpreter(module).run("main", [4]).return_value
+        allocs = {}
+        for fn in module:
+            freq = static_frequencies(fn)
+            a = GraphColoringAllocator(x86).allocate(fn, freq)
+            assert a.succeeded, fn.name
+            validate_allocation(a, x86)
+            allocs[fn.name] = AllocatedFunction(a.function, a.assignment)
+        got = Interpreter(
+            module, target=x86, allocations=allocs
+        ).run("main", [4]).return_value
+        assert got == ref

@@ -1,0 +1,73 @@
+"""Tests for the python -m repro command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+SOURCE = """
+int helper(int a) { return a * 3; }
+int main(int n) {
+    int s = 0;
+    for (int i = 0; i < n; i += 1) { s += helper(i); }
+    return s;
+}
+"""
+
+
+@pytest.fixture()
+def program(tmp_path):
+    path = tmp_path / "prog.c"
+    path.write_text(SOURCE)
+    return str(path)
+
+
+class TestCLI:
+    def test_alloc_all_functions(self, program, capsys):
+        assert main(["alloc", program]) == 0
+        out = capsys.readouterr().out
+        assert "helper: optimal" in out
+        assert "main: optimal" in out
+        assert "assignment:" in out
+        assert "code size:" in out
+
+    def test_alloc_single_function(self, program, capsys):
+        assert main(["alloc", program, "--function", "helper"]) == 0
+        out = capsys.readouterr().out
+        assert "helper" in out and "main: " not in out
+
+    def test_alloc_gc(self, program, capsys):
+        assert main(["alloc", program, "--allocator", "gc"]) == 0
+        assert "feasible" in capsys.readouterr().out
+
+    def test_alloc_risc_target(self, program, capsys):
+        assert main(["alloc", program, "--target", "risc"]) == 0
+        assert "r0" in capsys.readouterr().out
+
+    def test_alloc_size_only(self, program, capsys):
+        assert main(["alloc", program, "--size-only"]) == 0
+
+    def test_alloc_branch_bound_backend(self, program, capsys):
+        assert main([
+            "alloc", program, "--function", "helper",
+            "--backend", "branch-bound",
+        ]) == 0
+        assert "optimal" in capsys.readouterr().out
+
+    def test_run_symbolic(self, program, capsys):
+        assert main([
+            "run", program, "--args", "5", "--allocator", "none",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "symbolic result: 30" in out
+
+    def test_run_ip(self, program, capsys):
+        assert main(["run", program, "--args", "5"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("30") >= 2  # symbolic and allocated agree
+
+    def test_run_gc(self, program, capsys):
+        assert main([
+            "run", program, "--args", "4", "--allocator", "gc",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "graph-coloring result" in out

@@ -1,0 +1,375 @@
+"""End-to-end tests of the IP allocator: every §5 extension observable.
+
+Each test builds a function that isolates one irregularity, allocates
+with the IP allocator, validates structurally, and checks semantics on
+the interpreter with clobber scrambling enabled.
+"""
+
+import pytest
+
+from repro.allocation import validate_allocation
+from repro.core import ActionKind, AllocatorConfig, IPAllocator
+from repro.ir import (
+    Address,
+    Cond,
+    I8,
+    I32,
+    IRBuilder,
+    Module,
+    Opcode,
+    SlotKind,
+    format_function,
+)
+from repro.sim import AllocatedFunction, Interpreter
+
+
+def check(module, fn_name, args, x86, config=None):
+    fn = module.functions[fn_name]
+    alloc = IPAllocator(x86, config or AllocatorConfig()).allocate(fn)
+    assert alloc.succeeded, alloc.status
+    validate_allocation(alloc, x86)
+    ref = Interpreter(module).run(fn_name, args).return_value
+    got = Interpreter(
+        module, target=x86,
+        allocations={fn_name: AllocatedFunction(
+            alloc.function, alloc.assignment
+        )},
+    ).run(fn_name, args).return_value
+    assert got == ref, (got, ref)
+    return alloc
+
+
+class TestCombinedSpecifier:
+    """§5.1: two-address constraint and copy insertion."""
+
+    def test_dying_source_reuses_register(self, x86):
+        m = Module("t")
+        b = IRBuilder("f")
+        pn = b.slot("n", kind=SlotKind.PARAM)
+        b.block("entry")
+        n = b.load(pn)
+        d = b.add(n, b.imm(1))  # n dies here
+        b.ret(d)
+        m.add_function(b.done())
+        alloc = check(m, "f", [5], x86)
+        # No copy needed: dst takes the dying source's register.
+        assert alloc.stats.copies_inserted == 0
+
+    def test_live_source_forces_copy_or_spill(self, x86):
+        m = Module("t")
+        b = IRBuilder("f")
+        pn = b.slot("n", kind=SlotKind.PARAM)
+        b.block("entry")
+        n = b.load(pn)
+        d = b.sub(n, b.imm(1))  # non-commutative, n live after
+        b.ret(b.add(d, n))
+        m.add_function(b.done())
+        alloc = check(m, "f", [10], x86)
+        # Keeping n requires an inserted copy (cheapest way).
+        assert alloc.stats.copies_inserted >= 1
+
+    def test_commutative_chooses_better_operand(self, x86):
+        # d = a + b where a live after but b dies: solver should tie b,
+        # needing no copy — the traditional approach may pick wrong.
+        m = Module("t")
+        b = IRBuilder("f")
+        pa = b.slot("a", kind=SlotKind.PARAM)
+        pb = b.slot("b", kind=SlotKind.PARAM)
+        b.block("entry")
+        a = b.load(pa)
+        bb = b.load(pb)
+        d = b.add(a, bb)
+        b.ret(b.mul(d, a))  # a live after the add
+        m.add_function(b.done())
+        alloc = check(m, "f", [3, 4], x86)
+        assert alloc.stats.copies_inserted == 0
+
+    def test_reversed_sub(self, x86):
+        from repro.ir import Instr
+
+        m = Module("t")
+        b = IRBuilder("f")
+        b.block("entry")
+        a = b.li(10, hint="a")
+        c = b.li(3, hint="c")
+        b.emit(Instr(Opcode.SUB, dst=a, srcs=(c, a)))
+        b.ret(a)
+        m.add_function(b.done())
+        check(m, "f", [], x86)
+
+
+class TestMemoryOperands:
+    """§5.2: memory operands and combined memory use/def."""
+
+    def test_memuse_under_pressure(self, x86):
+        m = Module("t")
+        b = IRBuilder("f")
+        pn = b.slot("n", kind=SlotKind.PARAM)
+        b.block("entry")
+        n = b.load(pn)
+        vals = [b.add(n, b.imm(k), hint=f"v{k}") for k in range(8)]
+        acc = vals[0]
+        for v in vals[1:]:
+            acc = b.add(acc, v)
+        b.ret(acc)
+        m.add_function(b.done())
+        alloc = check(m, "f", [100], x86)
+        # With 9 live values and 6 registers, memory operands or spills
+        # must appear; the allocator prefers memory operands (cheaper
+        # than load+use).
+        assert (alloc.stats.mem_operand_uses + alloc.stats.loads) > 0
+
+    def test_memory_operands_can_be_disabled(self, x86):
+        m = Module("t")
+        b = IRBuilder("f")
+        pn = b.slot("n", kind=SlotKind.PARAM)
+        b.block("entry")
+        n = b.load(pn)
+        vals = [b.add(n, b.imm(k), hint=f"v{k}") for k in range(8)]
+        acc = vals[0]
+        for v in vals[1:]:
+            acc = b.add(acc, v)
+        b.ret(acc)
+        m.add_function(b.done())
+        config = AllocatorConfig(enable_memory_operands=False)
+        alloc = check(m, "f", [100], x86, config)
+        assert alloc.stats.mem_operand_uses == 0
+        assert alloc.stats.rmw_mem_defs == 0
+
+    def test_rmw_requires_same_vreg(self, x86):
+        # cmemud only for 'a = a op b' shapes; verify a mem_dst
+        # instruction appears under pressure for such a shape.
+        m = Module("t")
+        b = IRBuilder("f")
+        pn = b.slot("n", kind=SlotKind.PARAM)
+        b.block("entry")
+        n = b.load(pn)
+        acc = b.vreg("acc")
+        from repro.ir import Immediate, Instr
+
+        b.emit(Instr(Opcode.LI, dst=acc, srcs=(Immediate(0, I32),)))
+        others = [b.add(n, b.imm(k), hint=f"v{k}") for k in range(7)]
+        for v in others:
+            b.emit(Instr(Opcode.ADD, dst=acc, srcs=(acc, v)))
+        total = b.li(0, hint="total")
+        for v in others:
+            b.emit(Instr(Opcode.ADD, dst=total, srcs=(total, v)))
+        b.ret(b.add(acc, total))
+        m.add_function(b.done())
+        check(m, "f", [50], x86)
+
+
+class TestOverlap:
+    """§5.3: overlapping registers."""
+
+    def test_many_bytes_share_families(self, x86):
+        # Eight 8-bit values live at once fit in 4 families (AL+AH...).
+        m = Module("t")
+        b = IRBuilder("f")
+        pn = b.slot("n", I8, kind=SlotKind.PARAM)
+        b.block("entry")
+        n = b.load(pn)
+        vals = [b.add(n, b.imm(k, I8), hint=f"c{k}") for k in range(7)]
+        acc = vals[0]
+        for v in vals[1:]:
+            acc = b.add(acc, v)
+        b.ret(b.sext(acc, I32))
+        m.add_function(b.done())
+        alloc = check(m, "f", [3], x86)
+        # All eight i8 values (plus n) can live in registers at once
+        # only because AL/AH-style pairs are independent.
+        regs = {r.name for r in alloc.assignment.values()}
+        highs = {"AH", "BH", "CH", "DH"}
+        assert regs & highs, f"expected high-byte usage, got {regs}"
+
+    def test_wide_value_blocks_sub_registers(self, x86):
+        # A 32-bit value in EAX excludes i8 values from AL/AH there.
+        m = Module("t")
+        b = IRBuilder("f")
+        pn = b.slot("n", kind=SlotKind.PARAM)
+        b.block("entry")
+        n = b.load(pn)
+        c = b.trunc(n, I8)
+        c2 = b.add(c, b.imm(1, I8))
+        w = b.add(n, b.imm(7))
+        b.ret(b.add(w, b.sext(c2, I32)))
+        m.add_function(b.done())
+        alloc = check(m, "f", [9], x86)
+        validate_allocation(alloc, x86)  # overlap capacity holds
+
+
+class TestImplicitRegisters:
+    def test_div_chain(self, x86):
+        m = Module("t")
+        b = IRBuilder("f")
+        pn = b.slot("n", kind=SlotKind.PARAM)
+        pm = b.slot("m", kind=SlotKind.PARAM)
+        b.block("entry")
+        n = b.load(pn)
+        d = b.load(pm)
+        q = b.div(n, d)
+        r = b.mod(n, d)
+        b.ret(b.add(q, r))
+        m.add_function(b.done())
+        alloc = check(m, "f", [100, 7], x86)
+        # quotient born in EAX, remainder in EDX
+        assigned = {k: v.name for k, v in alloc.assignment.items()}
+        assert any(v == "EAX" for v in assigned.values())
+        assert any(v == "EDX" for v in assigned.values())
+
+    def test_shift_count_in_cl(self, x86):
+        m = Module("t")
+        b = IRBuilder("f")
+        pn = b.slot("n", kind=SlotKind.PARAM)
+        pc = b.slot("c", kind=SlotKind.PARAM)
+        b.block("entry")
+        n = b.load(pn)
+        c = b.load(pc)
+        b.ret(b.shl(n, c))
+        m.add_function(b.done())
+        alloc = check(m, "f", [3, 4], x86)
+        assert "ECX" in {r.name for r in alloc.assignment.values()}
+
+    def test_return_lands_in_eax(self, x86):
+        m = Module("t")
+        b = IRBuilder("f")
+        pn = b.slot("n", kind=SlotKind.PARAM)
+        b.block("entry")
+        n = b.load(pn)
+        b.ret(n)
+        m.add_function(b.done())
+        alloc = check(m, "f", [5], x86)
+        # The returned value must be available in EAX at the ret.
+        rets = [i for _, _, i in alloc.function.instructions()
+                if i.opcode is Opcode.RET]
+        src = rets[0].srcs[0]
+        assert alloc.assignment[src.name].name == "EAX"
+
+
+class TestPredefinedMemory:
+    """§5.5: coalescing with predefined memory values."""
+
+    def test_cold_param_coalesced(self, x86):
+        # A parameter used once in cold code: coalescing deletes the
+        # defining load.
+        m = Module("t")
+        b = IRBuilder("f")
+        pa = b.slot("a", kind=SlotKind.PARAM)
+        pb = b.slot("b", kind=SlotKind.PARAM)
+        b.block("entry")
+        a = b.load(pa)
+        bb = b.load(pb)
+        b.cjump(Cond.GT, a, b.imm(0), "hot", "cold")
+        b.block("hot")
+        b.ret(a)
+        b.block("cold")
+        b.ret(b.add(bb, a))
+        m.add_function(b.done())
+        alloc = check(m, "f", [5, 3], x86)
+        assert alloc.stats.loads_deleted >= 1
+
+    def test_stored_slot_not_coalesced(self, x86):
+        # If the function stores to the param slot, §5.5 must not fire.
+        m = Module("t")
+        b = IRBuilder("f")
+        pa = b.slot("a", kind=SlotKind.PARAM)
+        b.block("entry")
+        a = b.load(pa)
+        b.store(pa, b.imm(0))  # slot written!
+        b.ret(a)
+        m.add_function(b.done())
+        alloc = check(m, "f", [5], x86)
+        assert alloc.stats.loads_deleted == 0
+
+    def test_coalescing_can_be_disabled(self, x86):
+        m = Module("t")
+        b = IRBuilder("f")
+        pa = b.slot("a", kind=SlotKind.PARAM)
+        b.block("entry")
+        a = b.load(pa)
+        b.ret(a)
+        m.add_function(b.done())
+        config = AllocatorConfig(enable_predefined_memory=False)
+        alloc = check(m, "f", [5], x86, config)
+        assert alloc.stats.loads_deleted == 0
+
+
+class TestRemat:
+    def test_constant_rematerialised_over_call(self, x86):
+        m = Module("t")
+        b = IRBuilder("id")
+        pa = b.slot("a", kind=SlotKind.PARAM)
+        b.block("entry")
+        b.ret(b.load(pa))
+        m.add_function(b.done())
+
+        b = IRBuilder("f")
+        pn = b.slot("n", kind=SlotKind.PARAM)
+        b.block("entry")
+        n = b.load(pn)
+        c = b.li(12345, hint="c")
+        # Use the constant, call (clobbers), use it again... plus keep
+        # enough pressure that keeping c in B/SI/DI is not free.
+        x1 = b.add(n, c)
+        r = b.call("id", [x1])
+        keep = [b.add(n, b.imm(k), hint=f"k{k}") for k in range(3)]
+        acc = b.add(r, c)
+        for v in keep:
+            acc = b.add(acc, v)
+        b.ret(acc)
+        m.add_function(b.done())
+        alloc = check(m, "f", [10], x86)
+        # The solver may choose remat or callee-saved residency; with
+        # remat enabled it must never be *worse* than with it disabled.
+        config = AllocatorConfig(enable_rematerialization=False)
+        worse = IPAllocator(x86, config).allocate(
+            m.functions["f"]
+        )
+        assert alloc.objective <= worse.objective + 1e-9
+
+
+class TestCopyDeletion:
+    def test_input_copy_deleted(self, x86):
+        m = Module("t")
+        b = IRBuilder("f")
+        pn = b.slot("n", kind=SlotKind.PARAM)
+        b.block("entry")
+        n = b.load(pn)
+        x = b.vreg("x")
+        b.copy_into(x, n)  # genuine copy: both live after? n unused
+        b.ret(b.add(x, b.imm(1)))
+        m.add_function(b.done())
+        alloc = check(m, "f", [5], x86)
+        copies = [i for _, _, i in alloc.function.instructions()
+                  if i.opcode is Opcode.COPY]
+        assert not copies
+        assert alloc.stats.copies_deleted >= 1
+
+
+class TestSolverPlumbing:
+    def test_model_sizes_reported(self, x86, loop_sum_module):
+        fn = loop_sum_module.functions["sum"]
+        alloc = IPAllocator(x86).allocate(fn)
+        assert alloc.n_variables > 0
+        assert alloc.n_constraints > 0
+        assert alloc.solve_seconds >= 0
+
+    def test_branch_bound_backend(self, x86):
+        m = Module("t")
+        b = IRBuilder("f")
+        pn = b.slot("n", kind=SlotKind.PARAM)
+        b.block("entry")
+        n = b.load(pn)
+        b.ret(b.add(n, b.imm(1)))
+        m.add_function(b.done())
+        config = AllocatorConfig(backend="branch-bound", time_limit=60)
+        alloc = check(m, "f", [4], x86, config)
+        assert alloc.status == "optimal"
+
+    def test_time_limit_zero_fails_gracefully(self, x86,
+                                              loop_sum_module):
+        fn = loop_sum_module.functions["sum"]
+        config = AllocatorConfig(backend="branch-bound",
+                                 time_limit=0.0)
+        alloc = IPAllocator(x86, config).allocate(fn)
+        assert alloc.status in ("failed", "feasible", "optimal")

@@ -1,0 +1,126 @@
+"""Tests for the shared operand-position helper (analysis/rewrite
+agreement layer)."""
+
+from repro.core import AllocatorConfig, operand_positions, allowed_registers
+from repro.core.operands import cmemud_position
+from repro.ir import (
+    Address,
+    I8,
+    I32,
+    Immediate,
+    Instr,
+    MemorySlot,
+    Opcode,
+    SlotKind,
+    VirtualRegister,
+)
+from repro.target import x86_target
+
+TARGET = x86_target()
+CONFIG = AllocatorConfig()
+
+
+def v(name, type_=I32):
+    return VirtualRegister(name, type_)
+
+
+class TestPositions:
+    def test_alu_positions(self):
+        instr = Instr(Opcode.ADD, dst=v("d"), srcs=(v("a"), v("b")))
+        pos = operand_positions(instr, TARGET, CONFIG)
+        assert [p.key for p in pos] == ["s0", "s1"]
+        assert all(p.mem_ok for p in pos)  # commutative: both may be mem
+
+    def test_sub_tied_position_not_mem(self):
+        instr = Instr(Opcode.SUB, dst=v("d"), srcs=(v("a"), v("b")))
+        pos = {p.key: p for p in operand_positions(instr, TARGET, CONFIG)}
+        assert not pos["s0"].mem_ok  # forced tie cannot be memory
+        assert pos["s1"].mem_ok
+
+    def test_single_vreg_commutative_tie_blocks_mem(self):
+        instr = Instr(Opcode.ADD, dst=v("d"),
+                      srcs=(v("a"), Immediate(1, I32)))
+        pos = {p.key: p for p in operand_positions(instr, TARGET, CONFIG)}
+        assert not pos["s0"].mem_ok  # only tie candidate
+
+    def test_address_positions(self):
+        slot = MemorySlot("arr", I32, SlotKind.ARRAY, count=4)
+        addr = Address(slot=slot, base=v("b"), index=v("i"), scale=4)
+        instr = Instr(Opcode.LOAD, dst=v("d"), addr=addr)
+        pos = {p.key: p for p in operand_positions(instr, TARGET, CONFIG)}
+        assert pos["a0b"].role == "base"
+        assert pos["a0i"].role == "index"
+        assert not pos["a0b"].mem_ok
+
+    def test_pos_ids_stable(self):
+        slot = MemorySlot("arr", I32, SlotKind.ARRAY, count=4)
+        addr = Address(slot=slot, base=v("b"))
+        instr = Instr(Opcode.STORE, srcs=(v("x"),), addr=addr)
+        pos = {p.key: p for p in operand_positions(instr, TARGET, CONFIG)}
+        assert pos["s0"].pos_id == 0
+        assert pos["a0b"].pos_id == 100
+
+    def test_mem_disabled_by_config(self):
+        cfg = AllocatorConfig(enable_memory_operands=False)
+        instr = Instr(Opcode.ADD, dst=v("d"), srcs=(v("a"), v("b")))
+        assert not any(
+            p.mem_ok for p in operand_positions(instr, TARGET, cfg)
+        )
+
+
+class TestAllowedRegisters:
+    def test_exact_family_binding(self):
+        instr = Instr(Opcode.SHL, dst=v("d"), srcs=(v("a"), v("c")))
+        pos = {p.key: p for p in operand_positions(instr, TARGET, CONFIG)}
+        adm = TARGET.admissible(v("c"))
+        allowed = allowed_registers(pos["s1"], adm, TARGET)
+        assert [r.name for r in allowed] == ["ECX"]
+
+    def test_exclusions(self):
+        instr = Instr(Opcode.DIV, dst=v("q"), srcs=(v("a"), v("b")))
+        pos = {p.key: p for p in operand_positions(instr, TARGET, CONFIG)}
+        allowed = allowed_registers(
+            pos["s1"], TARGET.admissible(v("b")), TARGET
+        )
+        families = {r.family for r in allowed}
+        assert "A" not in families and "D" not in families
+
+    def test_width_8_family_binding(self):
+        instr = Instr(Opcode.SHL, dst=v("d", I8), srcs=(v("a", I8),
+                                                        v("c", I8)))
+        pos = {p.key: p for p in operand_positions(instr, TARGET, CONFIG)}
+        allowed = allowed_registers(
+            pos["s1"], TARGET.admissible(v("c", I8)), TARGET
+        )
+        assert [r.name for r in allowed] == ["CL"]  # not CH
+
+
+class TestCmemud:
+    def test_same_vreg_required(self):
+        rules = TARGET.constraints(
+            Instr(Opcode.ADD, dst=v("a"), srcs=(v("a"), v("b")))
+        )
+        instr = Instr(Opcode.ADD, dst=v("a"), srcs=(v("a"), v("b")))
+        assert cmemud_position(instr, rules, CONFIG) == "s0"
+
+    def test_commutative_second_position(self):
+        instr = Instr(Opcode.ADD, dst=v("a"), srcs=(v("b"), v("a")))
+        rules = TARGET.constraints(instr)
+        assert cmemud_position(instr, rules, CONFIG) == "s1"
+
+    def test_different_vregs_no_rmw(self):
+        instr = Instr(Opcode.ADD, dst=v("d"), srcs=(v("a"), v("b")))
+        rules = TARGET.constraints(instr)
+        assert cmemud_position(instr, rules, CONFIG) is None
+
+    def test_sub_reversed_no_rmw(self):
+        # a = b - a: the tied candidate is s0 = b != dst.
+        instr = Instr(Opcode.SUB, dst=v("a"), srcs=(v("b"), v("a")))
+        rules = TARGET.constraints(instr)
+        assert cmemud_position(instr, rules, CONFIG) is None
+
+    def test_disabled_by_config(self):
+        cfg = AllocatorConfig(enable_memory_operands=False)
+        instr = Instr(Opcode.ADD, dst=v("a"), srcs=(v("a"), v("b")))
+        rules = TARGET.constraints(instr)
+        assert cmemud_position(instr, rules, cfg) is None

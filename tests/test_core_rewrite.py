@@ -1,0 +1,142 @@
+"""Tests of the ORA rewrite module's output structure."""
+
+import pytest
+
+from repro.core import AllocatorConfig, IPAllocator
+from repro.ir import (
+    Cond,
+    I32,
+    IRBuilder,
+    Module,
+    Opcode,
+    SlotKind,
+    verify_function,
+)
+from repro.sim import AllocatedFunction, Interpreter
+
+
+def allocate(fn, x86, **cfg):
+    alloc = IPAllocator(x86, AllocatorConfig(**cfg)).allocate(fn)
+    assert alloc.succeeded
+    return alloc
+
+
+class TestRewriteStructure:
+    def test_rewritten_ir_verifies(self, x86, loop_sum_module):
+        for fn in loop_sum_module:
+            alloc = allocate(fn, x86)
+            verify_function(alloc.function)
+
+    def test_vreg_naming_scheme(self, x86, loop_sum_module):
+        fn = loop_sum_module.functions["sum"]
+        alloc = allocate(fn, x86)
+        for name, reg in alloc.assignment.items():
+            if "@" in name:
+                base, reg_name = name.rsplit("@", 1)
+                assert reg_name == reg.name
+
+    def test_assignment_covers_exactly_used_vregs(self, x86,
+                                                  loop_sum_module):
+        fn = loop_sum_module.functions["sum"]
+        alloc = allocate(fn, x86)
+        used = {v.name for v in alloc.function.vregs()}
+        assert set(alloc.assignment) == used
+
+    def test_spill_slots_added_to_function(self, x86):
+        b = IRBuilder("f")
+        pn = b.slot("n", kind=SlotKind.PARAM)
+        b.block("entry")
+        n = b.load(pn)
+        vals = [b.add(n, b.imm(k), hint=f"v{k}") for k in range(9)]
+        acc = vals[0]
+        for v in vals[1:]:
+            acc = b.add(acc, v)
+        r = b.call("g", [acc])
+        total = r
+        for v in vals:
+            total = b.add(total, v)
+        b.ret(total)
+        fn = b.done()
+        alloc = allocate(fn, x86, validate=False)
+        spill_slots = [
+            s for s in alloc.function.slots.values()
+            if s.kind.value == "spill"
+        ]
+        assert alloc.stats.stores > 0
+        assert spill_slots, "spilling must create slots"
+
+    def test_coalesced_param_reuses_param_slot(self, x86):
+        # §5.5: spill traffic of a coalesced register targets the
+        # original parameter slot, not a fresh spill slot.
+        b = IRBuilder("f")
+        pa = b.slot("a", kind=SlotKind.PARAM)
+        b.block("entry")
+        a = b.load(pa)
+        b.cjump(Cond.GT, a, b.imm(0), "x", "y")
+        b.block("x")
+        b.ret(b.imm(1))
+        b.block("y")
+        b.ret(a)
+        fn = b.done()
+        alloc = allocate(fn, x86)
+        if alloc.stats.loads_deleted:
+            reads = [
+                i for _, _, i in alloc.function.instructions()
+                if i.opcode is Opcode.LOAD and i.addr.slot is not None
+                and i.addr.slot.name == "a"
+            ]
+            memuses = [
+                s for _, _, i in alloc.function.instructions()
+                for s in i.srcs
+                if hasattr(s, "slot") and s.slot is not None
+                and s.slot.name == "a"
+            ]
+            assert reads or memuses
+
+    def test_inserted_code_is_tagged(self, x86):
+        b = IRBuilder("f")
+        pn = b.slot("n", kind=SlotKind.PARAM)
+        b.block("entry")
+        n = b.load(pn)
+        vals = [b.add(n, b.imm(k), hint=f"v{k}") for k in range(9)]
+        acc = vals[0]
+        for v in vals[1:]:
+            acc = b.add(acc, v)
+        for v in vals:
+            acc = b.add(acc, v)
+        b.ret(acc)
+        fn = b.done()
+        alloc = allocate(fn, x86)
+        tags = {
+            i.origin for _, _, i in alloc.function.instructions()
+            if i.origin
+        }
+        assert tags <= {"spill-load", "spill-store", "remat", "copy"}
+        if alloc.stats.loads:
+            assert "spill-load" in tags
+
+    def test_idempotent_inputs(self, x86, loop_sum_module):
+        # Allocating the same function twice must not mutate the input.
+        fn = loop_sum_module.functions["sum"]
+        from repro.ir import format_function
+
+        before = format_function(fn)
+        allocate(fn, x86)
+        assert format_function(fn) == before
+        allocate(fn, x86)
+        assert format_function(fn) == before
+
+
+class TestMixedModeExecution:
+    def test_partially_allocated_module(self, x86, loop_sum_module):
+        # Allocate only 'sum'; 'double' runs symbolically.
+        fn = loop_sum_module.functions["sum"]
+        alloc = allocate(fn, x86)
+        ref = Interpreter(loop_sum_module).run("sum", [6]).return_value
+        got = Interpreter(
+            loop_sum_module, target=x86,
+            allocations={"sum": AllocatedFunction(
+                alloc.function, alloc.assignment
+            )},
+        ).run("sum", [6]).return_value
+        assert got == ref

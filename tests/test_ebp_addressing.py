@@ -1,0 +1,152 @@
+"""§5.4.2/§5.4.3 — address-mode penalties in the IP model.
+
+The main suite never exercises these (EBP is reserved, ESP never
+allocatable), so these tests build pointer-style addresses against the
+``allow_ebp`` target and a synthetic ESP-allocatable target to verify:
+
+* the penalised use gets its own higher-cost USEFROM variable and the
+  must-allocate constraint routes through it (paper Fig. 4);
+* scaled-index must-allocate excludes ESP entirely (paper Fig. 5);
+* allocations still validate and execute correctly.
+"""
+
+import pytest
+
+from repro.allocation import validate_allocation
+from repro.core import ActionKind, AllocatorConfig, IPAllocator
+from repro.ir import (
+    Address,
+    I32,
+    IRBuilder,
+    Module,
+    SlotKind,
+)
+from repro.sim import AllocatedFunction, Interpreter
+from repro.target import (
+    TargetMachine,
+    X86_ENCODING,
+    x86_register_file,
+    x86_target,
+)
+
+
+def pointer_chase_fn():
+    """A function using a parameter as a bare [reg] pointer."""
+    b = IRBuilder("f")
+    pp = b.slot("p", kind=SlotKind.PARAM)
+    b.block("entry")
+    p = b.load(pp)
+    v = b.load(Address(base=p), I32)  # bare [reg]: §5.4.2 shape
+    b.ret(b.add(v, p))
+    return b.done()
+
+
+class TestEbpPenalty:
+    def test_usefrom_penalty_var_created(self, x86_ebp):
+        fn = pointer_chase_fn()
+        _, model, table, _ = IPAllocator(x86_ebp).build_model(fn)
+        usefroms = [
+            r for r in table.records
+            if r.kind is ActionKind.USEFROM and r.reg == "EBP"
+        ]
+        assert usefroms, "EBP base use must go through a penalty var"
+        assert all(r.var.cost > 0 for r in usefroms)
+
+    def test_no_penalty_vars_without_ebp(self, x86):
+        fn = pointer_chase_fn()
+        _, model, table, _ = IPAllocator(x86).build_model(fn)
+        assert not [
+            r for r in table.records
+            if r.kind is ActionKind.USEFROM and r.reg == "EBP"
+        ]
+
+    def test_allocation_avoids_ebp_base_when_free(self, x86_ebp):
+        fn = pointer_chase_fn()
+        alloc = IPAllocator(x86_ebp).allocate(fn)
+        assert alloc.succeeded
+        validate_allocation(alloc, x86_ebp)
+        # With plenty of registers free the penalty should steer the
+        # pointer away from EBP.
+        loads = [
+            i for _, _, i in alloc.function.instructions()
+            if i.addr is not None and i.addr.base is not None
+        ]
+        for load in loads:
+            assert alloc.assignment[load.addr.base.name].name != "EBP"
+
+    def test_execution_with_pointer(self, x86_ebp):
+        # Give the pointer a *real* simulated address: an array slot's
+        # base is fetched by writing its address into a scalar first.
+        b = IRBuilder("f")
+        arr = b.slot("arr", I32, SlotKind.ARRAY, count=4)
+        pp = b.slot("off", kind=SlotKind.PARAM)
+        b.block("entry")
+        off = b.load(pp)
+        v = b.load(Address(slot=arr, base=off), I32)  # arr base + off
+        b.store(Address(slot=arr, disp=0), b.add(v, b.imm(1)))
+        b.ret(b.load(Address(slot=arr, disp=0), I32))
+        fn = b.done()
+        m = Module("t")
+        m.add_function(fn)
+        ref = Interpreter(m).run("f", [0]).return_value
+        alloc = IPAllocator(x86_ebp).allocate(fn)
+        assert alloc.succeeded
+        validate_allocation(alloc, x86_ebp)
+        got = Interpreter(
+            m, target=x86_ebp,
+            allocations={"f": AllocatedFunction(
+                alloc.function, alloc.assignment
+            )},
+        ).run("f", [0]).return_value
+        assert got == ref
+
+
+class TestEspExclusion:
+    def esp_target(self):
+        """A synthetic target where ESP is allocatable, to exercise the
+        §5.4.3 exclusion machinery."""
+        return TargetMachine(
+            name="x86+esp",
+            register_file=x86_register_file(),
+            allocatable_families=("A", "SP"),
+            encoding=X86_ENCODING,
+            caller_saved_families=frozenset({"A"}),
+            irregular=True,
+            mem_operands=False,
+            width_aware=True,
+        )
+
+    def test_scaled_index_excludes_esp(self):
+        target = self.esp_target()
+        b = IRBuilder("f")
+        arr = b.slot("arr", I32, SlotKind.ARRAY, count=8)
+        pi = b.slot("i", kind=SlotKind.PARAM)
+        b.block("entry")
+        i = b.load(pi)
+        v = b.load(Address(slot=arr, index=i, scale=4), I32)
+        b.ret(b.add(v, i))
+        fn = b.done()
+        alloc = IPAllocator(target).allocate(fn)
+        assert alloc.succeeded
+        # The index register can never be ESP.
+        for _, _, instr in alloc.function.instructions():
+            for addr in filter(None, (instr.addr, instr.mem_dst)):
+                if addr.index is not None and addr.scale != 1:
+                    reg = alloc.assignment[addr.index.name]
+                    assert reg.family != "SP"
+
+    def test_esp_base_penalised_but_allowed(self):
+        target = self.esp_target()
+        b = IRBuilder("f")
+        pp = b.slot("p", kind=SlotKind.PARAM)
+        b.block("entry")
+        p = b.load(pp)
+        v = b.load(Address(base=p), I32)
+        b.ret(v)
+        fn = b.done()
+        _, model, table, _ = IPAllocator(target).build_model(fn)
+        penal = [
+            r for r in table.records
+            if r.kind is ActionKind.USEFROM and r.reg == "ESP"
+        ]
+        assert penal and all(r.var.cost > 0 for r in penal)

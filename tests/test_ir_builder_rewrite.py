@@ -1,0 +1,139 @@
+"""Tests for the IRBuilder API and the rewrite helpers."""
+
+import pytest
+
+from repro.ir import (
+    Address,
+    Cond,
+    I8,
+    I16,
+    I32,
+    IRBuilder,
+    Opcode,
+    SlotKind,
+    VirtualRegister,
+    clone_function,
+    copy_instr,
+    map_registers,
+    verify_function,
+)
+
+
+class TestBuilder:
+    def test_vreg_names_unique(self):
+        b = IRBuilder("f")
+        r1 = b.vreg("t")
+        r2 = b.vreg("t")
+        assert r1.name != r2.name
+
+    def test_requires_block(self):
+        b = IRBuilder("f")
+        with pytest.raises(ValueError, match="no current block"):
+            b.li(1)
+
+    def test_duplicate_block_rejected(self):
+        b = IRBuilder("f")
+        b.block("entry")
+        with pytest.raises(ValueError, match="duplicate"):
+            b.block("entry")
+
+    def test_switch_to(self):
+        b = IRBuilder("f")
+        first = b.block("entry")
+        b.jump("second")
+        b.block("second")
+        b.ret(b.li(1))
+        b.switch_to("entry")
+        assert b.current is first
+
+    def test_load_infers_type_from_slot(self):
+        b = IRBuilder("f")
+        slot = b.slot("c", I8)
+        b.block("entry")
+        v = b.load(slot)
+        assert v.type == I8
+
+    def test_load_slotless_requires_type(self):
+        b = IRBuilder("f")
+        b.block("entry")
+        base = b.li(100)
+        with pytest.raises(ValueError, match="type required"):
+            b.load(Address(base=base))
+
+    def test_param_slot_auto_registered(self):
+        b = IRBuilder("f")
+        p = b.slot("x", kind=SlotKind.PARAM)
+        assert p in b.function.params
+
+    def test_all_binary_helpers(self):
+        b = IRBuilder("f")
+        b.block("entry")
+        x = b.li(10)
+        for name in ("add", "sub", "and_", "or_", "xor", "mul",
+                     "div", "mod", "shl", "shr", "sar"):
+            x = getattr(b, name)(x, b.imm(3))
+        b.ret(x)
+        fn = b.done()
+        # lowering aside, the raw IR is structurally fine
+        verify_function(fn)
+
+
+class TestMapRegisters:
+    def test_identity_copy(self):
+        b = IRBuilder("f")
+        b.block("entry")
+        x = b.li(1)
+        instr = b.current.instrs[0]
+        dup = copy_instr(instr)
+        assert dup is not instr
+        assert dup.opcode == instr.opcode and dup.dst == instr.dst
+
+    def test_use_map_hits_addresses(self):
+        b = IRBuilder("f")
+        arr = b.slot("a", I32, SlotKind.ARRAY, count=4)
+        b.block("entry")
+        i = b.li(1, hint="i")
+        v = b.load(Address(slot=arr, index=i, scale=4), I32)
+        load = b.current.instrs[-1]
+        j = b.vreg("j")
+        mapped = map_registers(load, lambda r: j if r == i else r)
+        assert mapped.addr.index == j
+
+    def test_def_map(self):
+        b = IRBuilder("f")
+        b.block("entry")
+        x = b.li(1)
+        instr = b.current.instrs[0]
+        y = b.vreg("y")
+        mapped = map_registers(instr, lambda r: r, lambda r: y)
+        assert mapped.dst == y
+
+    def test_mem_dst_mapped(self):
+        from repro.ir import Instr, MemorySlot, plain
+
+        b = IRBuilder("f")
+        b.block("entry")
+        base = b.li(8, hint="p")
+        slot = MemorySlot("s", I32, SlotKind.SPILL)
+        instr = Instr(
+            Opcode.ADD, srcs=(b.li(1),),
+            mem_dst=Address(slot=slot, base=base),
+        )
+        q = b.vreg("q")
+        mapped = map_registers(instr, lambda r: q if r == base else r)
+        assert mapped.mem_dst.base == q
+
+
+class TestClone:
+    def test_deep_copy_independent(self, loop_sum_module):
+        fn = loop_sum_module.functions["sum"]
+        clone = clone_function(fn)
+        assert clone is not fn
+        clone.block("entry").instrs.pop()
+        assert len(clone.block("entry")) != len(fn.block("entry"))
+
+    def test_clone_preserves_text(self, loop_sum_module):
+        from repro.ir import format_function
+
+        fn = loop_sum_module.functions["sum"]
+        assert format_function(clone_function(fn)) == format_function(fn)

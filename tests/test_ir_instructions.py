@@ -1,0 +1,131 @@
+"""Tests for repro.ir.instructions (opcode metadata, operand views)."""
+
+from repro.ir import (
+    ALU_OPS,
+    DIV_OPS,
+    I8,
+    I32,
+    SHIFT_OPS,
+    Address,
+    Cond,
+    Immediate,
+    Instr,
+    MemorySlot,
+    Opcode,
+    SlotKind,
+    VirtualRegister,
+    opcode_info,
+)
+
+
+def v(name, type_=I32):
+    return VirtualRegister(name, type_)
+
+
+class TestOpcodeInfo:
+    def test_two_address_set(self):
+        for op in ALU_OPS | SHIFT_OPS | {Opcode.NEG, Opcode.NOT}:
+            assert opcode_info(op).two_address, op
+        for op in (Opcode.COPY, Opcode.LOAD, Opcode.LI, Opcode.DIV,
+                   Opcode.SEXT, Opcode.CALL):
+            assert not opcode_info(op).two_address, op
+
+    def test_commutativity(self):
+        for op in (Opcode.ADD, Opcode.AND, Opcode.OR, Opcode.XOR,
+                   Opcode.IMUL):
+            assert opcode_info(op).commutative
+        for op in (Opcode.SUB, Opcode.SHL, Opcode.SHR, Opcode.SAR,
+                   Opcode.DIV, Opcode.MOD):
+            assert not opcode_info(op).commutative
+
+    def test_terminators(self):
+        for op in (Opcode.JUMP, Opcode.CJUMP, Opcode.RET):
+            assert opcode_info(op).terminator
+        assert not opcode_info(op is Opcode.ADD and op or Opcode.ADD).terminator
+
+    def test_remat(self):
+        assert opcode_info(Opcode.LI).rematerializable_def
+        assert not opcode_info(Opcode.LOAD).rematerializable_def
+
+
+class TestInstrViews:
+    def test_uses_dedup(self):
+        a = v("a")
+        instr = Instr(Opcode.ADD, dst=v("d"), srcs=(a, a))
+        assert instr.uses() == (a,)
+
+    def test_addr_regs_in_uses(self):
+        base = v("b")
+        idx = v("i")
+        addr = Address(base=base, index=idx, scale=4)
+        instr = Instr(Opcode.LOAD, dst=v("d"), addr=addr)
+        assert set(instr.uses()) == {base, idx}
+
+    def test_address_source_regs_counted(self):
+        # Post-RA memory operands: Address in srcs contributes its regs.
+        base = v("p")
+        slot = MemorySlot("m", I32, SlotKind.SPILL)
+        instr = Instr(
+            Opcode.ADD, dst=v("d"),
+            srcs=(v("a"), Address(slot=slot, base=base)),
+        )
+        assert base in instr.uses()
+
+    def test_mem_dst_regs_counted(self):
+        base = v("p")
+        slot = MemorySlot("m", I32, SlotKind.SPILL)
+        instr = Instr(
+            Opcode.ADD, srcs=(v("a"),),
+            mem_dst=Address(slot=slot, base=base),
+        )
+        assert base in instr.uses()
+        assert instr.defs() == ()
+
+    def test_defs(self):
+        d = v("d")
+        assert Instr(Opcode.LI, dst=d, srcs=(Immediate(1, I32),)).defs() \
+            == (d,)
+        assert Instr(Opcode.JUMP, targets=("x",)).defs() == ()
+
+
+class TestTiedCandidates:
+    def test_commutative_two_vregs(self):
+        instr = Instr(Opcode.ADD, dst=v("d"), srcs=(v("a"), v("b")))
+        assert instr.tied_source_candidates() == (0, 1)
+
+    def test_commutative_with_immediate(self):
+        instr = Instr(Opcode.ADD, dst=v("d"),
+                      srcs=(v("a"), Immediate(1, I32)))
+        assert instr.tied_source_candidates() == (0,)
+        instr = Instr(Opcode.ADD, dst=v("d"),
+                      srcs=(Immediate(1, I32), v("b")))
+        assert instr.tied_source_candidates() == (1,)
+
+    def test_noncommutative(self):
+        instr = Instr(Opcode.SUB, dst=v("d"), srcs=(v("a"), v("b")))
+        assert instr.tied_source_candidates() == (0,)
+
+    def test_shift_ties_value_not_count(self):
+        instr = Instr(Opcode.SHL, dst=v("d"), srcs=(v("a"), v("c")))
+        assert instr.tied_source_candidates() == (0,)
+
+    def test_non_two_address(self):
+        instr = Instr(Opcode.COPY, dst=v("d"), srcs=(v("a"),))
+        assert instr.tied_source_candidates() == ()
+
+    def test_all_immediate_candidates_empty(self):
+        instr = Instr(Opcode.SUB, dst=v("d"),
+                      srcs=(Immediate(5, I32), v("b")))
+        assert instr.tied_source_candidates() == ()
+
+
+class TestStr:
+    def test_cjump(self):
+        instr = Instr(Opcode.CJUMP, srcs=(v("a"), Immediate(0, I32)),
+                      cond=Cond.LT, targets=("t", "f"))
+        assert "lt" in str(instr) and "-> t, f" in str(instr)
+
+    def test_call(self):
+        instr = Instr(Opcode.CALL, dst=v("r"), srcs=(v("a"),),
+                      callee="foo")
+        assert "@foo" in str(instr)

@@ -1,0 +1,126 @@
+"""Printer/parser round-trip tests."""
+
+import pytest
+
+from repro.ir import (
+    Cond,
+    I8,
+    I16,
+    I32,
+    IRBuilder,
+    ParseError,
+    SlotKind,
+    format_function,
+    format_module,
+    parse_function,
+    parse_module,
+    verify_function,
+)
+from repro.bench.generator import generate_module
+
+
+def roundtrip(fn):
+    text = format_function(fn)
+    fn2 = parse_function(text)
+    assert format_function(fn2) == text
+    return fn2
+
+
+class TestRoundTrip:
+    def test_simple(self):
+        b = IRBuilder("f")
+        px = b.slot("x", kind=SlotKind.PARAM)
+        b.block("entry")
+        x = b.load(px)
+        b.ret(b.add(x, b.imm(1)))
+        roundtrip(b.done())
+
+    def test_all_widths(self):
+        b = IRBuilder("w")
+        b.block("entry")
+        c = b.li(5, I8)
+        s = b.sext(c, I16)
+        i = b.sext(s, I32)
+        t = b.trunc(i, I8)
+        b.ret(b.sext(t, I32))
+        fn = roundtrip(b.done())
+        verify_function(fn)
+
+    def test_control_flow(self):
+        b = IRBuilder("cf")
+        pn = b.slot("n", kind=SlotKind.PARAM)
+        b.block("entry")
+        n = b.load(pn)
+        b.cjump(Cond.GT, n, b.imm(0), "pos", "neg")
+        b.block("pos")
+        b.ret(n)
+        b.block("neg")
+        b.ret(b.neg(n))
+        roundtrip(b.done())
+
+    def test_arrays_and_addressing(self):
+        b = IRBuilder("arr")
+        arr = b.slot("a", I32, SlotKind.ARRAY, count=8)
+        pi = b.slot("i", kind=SlotKind.PARAM)
+        b.block("entry")
+        i = b.load(pi)
+        from repro.ir import Address
+
+        v = b.load(Address(slot=arr, index=i, scale=4), I32)
+        b.store(Address(slot=arr, base=i, disp=4), v)
+        b.ret(v)
+        fn = roundtrip(b.done())
+        verify_function(fn)
+
+    def test_calls(self):
+        b = IRBuilder("callers")
+        b.block("entry")
+        r = b.call("callee", [b.imm(1), b.imm(2)])
+        b.ret(r)
+        roundtrip(b.done())
+
+    def test_module_roundtrip(self):
+        from repro.ir import Module, MemorySlot
+
+        m = Module("m")
+        m.add_global(MemorySlot("g", I32, SlotKind.GLOBAL))
+        m.add_global(MemorySlot("arr", I16, SlotKind.ARRAY, count=5))
+        b = IRBuilder("f")
+        b.block("entry")
+        b.ret(b.li(1))
+        m.add_function(b.done())
+        text = format_module(m)
+        m2 = parse_module(text)
+        assert format_module(m2) == text
+        assert m2.globals["arr"].count == 5
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_generated_programs_roundtrip(self, seed):
+        from repro.bench.generator import GeneratorConfig
+
+        module = generate_module(
+            seed, GeneratorConfig(n_functions=2, body_statements=(2, 6))
+        )
+        for fn in module:
+            roundtrip(fn)
+
+
+class TestParseErrors:
+    def test_unknown_opcode(self):
+        with pytest.raises(ParseError):
+            parse_function("func @f() -> i32 {\nentry:\n  frob %x:i32\n}")
+
+    def test_unknown_slot(self):
+        with pytest.raises(ParseError):
+            parse_function(
+                "func @f() -> i32 {\nentry:\n  load %x:i32, [@nope]\n"
+                "  ret %x:i32\n}"
+            )
+
+    def test_bad_character(self):
+        with pytest.raises(ParseError):
+            parse_function("func @f() -> i32 { $ }")
+
+    def test_unknown_type(self):
+        with pytest.raises(ValueError):
+            parse_function("func @f() -> i64 {\nentry:\n  ret\n}")

@@ -1,0 +1,75 @@
+"""Tests for repro.ir.types."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ir import ALL_TYPES, I8, I16, I32, IntType, type_from_name
+
+
+class TestIntType:
+    def test_widths(self):
+        assert I8.bits == 8 and I8.bytes == 1
+        assert I16.bits == 16 and I16.bytes == 2
+        assert I32.bits == 32 and I32.bytes == 4
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            IntType(12)
+        with pytest.raises(ValueError):
+            IntType(64)
+
+    def test_ranges(self):
+        assert I8.min_value == -128 and I8.max_value == 127
+        assert I16.min_value == -32768 and I16.max_value == 32767
+        assert I32.min_value == -(2 ** 31)
+        assert I32.max_value == 2 ** 31 - 1
+
+    def test_contains(self):
+        assert I8.contains(127) and not I8.contains(128)
+        assert I8.contains(-128) and not I8.contains(-129)
+
+    def test_equality_and_hash(self):
+        assert I8 == IntType(8)
+        assert hash(I8) == hash(IntType(8))
+        assert I8 != I16
+
+    def test_str(self):
+        assert str(I32) == "i32"
+        assert str(I8) == "i8"
+
+    def test_from_name(self):
+        for t in ALL_TYPES:
+            assert type_from_name(str(t)) == t
+        with pytest.raises(ValueError):
+            type_from_name("i64")
+
+
+class TestWrap:
+    def test_wrap_identity_in_range(self):
+        assert I8.wrap(100) == 100
+        assert I8.wrap(-100) == -100
+
+    def test_wrap_overflow(self):
+        assert I8.wrap(128) == -128
+        assert I8.wrap(255) == -1
+        assert I8.wrap(256) == 0
+        assert I16.wrap(65535) == -1
+        assert I32.wrap(2 ** 31) == -(2 ** 31)
+
+    def test_wrap_underflow(self):
+        assert I8.wrap(-129) == 127
+        assert I8.wrap(-256) == 0
+
+    @given(st.integers(min_value=-(2 ** 40), max_value=2 ** 40))
+    def test_wrap_is_idempotent(self, value):
+        for t in ALL_TYPES:
+            wrapped = t.wrap(value)
+            assert t.contains(wrapped)
+            assert t.wrap(wrapped) == wrapped
+
+    @given(st.integers(), st.integers())
+    def test_wrap_is_congruent_mod_2n(self, a, b):
+        for t in ALL_TYPES:
+            if (a - b) % (1 << t.bits) == 0:
+                assert t.wrap(a) == t.wrap(b)

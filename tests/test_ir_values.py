@@ -1,0 +1,98 @@
+"""Tests for repro.ir.values."""
+
+import pytest
+
+from repro.ir import (
+    I8,
+    I32,
+    Address,
+    Immediate,
+    MemorySlot,
+    SlotKind,
+    VirtualRegister,
+    plain,
+)
+
+
+class TestVirtualRegister:
+    def test_identity_by_name_and_type(self):
+        a = VirtualRegister("x", I32)
+        b = VirtualRegister("x", I32)
+        assert a == b and hash(a) == hash(b)
+        assert a != VirtualRegister("x", I8)
+
+    def test_str(self):
+        assert str(VirtualRegister("x", I32)) == "%x:i32"
+
+
+class TestImmediate:
+    def test_range_checked(self):
+        Immediate(127, I8)
+        with pytest.raises(ValueError):
+            Immediate(128, I8)
+        with pytest.raises(ValueError):
+            Immediate(-129, I8)
+
+    def test_str(self):
+        assert str(Immediate(5, I32)) == "5:i32"
+
+
+class TestMemorySlot:
+    def test_scalar(self):
+        s = MemorySlot("x", I32, SlotKind.LOCAL)
+        assert s.size_bytes == 4
+        assert not s.is_predefined
+
+    def test_array(self):
+        s = MemorySlot("a", I8, SlotKind.ARRAY, count=10)
+        assert s.size_bytes == 10
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ValueError):
+            MemorySlot("a", I32, SlotKind.ARRAY, count=0)
+
+    def test_predefined(self):
+        assert MemorySlot("p", I32, SlotKind.PARAM).is_predefined
+        assert MemorySlot("g", I32, SlotKind.GLOBAL).is_predefined
+        assert not MemorySlot("l", I32, SlotKind.LOCAL).is_predefined
+        assert not MemorySlot("s", I32, SlotKind.SPILL).is_predefined
+
+
+class TestAddress:
+    def test_requires_something(self):
+        with pytest.raises(ValueError):
+            Address()
+
+    def test_scale_validation(self):
+        idx = VirtualRegister("i", I32)
+        for scale in (1, 2, 4, 8):
+            Address(index=idx, scale=scale)
+        with pytest.raises(ValueError):
+            Address(index=idx, scale=3)
+
+    def test_plain(self):
+        slot = MemorySlot("x", I32, SlotKind.LOCAL)
+        addr = plain(slot)
+        assert addr.is_plain_slot
+        assert addr.registers == ()
+
+    def test_not_plain_with_disp(self):
+        slot = MemorySlot("x", I32, SlotKind.LOCAL)
+        assert not Address(slot=slot, disp=4).is_plain_slot
+
+    def test_registers(self):
+        base = VirtualRegister("b", I32)
+        idx = VirtualRegister("i", I32)
+        addr = Address(base=base, index=idx, scale=4)
+        assert addr.registers == (base, idx)
+        assert addr.uses_scaled_index
+
+    def test_unscaled_index(self):
+        idx = VirtualRegister("i", I32)
+        assert not Address(index=idx, scale=1).uses_scaled_index
+
+    def test_str(self):
+        slot = MemorySlot("arr", I32, SlotKind.ARRAY, count=4)
+        idx = VirtualRegister("i", I32)
+        assert str(Address(slot=slot, index=idx, scale=4, disp=8)) == \
+            "[@arr + 4*%i + 8]"

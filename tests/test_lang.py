@@ -1,0 +1,233 @@
+"""Tests for the mini-C frontend (lexer, parser, codegen semantics)."""
+
+import pytest
+
+from repro.ir import I8, I16, I32, verify_function
+from repro.lang import (
+    CodeGenError,
+    SyntaxErrorMC,
+    compile_program,
+    parse_program,
+    tokenize,
+)
+from repro.sim import Interpreter
+
+
+def run(src, entry="main", args=()):
+    module = compile_program(src)
+    for fn in module:
+        verify_function(fn)
+    return Interpreter(module).run(entry, list(args)).return_value
+
+
+class TestLexer:
+    def test_tokens(self):
+        toks = tokenize("int x = 42; // comment\nx <<= 2;")
+        kinds = [(t.kind, t.text) for t in toks]
+        assert ("kw", "int") in kinds
+        assert ("num", "42") in kinds
+        assert ("op", "<<=") in kinds
+        assert kinds[-1] == ("eof", "")
+
+    def test_comments_stripped(self):
+        toks = tokenize("/* multi\nline */ int x;")
+        assert toks[0].text == "int"
+
+    def test_line_numbers(self):
+        toks = tokenize("int\nx\n=\n1;")
+        assert toks[1].line == 2
+
+
+class TestParser:
+    def test_program_shape(self):
+        p = parse_program("int g; int f(int a) { return a; }")
+        assert [g.name for g in p.globals] == ["g"]
+        assert [f.name for f in p.functions] == ["f"]
+
+    def test_precedence(self):
+        assert run("int main(int n) { return 2 + 3 * 4; }", args=[0]) == 14
+        assert run("int main(int n) { return (2 + 3) * 4; }", args=[0]) == 20
+        assert run("int main(int n) { return 1 << 2 + 1; }", args=[0]) == 8
+
+    def test_errors(self):
+        with pytest.raises(SyntaxErrorMC):
+            parse_program("int f( { }")
+        with pytest.raises(SyntaxErrorMC):
+            parse_program("float f() { }")
+
+
+class TestSemantics:
+    def test_arithmetic_and_logic(self):
+        src = """
+        int main(int n) {
+            int a = n * 3 - 1;
+            int b = a % 7;
+            int c = a / 7;
+            return (a << 1) + (b ^ c) + (a & 15) + (a | 1);
+        }
+        """
+        n = 13
+        a = n * 3 - 1
+        expected = (a << 1) + ((a % 7) ^ (a // 7)) + (a & 15) + (a | 1)
+        assert run(src, args=[n]) == expected
+
+    def test_truncating_division(self):
+        assert run("int main(int n) { return (0 - 7) / 2; }", args=[0]) == -3
+        assert run("int main(int n) { return (0 - 7) % 2; }", args=[0]) == -1
+
+    def test_comparisons_as_values(self):
+        assert run("int main(int n) { return (n > 2) + (n == 3); }",
+                   args=[3]) == 2
+
+    def test_short_circuit(self):
+        # Division by zero on the right must not execute.
+        src = """
+        int main(int n) {
+            if (n == 0 || 10 / n > 100) { return 1; }
+            return 0;
+        }
+        """
+        assert run(src, args=[0]) == 1
+        assert run(src, args=[5]) == 0
+
+    def test_while_and_for(self):
+        src = """
+        int main(int n) {
+            int s = 0;
+            for (int i = 1; i <= n; i += 1) { s += i; }
+            int t = 0;
+            int j = n;
+            while (j > 0) { t += j; j -= 1; }
+            return s * 1000 + t;
+        }
+        """
+        assert run(src, args=[10]) == 55 * 1000 + 55
+
+    def test_do_while(self):
+        src = """
+        int main(int n) {
+            int c = 0;
+            do { c += 1; n -= 1; } while (n > 0);
+            return c;
+        }
+        """
+        assert run(src, args=[3]) == 3
+        assert run(src, args=[0]) == 1  # body runs at least once
+
+    def test_break_continue(self):
+        src = """
+        int main(int n) {
+            int s = 0;
+            for (int i = 0; i < 100; i += 1) {
+                if (i == n) { break; }
+                if ((i & 1) == 1) { continue; }
+                s += i;
+            }
+            return s;
+        }
+        """
+        assert run(src, args=[7]) == 0 + 2 + 4 + 6
+
+    def test_narrow_types_wrap(self):
+        src = """
+        int main(int n) {
+            char c = 127;
+            c += 1;
+            short s = 32767;
+            s += 1;
+            return (c == 0 - 128) + ((s == 0 - 32768) << 1);
+        }
+        """
+        assert run(src, args=[0]) == 3
+
+    def test_char_comparisons(self):
+        src = """
+        int main(int n) {
+            char c = (char)n;
+            if (c >= 48 && c <= 57) { return c - 48; }
+            return 0 - 1;
+        }
+        """
+        assert run(src, args=[53]) == 5
+        assert run(src, args=[200]) == -1  # wraps to negative
+
+    def test_arrays_and_globals(self):
+        src = """
+        int table[8];
+        int fill(void) {
+            for (int i = 0; i < 8; i += 1) { table[i] = i * i; }
+            return 0;
+        }
+        int main(int n) {
+            fill();
+            return table[n] + table[7];
+        }
+        """
+        assert run(src, args=[3]) == 9 + 49
+
+    def test_local_arrays_are_per_activation(self):
+        src = """
+        int rec(int depth) {
+            int buf[4];
+            buf[0] = depth;
+            if (depth > 0) { rec(depth - 1); }
+            return buf[0];
+        }
+        int main(int n) { return rec(n); }
+        """
+        assert run(src, args=[5]) == 5
+
+    def test_scoping_and_shadowing(self):
+        src = """
+        int main(int n) {
+            int x = 1;
+            { int x = 2; n += x; }
+            { int x = 3; n += x; }
+            return n + x;
+        }
+        """
+        assert run(src, args=[0]) == 6
+
+    def test_unreachable_code_after_return(self):
+        src = """
+        int main(int n) {
+            return 1;
+            n += 5;
+            return n;
+        }
+        """
+        assert run(src, args=[0]) == 1
+
+    def test_missing_return_yields_zero(self):
+        src = "int main(int n) { n += 1; }"
+        assert run(src, args=[5]) == 0
+
+    def test_void_function(self):
+        src = """
+        int g;
+        void set(int v) { g = v; }
+        int main(int n) { set(n * 2); return g; }
+        """
+        assert run(src, args=[21]) == 42
+
+    def test_casts(self):
+        src = """
+        int main(int n) {
+            int big = 300;
+            char c = (char)big;
+            return (int)c;
+        }
+        """
+        assert run(src, args=[0]) == 300 - 256
+
+    def test_errors(self):
+        with pytest.raises(CodeGenError):
+            compile_program("int main(int n) { return zzz; }")
+        with pytest.raises(CodeGenError):
+            compile_program("int main(int n) { return f(1); }")
+        with pytest.raises(CodeGenError):
+            compile_program("int a[4]; int main(int n) { return a; }")
+        with pytest.raises(CodeGenError):
+            compile_program(
+                "int main(int n) { int x = 1; int x = 2; return x; }"
+            )

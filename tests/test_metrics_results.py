@@ -1,0 +1,77 @@
+"""Edge-case tests for metrics rows and solver result plumbing."""
+
+import pytest
+
+from repro.bench.metrics import OverheadRow, SpillOverhead
+from repro.solver import (
+    IPModel,
+    Sense,
+    SolveStatus,
+    complete_values,
+)
+
+
+class TestOverheadRow:
+    def test_ratio(self):
+        assert OverheadRow("x", 36.0, 100.0).ratio == pytest.approx(0.36)
+
+    def test_zero_baseline(self):
+        assert OverheadRow("x", 0.0, 0.0).ratio == 1.0
+        assert OverheadRow("x", 5.0, 0.0).ratio == float("inf")
+
+
+class TestSpillOverhead:
+    def make(self, ip_rows, gc_rows, ip_cyc, gc_cyc, ref_cyc):
+        rows = [
+            OverheadRow(f"r{i}", a, b)
+            for i, (a, b) in enumerate(zip(ip_rows, gc_rows))
+        ]
+        return SpillOverhead(rows=rows, ip_cycles=ip_cyc,
+                             gc_cycles=gc_cyc, ref_cycles=ref_cyc)
+
+    def test_total_row(self):
+        so = self.make([1, 2], [3, 4], 0, 0, 0)
+        assert so.total_row.ip == 3 and so.total_row.gc == 7
+
+    def test_paper_headline_numbers(self):
+        # 551M vs 1410M -> 61% reduction.
+        so = self.make([], [], 1551.0, 2410.0, 1000.0)
+        assert so.ip_cycle_overhead == pytest.approx(551.0)
+        assert so.gc_cycle_overhead == pytest.approx(1410.0)
+        assert so.overhead_reduction == pytest.approx(0.609, abs=1e-3)
+
+    def test_negative_baseline_overhead(self):
+        so = self.make([], [], 900.0, 950.0, 1000.0)
+        assert so.overhead_reduction == 0.0  # undefined regime guarded
+
+
+class TestSolverPlumbing:
+    def test_complete_values_merges_fixed(self):
+        m = IPModel()
+        x = m.add_var("x", 1.0)
+        y = m.add_var("y", 1.0)
+        m.fix(y, 1)
+        merged = complete_values(m, {x.index: 0})
+        assert merged == {x.index: 0, y.index: 1}
+
+    def test_status_has_solution(self):
+        assert SolveStatus.OPTIMAL.has_solution
+        assert SolveStatus.FEASIBLE.has_solution
+        assert not SolveStatus.INFEASIBLE.has_solution
+        assert not SolveStatus.UNSOLVED.has_solution
+
+    def test_model_str_mentions_fixings(self):
+        m = IPModel("demo")
+        x = m.add_var("x", 2.0)
+        m.fix(x, 1)
+        y = m.add_var("y")
+        m.add_constraint([(1, y)], Sense.LE, 1, "cap")
+        text = str(m)
+        assert "fixed=1" in text and "cap" not in text or "y" in text
+
+    def test_constraint_str(self):
+        m = IPModel()
+        x = m.add_var("x")
+        y = m.add_var("y")
+        con = m.add_constraint([(2, x), (1, y)], Sense.GE, 1, "c")
+        assert "2*x" in str(con) and ">= 1" in str(con)

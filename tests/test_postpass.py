@@ -1,0 +1,109 @@
+"""Tests for merge-based no-op copy deletion."""
+
+from repro.ir import (
+    Cond,
+    I32,
+    IRBuilder,
+    Module,
+    Opcode,
+    SlotKind,
+)
+from repro.postpass import merge_noop_copies
+from repro.sim import Interpreter
+from repro.target import x86_target
+
+RF = x86_target().register_file
+
+
+def count_copies(fn):
+    return sum(
+        1 for _, _, i in fn.instructions() if i.opcode is Opcode.COPY
+    )
+
+
+class TestMergeNoopCopies:
+    def test_same_register_copy_deleted(self):
+        b = IRBuilder("f")
+        pn = b.slot("n", kind=SlotKind.PARAM)
+        b.block("entry")
+        n = b.load(pn)
+        x = b.vreg("x")
+        b.copy_into(x, n)
+        b.ret(b.add(x, b.imm(1)))
+        fn = b.done()
+        assignment = {"t": RF["EAX"], "x": RF["EAX"], "t.1": RF["EAX"]}
+        deleted = merge_noop_copies(fn, assignment)
+        assert deleted == 1
+        assert count_copies(fn) == 0
+        # uses of x now reference n's vreg
+        names = {v.name for v in fn.vregs()}
+        assert "x" not in names
+
+    def test_different_register_copy_kept(self):
+        b = IRBuilder("f")
+        pn = b.slot("n", kind=SlotKind.PARAM)
+        b.block("entry")
+        n = b.load(pn)
+        x = b.vreg("x")
+        b.copy_into(x, n)
+        b.ret(b.add(x, b.imm(1)))
+        fn = b.done()
+        assignment = {"t": RF["EAX"], "x": RF["EBX"], "t.1": RF["EBX"]}
+        assert merge_noop_copies(fn, assignment) == 0
+        assert count_copies(fn) == 1
+
+    def test_loop_carried_merge(self):
+        # The multi-def case: i and its update temp share a register.
+        b = IRBuilder("f")
+        pn = b.slot("n", kind=SlotKind.PARAM)
+        b.block("entry")
+        n = b.load(pn)
+        i = b.li(0, hint="i")
+        b.jump("head")
+        b.block("head")
+        b.cjump(Cond.LT, i, n, "body", "exit")
+        b.block("body")
+        t = b.add(i, b.imm(1))
+        b.copy_into(i, t)
+        b.jump("head")
+        b.block("exit")
+        b.ret(i)
+        fn = b.done()
+        m = Module("t")
+        m.add_function(fn)
+        ref = Interpreter(m).run("f", [5]).return_value
+        assignment = {
+            "t": RF["EBX"], "i": RF["ESI"], "t.1": RF["ESI"],
+        }
+        assert merge_noop_copies(fn, assignment) == 1
+        assert count_copies(fn) == 0
+        # Semantics preserved (run symbolically after the merge).
+        assert Interpreter(m).run("f", [5]).return_value == ref
+
+    def test_chained_copies(self):
+        b = IRBuilder("f")
+        b.block("entry")
+        a = b.li(7, hint="a")
+        x = b.vreg("x")
+        b.copy_into(x, a)
+        y = b.vreg("y")
+        b.copy_into(y, x)
+        b.ret(y)
+        fn = b.done()
+        assignment = {
+            "a": RF["EAX"], "x": RF["EAX"], "y": RF["EAX"],
+        }
+        assert merge_noop_copies(fn, assignment) == 2
+        assert count_copies(fn) == 0
+        m = Module("t")
+        m.add_function(fn)
+        assert Interpreter(m).run("f", []).return_value == 7
+
+    def test_self_copy_deleted_without_union(self):
+        b = IRBuilder("f")
+        b.block("entry")
+        a = b.li(7, hint="a")
+        b.copy_into(a, a)
+        b.ret(a)
+        fn = b.done()
+        assert merge_noop_copies(fn, {"a": RF["EAX"]}) == 1

@@ -1,0 +1,95 @@
+"""Property-based end-to-end tests: for random programs, both allocators
+produce structurally valid, semantically equivalent code, and the IP
+allocator's objective is never worse than what the baseline achieves
+under the same cost model.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.allocation import validate_allocation
+from repro.analysis import profiled_frequencies
+from repro.baseline import GraphColoringAllocator
+from repro.bench.generator import GeneratorConfig, generate_module
+from repro.core import AllocatorConfig, IPAllocator
+from repro.ir import verify_function
+from repro.sim import AllocatedFunction, Interpreter
+from repro.target import x86_target
+
+TARGET = x86_target()
+SMALL = GeneratorConfig(n_functions=2, body_statements=(2, 6))
+
+
+@settings(
+    deadline=None, max_examples=12,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(st.integers(min_value=0, max_value=100_000))
+def test_both_allocators_correct_on_random_programs(seed):
+    module = generate_module(seed, SMALL)
+    for fn in module:
+        verify_function(fn)
+    ref = Interpreter(module).run("main", [3])
+
+    ip_allocs = {}
+    gc_allocs = {}
+    for fn in module:
+        freq = profiled_frequencies(fn, ref.blocks_of(fn.name))
+        a = IPAllocator(TARGET).allocate(fn, freq)
+        assert a.succeeded, (seed, fn.name, a.status)
+        validate_allocation(a, TARGET)
+        ip_allocs[fn.name] = AllocatedFunction(a.function, a.assignment)
+        g = GraphColoringAllocator(TARGET).allocate(fn, freq)
+        assert g.succeeded, (seed, fn.name)
+        validate_allocation(g, TARGET)
+        gc_allocs[fn.name] = AllocatedFunction(g.function, g.assignment)
+
+    ip = Interpreter(module, target=TARGET, allocations=ip_allocs) \
+        .run("main", [3])
+    gc = Interpreter(module, target=TARGET, allocations=gc_allocs) \
+        .run("main", [3])
+    assert ip.return_value == ref.return_value
+    assert gc.return_value == ref.return_value
+
+
+@settings(
+    deadline=None, max_examples=8,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(st.integers(min_value=0, max_value=100_000))
+def test_ip_allocation_survives_feature_toggles(seed):
+    """Every §5 feature disabled individually must still give valid,
+    correct allocations (the feature set changes cost, not safety)."""
+    module = generate_module(
+        seed, GeneratorConfig(n_functions=1, body_statements=(2, 5))
+    )
+    ref = Interpreter(module).run("main", [2])
+    toggles = [
+        {"enable_copy_insertion": False},
+        {"enable_memory_operands": False},
+        {"enable_rematerialization": False},
+        {"enable_predefined_memory": False},
+        {"enable_encoding_costs": False},
+        {"enable_copy_deletion": False},
+    ]
+    for overrides in toggles:
+        config = AllocatorConfig(**overrides)
+        allocs = {}
+        ok = True
+        for fn in module:
+            a = IPAllocator(TARGET, config).allocate(fn)
+            if not a.succeeded:
+                # Only copy insertion is allowed to break feasibility
+                # (implicit-register operands may need copies).
+                assert overrides.get("enable_copy_insertion") is False, (
+                    seed, overrides, fn.name
+                )
+                ok = False
+                break
+            validate_allocation(a, TARGET)
+            allocs[fn.name] = AllocatedFunction(a.function, a.assignment)
+        if not ok:
+            continue
+        got = Interpreter(module, target=TARGET, allocations=allocs) \
+            .run("main", [2])
+        assert got.return_value == ref.return_value, (seed, overrides)

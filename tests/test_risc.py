@@ -1,0 +1,98 @@
+"""Tests of the uniform RISC-24 target path (the prior-work setting)."""
+
+import pytest
+
+from repro.allocation import validate_allocation
+from repro.baseline import GraphColoringAllocator
+from repro.core import AllocatorConfig, IPAllocator
+from repro.ir import Cond, IRBuilder, Module, SlotKind
+from repro.sim import AllocatedFunction, Interpreter
+from repro.target import risc_target
+
+
+class TestRiscAllocation:
+    def test_ip_allocates_on_risc(self, risc, loop_sum_module):
+        fn = loop_sum_module.functions["sum"]
+        alloc = IPAllocator(risc).allocate(fn)
+        assert alloc.succeeded
+        validate_allocation(alloc, risc)
+        ref = Interpreter(loop_sum_module).run("sum", [7]).return_value
+        got = Interpreter(
+            loop_sum_module, target=risc,
+            allocations={"sum": AllocatedFunction(
+                alloc.function, alloc.assignment
+            )},
+        ).run("sum", [7]).return_value
+        assert got == ref
+
+    def test_baseline_allocates_on_risc(self, risc, loop_sum_module):
+        fn = loop_sum_module.functions["sum"]
+        alloc = GraphColoringAllocator(risc).allocate(fn)
+        assert alloc.succeeded
+        validate_allocation(alloc, risc)
+
+    def test_no_spills_with_24_registers(self, risc):
+        # 9 live values fit trivially in 24 registers.
+        b = IRBuilder("f")
+        pn = b.slot("n", kind=SlotKind.PARAM)
+        b.block("entry")
+        n = b.load(pn)
+        vals = [b.add(n, b.imm(k), hint=f"v{k}") for k in range(9)]
+        acc = vals[0]
+        for v in vals[1:]:
+            acc = b.add(acc, v)
+        b.ret(acc)
+        fn = b.done()
+        alloc = IPAllocator(risc).allocate(fn)
+        assert alloc.succeeded
+        assert alloc.stats.loads == 0
+        assert alloc.stats.stores == 0
+        assert alloc.stats.copies_inserted == 0  # three-address ALU
+
+    def test_same_function_x86_needs_work(self, x86):
+        # The identical function on x86 needs copies/spills/mem ops.
+        b = IRBuilder("f")
+        pn = b.slot("n", kind=SlotKind.PARAM)
+        b.block("entry")
+        n = b.load(pn)
+        vals = [b.add(n, b.imm(k), hint=f"v{k}") for k in range(9)]
+        acc = vals[0]
+        for v in vals[1:]:
+            acc = b.add(acc, v)
+        b.ret(acc)
+        fn = b.done()
+        alloc = IPAllocator(x86).allocate(fn)
+        assert alloc.succeeded
+        effort = (alloc.stats.loads + alloc.stats.stores
+                  + alloc.stats.copies_inserted
+                  + alloc.stats.mem_operand_uses
+                  + alloc.stats.rmw_mem_defs)
+        assert effort > 0
+
+    def test_risc_result_register_convention(self, risc):
+        m = Module("t")
+        b = IRBuilder("callee")
+        pa = b.slot("a", kind=SlotKind.PARAM)
+        b.block("entry")
+        b.ret(b.load(pa))
+        m.add_function(b.done())
+
+        b = IRBuilder("f")
+        pn = b.slot("n", kind=SlotKind.PARAM)
+        b.block("entry")
+        n = b.load(pn)
+        r = b.call("callee", [n])
+        b.ret(b.add(r, n))
+        fn = b.done()
+        m.add_function(fn)
+        alloc = IPAllocator(risc).allocate(fn)
+        assert alloc.succeeded
+        validate_allocation(alloc, risc)
+        ref = Interpreter(m).run("f", [5]).return_value
+        got = Interpreter(
+            m, target=risc,
+            allocations={"f": AllocatedFunction(
+                alloc.function, alloc.assignment
+            )},
+        ).run("f", [5]).return_value
+        assert got == ref == 10

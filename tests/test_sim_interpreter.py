@@ -1,0 +1,263 @@
+"""Interpreter tests: semantics, profiling, accounting, allocated mode."""
+
+import pytest
+
+from repro.ir import (
+    Cond,
+    I8,
+    I16,
+    I32,
+    Address,
+    IRBuilder,
+    Module,
+    Opcode,
+    SlotKind,
+)
+from repro.sim import (
+    AllocatedFunction,
+    Interpreter,
+    RunResult,
+    SimulationError,
+)
+from repro.target import x86_target
+
+
+def run_single(builder: IRBuilder, args=None, **kwargs) -> RunResult:
+    m = Module("t")
+    m.add_function(builder.done())
+    return Interpreter(m, **kwargs).run(builder.function.name, args or [])
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize("op,a,b,expected", [
+        ("add", 3, 4, 7),
+        ("sub", 3, 4, -1),
+        ("mul", -3, 4, -12),
+        ("and_", 12, 10, 8),
+        ("or_", 12, 10, 14),
+        ("xor", 12, 10, 6),
+    ])
+    def test_binary(self, op, a, b, expected):
+        b_ = IRBuilder("f")
+        b_.block("entry")
+        x = b_.li(a)
+        r = getattr(b_, op)(x, b_.imm(b))
+        b_.ret(r)
+        assert run_single(b_).return_value == expected
+
+    @pytest.mark.parametrize("a,b,q,r", [
+        (7, 2, 3, 1),
+        (-7, 2, -3, -1),  # x86 IDIV truncates toward zero
+        (7, -2, -3, 1),
+        (-7, -2, 3, -1),
+    ])
+    def test_division_truncates_toward_zero(self, a, b, q, r):
+        bb = IRBuilder("f")
+        bb.block("entry")
+        x = bb.li(a)
+        y = bb.li(b)
+        bb.ret(bb.div(x, y))
+        assert run_single(bb).return_value == q
+        bb = IRBuilder("g")
+        bb.block("entry")
+        x = bb.li(a)
+        y = bb.li(b)
+        bb.ret(bb.mod(x, y))
+        assert run_single(bb).return_value == r
+
+    def test_division_by_zero_faults(self):
+        bb = IRBuilder("f")
+        bb.block("entry")
+        x = bb.li(1)
+        y = bb.li(0)
+        bb.ret(bb.div(x, y))
+        with pytest.raises(SimulationError, match="zero"):
+            run_single(bb)
+
+    def test_shifts(self):
+        bb = IRBuilder("f")
+        bb.block("entry")
+        x = bb.li(-8)
+        sar = bb.sar(x, bb.imm(1))
+        shr = bb.shr(x, bb.imm(1))
+        bb.ret(bb.sub(sar, shr))
+        # sar(-8,1) = -4 ; shr(-8,1) = 0x7FFFFFFC
+        assert run_single(bb).return_value == -4 - 0x7FFFFFFC
+
+    def test_shift_count_masked_to_31(self):
+        bb = IRBuilder("f")
+        bb.block("entry")
+        x = bb.li(1)
+        bb.ret(bb.shl(x, bb.imm(33)))  # 33 & 31 == 1
+        assert run_single(bb).return_value == 2
+
+    def test_narrow_wraparound(self):
+        bb = IRBuilder("f")
+        bb.block("entry")
+        c = bb.li(127, I8)
+        c2 = bb.add(c, bb.imm(1, I8))
+        bb.ret(bb.sext(c2, I32))
+        assert run_single(bb).return_value == -128
+
+    def test_zext_vs_sext(self):
+        bb = IRBuilder("f")
+        bb.block("entry")
+        c = bb.li(-1, I8)
+        z = bb.zext(c, I32)
+        s = bb.sext(c, I32)
+        bb.ret(bb.sub(z, s))
+        assert run_single(bb).return_value == 255 - (-1)
+
+
+class TestMemoryAndCalls:
+    def test_array_addressing(self):
+        bb = IRBuilder("f")
+        arr = bb.slot("a", I32, SlotKind.ARRAY, count=4)
+        bb.block("entry")
+        i = bb.li(2, hint="i")
+        bb.store(Address(slot=arr, index=i, scale=4), bb.imm(99))
+        v = bb.load(Address(slot=arr, disp=8), I32)
+        bb.ret(v)
+        assert run_single(bb).return_value == 99
+
+    def test_recursion(self):
+        m = Module("t")
+        b = IRBuilder("fact")
+        pn = b.slot("n", kind=SlotKind.PARAM)
+        b.block("entry")
+        n = b.load(pn)
+        b.cjump(Cond.LE, n, b.imm(1), "base", "rec")
+        b.block("base")
+        b.ret(b.imm(1))
+        b.block("rec")
+        r = b.call("fact", [b.sub(n, b.imm(1))])
+        b.ret(b.mul(n, r))
+        m.add_function(b.done())
+        assert Interpreter(m).run("fact", [6]).return_value == 720
+
+    def test_recursion_frames_are_independent(self):
+        # Each activation's local slot must be distinct.
+        m = Module("t")
+        b = IRBuilder("f")
+        pn = b.slot("n", kind=SlotKind.PARAM)
+        local = b.slot("keep", I32)
+        b.block("entry")
+        n = b.load(pn)
+        b.store(local, n)
+        b.cjump(Cond.LE, n, b.imm(0), "base", "rec")
+        b.block("base")
+        b.ret(b.imm(0))
+        b.block("rec")
+        sub = b.call("f", [b.sub(n, b.imm(1))])
+        kept = b.load(local)
+        b.ret(b.add(kept, sub))
+        m.add_function(b.done())
+        # sum 1..5
+        assert Interpreter(m).run("f", [5]).return_value == 15
+
+    def test_call_depth_limit(self):
+        m = Module("t")
+        b = IRBuilder("inf")
+        b.block("entry")
+        r = b.call("inf", [])
+        b.ret(r)
+        m.add_function(b.done())
+        with pytest.raises(SimulationError, match="depth"):
+            Interpreter(m).run("inf", [])
+
+    def test_globals_shared_across_calls(self):
+        from repro.ir import MemorySlot
+
+        m = Module("t")
+        g = m.add_global(MemorySlot("g", I32, SlotKind.GLOBAL))
+        b = IRBuilder("writer")
+        b.function.add_slot(g)
+        b.block("entry")
+        b.store(g, b.imm(42))
+        b.ret(b.imm(0))
+        m.add_function(b.done())
+        b = IRBuilder("main")
+        b.function.add_slot(g)
+        b.block("entry")
+        b.call("writer", [])
+        b.ret(b.load(g))
+        m.add_function(b.done())
+        assert Interpreter(m).run("main", []).return_value == 42
+
+
+class TestAccounting:
+    def test_block_counts(self, loop_sum_module):
+        run = Interpreter(loop_sum_module).run("sum", [3])
+        counts = run.blocks_of("sum")
+        assert counts["entry"] == 1
+        assert counts["head"] == 5
+        assert counts["body"] == 4
+        assert run.blocks_of("double")["entry"] == 1
+
+    def test_opcode_counts(self, loop_sum_module):
+        run = Interpreter(loop_sum_module).run("sum", [3])
+        assert run.opcode_counts[Opcode.CALL] == 1
+        assert run.opcode_counts[Opcode.COPY] == 8  # 2 per iteration
+
+    def test_cycles_positive_and_monotone(self, loop_sum_module):
+        small = Interpreter(loop_sum_module).run("sum", [2]).cycles
+        large = Interpreter(loop_sum_module).run("sum", [20]).cycles
+        assert 0 < small < large
+
+
+class TestAllocatedMode:
+    def test_scrambling_catches_clobber_bugs(self, x86):
+        # A value held across a call must live in a callee-saved
+        # register; putting it in caller-saved ECX must corrupt it.
+        m = Module("t")
+        b = IRBuilder("id")
+        pa = b.slot("a", kind=SlotKind.PARAM)
+        b.block("entry")
+        b.ret(b.load(pa))
+        m.add_function(b.done())
+
+        b = IRBuilder("f")
+        pn = b.slot("n", kind=SlotKind.PARAM)
+        b.block("entry")
+        n = b.load(pn)
+        keep = b.add(n, b.imm(1), hint="keep")
+        r = b.call("id", [n])
+        b.ret(b.add(r, keep))  # keep is live across the call
+        fn = b.done()
+        m.add_function(fn)
+
+        rf = x86.register_file
+        ref = Interpreter(m).run("f", [10]).return_value
+        assert ref == 21
+
+        def assign(keep_reg):
+            # n -> ESI; keep -> keep_reg; call result r -> EAX;
+            # intermediate names per rewrite are avoided by mapping the
+            # symbolic function directly.
+            return {
+                "t": rf["ESI"],
+                "keep": rf[keep_reg],
+                "ret": rf["EAX"],
+                "t.1": rf["EAX"],
+            }
+
+        good = Interpreter(
+            m, target=x86,
+            allocations={"f": AllocatedFunction(fn, assign("EBX"))},
+        ).run("f", [10]).return_value
+        assert good == ref
+
+        bad = Interpreter(
+            m, target=x86,
+            allocations={"f": AllocatedFunction(fn, assign("ECX"))},
+        ).run("f", [10]).return_value
+        assert bad != ref  # ECX was scrambled by the call
+
+    def test_missing_assignment_faults(self, x86, loop_sum_module):
+        fn = loop_sum_module.functions["sum"]
+        interp = Interpreter(
+            loop_sum_module, target=x86,
+            allocations={"sum": AllocatedFunction(fn, {})},
+        )
+        with pytest.raises(SimulationError, match="no register"):
+            interp.run("sum", [3])

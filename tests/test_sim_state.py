@@ -1,0 +1,100 @@
+"""Tests for machine state: overlap-true register file and flat memory."""
+
+import pytest
+
+from repro.ir import I8, I16, I32, MemorySlot, SlotKind
+from repro.sim import Memory, RegisterState, SimulationError
+from repro.target import x86_register_file
+
+
+class TestRegisterOverlap:
+    def setup_method(self):
+        self.rf = x86_register_file()
+        self.state = RegisterState(self.rf)
+
+    def test_simple_roundtrip(self):
+        self.state.write(self.rf["EAX"], 123456)
+        assert self.state.read(self.rf["EAX"], I32) == 123456
+
+    def test_negative_wraps(self):
+        self.state.write(self.rf["EAX"], -1)
+        assert self.state.read(self.rf["EAX"], I32) == -1
+        assert self.state.read(self.rf["AL"], I8) == -1
+        assert self.state.read(self.rf["AX"], I16) == -1
+
+    def test_writing_ax_clobbers_low_half_of_eax(self):
+        self.state.write(self.rf["EAX"], 0x11223344)
+        self.state.write(self.rf["AX"], 0x5566)
+        assert self.state.read(self.rf["EAX"], I32) == 0x11225566
+
+    def test_al_ah_independent(self):
+        # The paper's §5.3 subtlety, physically.
+        self.state.write(self.rf["AL"], 0x11)
+        self.state.write(self.rf["AH"], 0x22)
+        assert self.state.read(self.rf["AL"], I8) == 0x11
+        assert self.state.read(self.rf["AH"], I8) == 0x22
+        assert self.state.read(self.rf["AX"], I16) == 0x2211
+
+    def test_writing_eax_clobbers_subregisters(self):
+        self.state.write(self.rf["AL"], 0x7F)
+        self.state.write(self.rf["EAX"], 0)
+        assert self.state.read(self.rf["AL"], I8) == 0
+
+    def test_families_independent(self):
+        self.state.write(self.rf["EAX"], 1)
+        self.state.write(self.rf["EBX"], 2)
+        assert self.state.read(self.rf["EAX"], I32) == 1
+
+    def test_clobber_family(self):
+        self.state.write(self.rf["ECX"], 7)
+        self.state.clobber_family("C")
+        assert self.state.read(self.rf["ECX"], I32) != 7
+
+    def test_snapshot_restore(self):
+        self.state.write(self.rf["ESI"], 42)
+        snap = self.state.snapshot()
+        self.state.write(self.rf["ESI"], 0)
+        self.state.restore(snap)
+        assert self.state.read(self.rf["ESI"], I32) == 42
+
+
+class TestMemory:
+    def test_allocate_and_rw(self):
+        mem = Memory()
+        slot = MemorySlot("x", I32, SlotKind.LOCAL)
+        addr = mem.allocate(slot)
+        mem.write(addr, -5, I32)
+        assert mem.read(addr, I32) == -5
+
+    def test_widths_and_endianness(self):
+        mem = Memory()
+        slot = MemorySlot("x", I32, SlotKind.LOCAL)
+        addr = mem.allocate(slot)
+        mem.write(addr, 0x11223344, I32)
+        assert mem.read(addr, I8) == 0x44  # little-endian low byte
+
+    def test_alignment(self):
+        mem = Memory()
+        mem.allocate(MemorySlot("c", I8, SlotKind.LOCAL))
+        addr = mem.allocate(MemorySlot("x", I32, SlotKind.LOCAL))
+        assert addr % 4 == 0
+
+    def test_stack_discipline(self):
+        mem = Memory()
+        mark = mem.mark
+        mem.allocate(MemorySlot("x", I32, SlotKind.LOCAL))
+        mem.free_to(mark)
+        addr2 = mem.allocate(MemorySlot("y", I32, SlotKind.LOCAL))
+        assert addr2 >= mark
+
+    def test_bad_address(self):
+        mem = Memory()
+        with pytest.raises(SimulationError):
+            mem.read(0, I32)
+        with pytest.raises(SimulationError):
+            mem.write(10 ** 9, 1, I32)
+
+    def test_out_of_memory(self):
+        mem = Memory(size=64)
+        with pytest.raises(SimulationError):
+            mem.allocate(MemorySlot("big", I32, SlotKind.ARRAY, count=100))

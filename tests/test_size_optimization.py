@@ -1,0 +1,82 @@
+"""§4 — pure code-size optimisation mode.
+
+"If the goal is to optimize purely for program size, the cycle and the
+data memory components of the cost can be excluded entirely ... useful,
+for instance, in embedded applications."
+"""
+
+import pytest
+
+from repro.allocation import allocation_code_size, validate_allocation
+from repro.analysis import profiled_frequencies
+from repro.bench import load_benchmark
+from repro.core import AllocatorConfig, IPAllocator
+from repro.sim import AllocatedFunction, Interpreter
+
+
+def allocate_all(module, target, config, profile):
+    out = {}
+    allocs = {}
+    for fn in module:
+        freq = profiled_frequencies(fn, profile.blocks_of(fn.name))
+        a = IPAllocator(target, config).allocate(fn, freq)
+        assert a.succeeded, fn.name
+        validate_allocation(a, target)
+        out[fn.name] = a
+        allocs[fn.name] = AllocatedFunction(a.function, a.assignment)
+    return out, allocs
+
+
+@pytest.fixture(scope="module")
+def runs(x86):
+    bench, module = load_benchmark("compress")
+    profile = Interpreter(module).run(bench.entry, list(bench.args))
+
+    speed_cfg = AllocatorConfig(time_limit=64.0)
+    size_cfg = AllocatorConfig(time_limit=64.0, optimize_size_only=True)
+
+    speed, speed_allocs = allocate_all(module, x86, speed_cfg, profile)
+    size, size_allocs = allocate_all(module, x86, size_cfg, profile)
+
+    speed_run = Interpreter(
+        module, target=x86, allocations=speed_allocs
+    ).run(bench.entry, list(bench.args))
+    size_run = Interpreter(
+        module, target=x86, allocations=size_allocs
+    ).run(bench.entry, list(bench.args))
+    return {
+        "module": module,
+        "profile": profile,
+        "speed": speed,
+        "size": size,
+        "speed_run": speed_run,
+        "size_run": size_run,
+    }
+
+
+class TestSizeOptimisation:
+    def test_both_modes_correct(self, runs):
+        ref = runs["profile"].return_value
+        assert runs["speed_run"].return_value == ref
+        assert runs["size_run"].return_value == ref
+
+    def test_size_mode_never_bigger(self, runs, x86):
+        speed_bytes = sum(
+            allocation_code_size(a, x86) for a in runs["speed"].values()
+        )
+        size_bytes = sum(
+            allocation_code_size(a, x86) for a in runs["size"].values()
+        )
+        assert size_bytes <= speed_bytes
+
+    def test_speed_mode_never_slower(self, runs):
+        # The speed-mode objective includes cycles; size mode ignores
+        # them, so dynamic cycles in size mode must not undercut speed
+        # mode (modulo ties).
+        assert runs["speed_run"].cycles <= runs["size_run"].cycles + 1e-9
+
+    def test_code_size_metric_sane(self, runs, x86):
+        for alloc in runs["speed"].values():
+            bytes_ = allocation_code_size(alloc, x86)
+            n = alloc.function.n_instructions
+            assert n <= bytes_ <= 12 * n

@@ -1,0 +1,197 @@
+"""Tests for encoding irregularities (§5.4) and target constraints."""
+
+from repro.ir import (
+    I8,
+    I32,
+    Address,
+    Immediate,
+    Instr,
+    MemorySlot,
+    Opcode,
+    SlotKind,
+    VirtualRegister,
+)
+from repro.target import (
+    SHORT_EAX_IMM_OPS,
+    TABLE1,
+    UNIFORM_ENCODING,
+    X86_ENCODING,
+    base_cycles,
+    base_size,
+    risc_target,
+    x86_register_file,
+    x86_target,
+)
+
+
+def v(name, type_=I32):
+    return VirtualRegister(name, type_)
+
+
+RF = x86_register_file()
+
+
+class TestTable1:
+    def test_paper_values(self):
+        assert TABLE1["load"].cycles == 1 and TABLE1["load"].size == 3
+        assert TABLE1["store"].cycles == 1 and TABLE1["store"].size == 3
+        assert TABLE1["rematerialization"].cycles == 1
+        assert TABLE1["rematerialization"].size == 3
+        assert TABLE1["copy"].cycles == 1 and TABLE1["copy"].size == 2
+
+
+class TestShortOpcodes:
+    def test_eax_with_immediate_saves_a_byte(self):
+        instr = Instr(Opcode.ADD, dst=v("d"),
+                      srcs=(v("a"), Immediate(1, I32)))
+        assert X86_ENCODING.short_opcode_saving(instr, RF["EAX"]) == 1
+        assert X86_ENCODING.short_opcode_saving(instr, RF["EBX"]) == 0
+
+    def test_applies_to_al_and_ax_too(self):
+        instr = Instr(Opcode.ADD, dst=v("d", I8),
+                      srcs=(v("a", I8), Immediate(1, I8)))
+        assert X86_ENCODING.short_opcode_saving(instr, RF["AL"]) == 1
+        assert X86_ENCODING.short_opcode_saving(instr, RF["AX"]) == 1
+
+    def test_no_saving_without_immediate(self):
+        instr = Instr(Opcode.ADD, dst=v("d"), srcs=(v("a"), v("b")))
+        assert X86_ENCODING.short_opcode_saving(instr, RF["EAX"]) == 0
+
+    def test_op_list(self):
+        assert Opcode.ADD in SHORT_EAX_IMM_OPS
+        assert Opcode.CJUMP in SHORT_EAX_IMM_OPS  # CMP
+        assert Opcode.IMUL not in SHORT_EAX_IMM_OPS
+
+    def test_uniform_encoding_disables(self):
+        instr = Instr(Opcode.ADD, dst=v("d"),
+                      srcs=(v("a"), Immediate(1, I32)))
+        assert UNIFORM_ENCODING.short_opcode_saving(instr, RF["EAX"]) == 0
+
+
+class TestAddressPenalties:
+    def test_esp_base_penalty(self):
+        addr = Address(base=v("p"))
+        assert X86_ENCODING.address_penalty(addr, "base", RF["ESP"]) == 1
+        assert X86_ENCODING.address_penalty(addr, "base", RF["EAX"]) == 0
+
+    def test_plain_ebp_penalty(self):
+        bare = Address(base=v("p"))
+        assert X86_ENCODING.address_penalty(bare, "base", RF["EBP"]) == 1
+        # With a displacement or slot the [EBP] special case vanishes.
+        disp = Address(base=v("p"), disp=4)
+        assert X86_ENCODING.address_penalty(disp, "base", RF["EBP"]) == 0
+
+    def test_esp_scaled_index_excluded(self):
+        addr = Address(index=v("i"), scale=4)
+        assert X86_ENCODING.excluded_from_address(addr, "index", RF["ESP"])
+        assert not X86_ENCODING.excluded_from_address(
+            addr, "index", RF["EAX"]
+        )
+
+    def test_unscaled_index_not_excluded(self):
+        addr = Address(base=v("b"), index=v("i"), scale=1)
+        assert not X86_ENCODING.excluded_from_address(
+            addr, "index", RF["ESP"]
+        )
+
+
+class TestTargetConstraints:
+    def setup_method(self):
+        self.t = x86_target()
+
+    def test_alu_two_address_with_mem(self):
+        rules = self.t.constraints(
+            Instr(Opcode.ADD, dst=v("d"), srcs=(v("a"), v("b")))
+        )
+        assert rules.two_address and rules.rmw_mem_ok
+        assert all(r.mem_ok for r in rules.src_rules)
+
+    def test_shift_count_in_cl(self):
+        rules = self.t.constraints(
+            Instr(Opcode.SHL, dst=v("d"), srcs=(v("a"), v("c")))
+        )
+        assert rules.src_rules[1].families == frozenset({"C"})
+
+    def test_div_implicit_registers(self):
+        rules = self.t.constraints(
+            Instr(Opcode.DIV, dst=v("q"), srcs=(v("a"), v("b")))
+        )
+        assert rules.src_rules[0].families == frozenset({"A"})
+        assert rules.src_rules[1].exclude_families == frozenset({"A", "D"})
+        assert rules.dst_rule.families == frozenset({"A"})
+        assert rules.clobber_families == frozenset({"D"})
+
+    def test_mod_result_in_edx(self):
+        rules = self.t.constraints(
+            Instr(Opcode.MOD, dst=v("r"), srcs=(v("a"), v("b")))
+        )
+        assert rules.dst_rule.families == frozenset({"D"})
+        assert rules.clobber_families == frozenset({"A"})
+
+    def test_call_clobbers_and_result(self):
+        rules = self.t.constraints(
+            Instr(Opcode.CALL, dst=v("r"), callee="f")
+        )
+        assert rules.clobber_families == frozenset({"A", "C", "D"})
+        assert rules.dst_rule.families == frozenset({"A"})
+
+    def test_ret_value_in_eax(self):
+        rules = self.t.constraints(Instr(Opcode.RET, srcs=(v("r"),)))
+        assert rules.src_rules[0].families == frozenset({"A"})
+
+    def test_admissible_by_width(self):
+        assert {r.name for r in self.t.allocatable(32)} == {
+            "EAX", "EBX", "ECX", "EDX", "ESI", "EDI",
+        }
+        assert {r.name for r in self.t.allocatable(8)} == {
+            "AL", "AH", "BL", "BH", "CL", "CH", "DL", "DH",
+        }
+        assert "ESP" not in {r.name for r in self.t.allocatable(32)}
+
+    def test_ebp_option(self):
+        t = x86_target(allow_ebp=True)
+        assert "EBP" in {r.name for r in t.allocatable(32)}
+        assert t.n_allocatable_families == 7
+
+
+class TestRiscTarget:
+    def test_uniform(self):
+        t = risc_target()
+        assert t.n_allocatable_families == 24
+        assert not t.irregular and not t.mem_operands
+
+    def test_width_blind(self):
+        t = risc_target()
+        assert t.allocatable(8) == t.allocatable(32)
+
+    def test_three_address(self):
+        rules = risc_target().constraints(
+            Instr(Opcode.ADD, dst=v("d"), srcs=(v("a"), v("b")))
+        )
+        assert not rules.two_address and not rules.rmw_mem_ok
+
+    def test_calling_convention(self):
+        t = risc_target()
+        rules = t.constraints(Instr(Opcode.CALL, dst=v("r"), callee="f"))
+        assert rules.dst_rule.families == frozenset({"r0"})
+        assert len(rules.clobber_families) == 12
+
+
+class TestBaseCosts:
+    def test_call_scales_with_args(self):
+        short = Instr(Opcode.CALL, dst=v("r"), callee="f")
+        long = Instr(Opcode.CALL, dst=v("r"),
+                     srcs=(v("a"), v("b"), v("c")), callee="f")
+        assert base_cycles(long) == base_cycles(short) + 3
+        assert base_size(long) == base_size(short) + 3
+
+    def test_immediate_grows_size(self):
+        rr = Instr(Opcode.ADD, dst=v("d"), srcs=(v("a"), v("b")))
+        ri = Instr(Opcode.ADD, dst=v("d"),
+                   srcs=(v("a"), Immediate(1, I32)))
+        assert base_size(ri) > base_size(rr)
+
+    def test_division_is_expensive(self):
+        div = Instr(Opcode.DIV, dst=v("q"), srcs=(v("a"), v("b")))
+        add = Instr(Opcode.ADD, dst=v("d"), srcs=(v("a"), v("b")))
+        assert base_cycles(div) > 10 * base_cycles(add)

@@ -1,0 +1,85 @@
+"""Tests for the register file and the §5.3 overlap structure."""
+
+from repro.target import (
+    RegPart,
+    risc_register_file,
+    x86_register_file,
+)
+
+
+class TestOverlap:
+    def setup_method(self):
+        self.rf = x86_register_file()
+
+    def test_full_overlaps_parts(self):
+        eax = self.rf["EAX"]
+        for name in ("AX", "AL", "AH"):
+            assert eax.overlaps(self.rf[name])
+
+    def test_al_ah_disjoint(self):
+        # The paper's subtlety: AL and AH share no bits.
+        assert not self.rf["AL"].overlaps(self.rf["AH"])
+        assert self.rf["AL"].overlaps(self.rf["AX"])
+        assert self.rf["AH"].overlaps(self.rf["AX"])
+
+    def test_cross_family_disjoint(self):
+        assert not self.rf["EAX"].overlaps(self.rf["EBX"])
+        assert not self.rf["AL"].overlaps(self.rf["BL"])
+
+    def test_overlapping_query(self):
+        names = {r.name for r in self.rf.overlapping(self.rf["AX"])}
+        assert names == {"EAX", "AX", "AL", "AH"}
+        names = {r.name for r in self.rf.overlapping(self.rf["AL"])}
+        assert names == {"EAX", "AX", "AL"}
+
+
+class TestChainSets:
+    def test_x86_chains_match_paper(self):
+        rf = x86_register_file()
+        chains = {
+            tuple(sorted(r.name for r in chain))
+            for chain in rf.chain_sets
+        }
+        # Paper §5.3: EAX belongs to {EAX, AX, AL} and {EAX, AX, AH}.
+        assert ("AL", "AX", "EAX") in chains
+        assert ("AH", "AX", "EAX") in chains
+        assert ("ESI", "SI") in chains
+        # Eight-bit-less families have a single two-element chain.
+        assert ("DI", "EDI") in chains
+
+    def test_chain_count(self):
+        rf = x86_register_file()
+        # A-D: 2 chains each; SI, DI, BP, SP: 1 each = 12.
+        assert len(rf.chain_sets) == 12
+
+    def test_chains_of(self):
+        rf = x86_register_file()
+        assert len(rf.chain_sets_of(rf["EAX"])) == 2
+        assert len(rf.chain_sets_of(rf["AL"])) == 1
+        assert len(rf.chain_sets_of(rf["SI"])) == 1
+
+    def test_risc_chains_are_singletons(self):
+        rf = risc_register_file(8)
+        assert len(rf.chain_sets) == 8
+        assert all(len(c) == 1 for c in rf.chain_sets)
+
+
+class TestLookup:
+    def test_widths(self):
+        rf = x86_register_file()
+        assert {r.name for r in rf.of_width(32)} >= {"EAX", "ESI", "ESP"}
+        assert {r.name for r in rf.of_width(8)} == {
+            "AL", "AH", "BL", "BH", "CL", "CH", "DL", "DH",
+        }
+
+    def test_family_member_prefers_low(self):
+        rf = x86_register_file()
+        assert rf.family_member("A", 8).name == "AL"
+        assert rf.family_member("A", 16).name == "AX"
+        assert rf.family_member("A", 32).name == "EAX"
+        assert rf.family_member("SI", 8) is None
+
+    def test_parts(self):
+        assert RegPart.HIGH8.bit_range == (8, 16)
+        assert RegPart.LOW16.bit_range == (0, 16)
+        assert RegPart.FULL32.bits == 32
