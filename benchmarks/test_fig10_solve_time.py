@@ -17,8 +17,9 @@ from repro.bench import (
     render_figure,
     scaling_functions,
 )
-from repro.core import AllocatorConfig, IPAllocator
-from repro.solver import SolveStatus, solve
+from repro.core import IPAllocator
+from repro.obs import ModelStats, SolverStats
+from repro.solver import solve
 
 from conftest import TIME_LIMIT
 
@@ -29,16 +30,16 @@ def timed_reports(target):
     for module, fn in scaling_functions(
         seeds=range(4)
     ):
-        _, model, _, _ = allocator.build_model(fn)
+        _, model, table, _ = allocator.build_model(fn)
         result = solve(model, "scipy", time_limit=TIME_LIMIT)
-        reports.append(FunctionReport(
+        # Source the figure from the observability structs so Fig. 10
+        # and run reports can never diverge.
+        reports.append(FunctionReport.from_stats(
             benchmark=module.name,
             function=fn.name,
             n_instructions=fn.n_instructions,
-            n_constraints=model.n_constraints,
-            solved=result.status.has_solution,
-            optimal=result.status is SolveStatus.OPTIMAL,
-            solve_seconds=result.solve_seconds,
+            model=ModelStats.from_model(model, table),
+            solver=SolverStats.from_result(result),
         ))
     return reports
 

@@ -16,6 +16,7 @@ from repro.bench import (
     scaling_functions,
 )
 from repro.core import IPAllocator
+from repro.obs import ModelStats
 
 
 def build_reports(target):
@@ -24,13 +25,14 @@ def build_reports(target):
     for module, fn in scaling_functions(
         seeds=range(4)
     ):
-        _, model, _, _ = allocator.build_model(fn)
-        reports.append(FunctionReport(
+        _, model, table, _ = allocator.build_model(fn)
+        # Source the figure from the observability struct so Fig. 9
+        # and run reports can never diverge.
+        reports.append(FunctionReport.from_stats(
             benchmark=module.name,
             function=fn.name,
             n_instructions=fn.n_instructions,
-            n_variables=model.n_vars,
-            n_constraints=model.n_constraints,
+            model=ModelStats.from_model(model, table),
         ))
     return reports
 

@@ -11,19 +11,33 @@
 prints the rewritten code with register assignments.  ``run`` executes
 a program (optionally through an allocator) and reports the result and
 cycle counts.  ``experiments`` regenerates the paper's tables/figures.
+
+Observability flags (accepted before or after the subcommand):
+
+    --stats             print the stats-registry snapshot on exit
+    --trace             print the phase-tracer span tree on exit
+    --report-json PATH  write a structured run report (per-phase
+                        timings, §5 model breakdown, solver stats,
+                        §4 cost split) as JSON
+
+Setting ``REPRO_TRACE=1`` in the environment is equivalent to passing
+both ``--stats`` and ``--trace``.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
+from . import obs
 from .allocation import allocation_code_size, validate_allocation
 from .analysis import profiled_frequencies
 from .baseline import GraphColoringAllocator
 from .core import AllocatorConfig, IPAllocator
 from .ir import format_function
 from .lang import compile_program
+from .obs import FunctionRunReport, RunReport
 from .sim import AllocatedFunction, Interpreter
 from .target import risc_target, x86_target
 
@@ -46,20 +60,56 @@ def _make_allocator(args, target):
         backend=getattr(args, "backend", "scipy"),
         time_limit=getattr(args, "time_limit", 64.0),
         optimize_size_only=getattr(args, "size_only", False),
+        collect_report=bool(getattr(args, "report_json", None)),
     )
     return IPAllocator(target, config)
+
+
+def _report_sink(args) -> RunReport | None:
+    if not getattr(args, "report_json", None):
+        return None
+    return RunReport(
+        target=args.target,
+        backend=getattr(args, "backend", "scipy"),
+        command=args.command,
+    )
+
+
+def _report_collect(report: RunReport | None, alloc) -> None:
+    if report is None:
+        return
+    if alloc.report is not None:
+        report.functions.append(alloc.report)
+    else:
+        # Baseline allocations carry no IP model; record the outcome.
+        report.functions.append(FunctionRunReport(
+            function=alloc.fn_name,
+            allocator=alloc.allocator,
+            status=alloc.status,
+            n_instructions=alloc.function.n_instructions,
+        ))
+
+
+def _report_write(report: RunReport | None, args) -> None:
+    if report is None:
+        return
+    report.counters = obs.snapshot()
+    report.write(args.report_json)
+    print(f"run report written to {args.report_json}", file=sys.stderr)
 
 
 def cmd_alloc(args) -> int:
     module = _load(args.file)
     target = TARGETS[args.target]()
     allocator = _make_allocator(args, target)
+    report = _report_sink(args)
     functions = (
         [module.functions[args.function]]
         if args.function else list(module)
     )
     for fn in functions:
         alloc = allocator.allocate(fn)
+        _report_collect(report, alloc)
         print(f"== {fn.name}: {alloc.status}", end="")
         if alloc.n_constraints:
             print(f" ({alloc.n_variables} vars, "
@@ -80,6 +130,7 @@ def cmd_alloc(args) -> int:
               f"copies-={s.copies_deleted} memuse={s.mem_operand_uses} "
               f"rmw={s.rmw_mem_defs} coalesced={s.loads_deleted}")
         print()
+    _report_write(report, args)
     return 0
 
 
@@ -93,10 +144,12 @@ def cmd_run(args) -> int:
         return 0
     target = TARGETS[args.target]()
     allocator = _make_allocator(args, target)
+    report = _report_sink(args)
     allocations = {}
     for fn in module:
         freq = profiled_frequencies(fn, reference.blocks_of(fn.name))
         alloc = allocator.allocate(fn, freq)
+        _report_collect(report, alloc)
         if not alloc.succeeded:
             print(f"warning: {fn.name} not allocated "
                   f"({alloc.status}); runs symbolically",
@@ -112,6 +165,7 @@ def cmd_run(args) -> int:
     tag = "ip" if args.allocator == "ip" else "graph-coloring"
     print(f"{tag} result:     {allocated.return_value} "
           f"(cycles {allocated.cycles:.0f})")
+    _report_write(report, args)
     if allocated.return_value != reference.return_value:
         print("MISMATCH against symbolic execution!", file=sys.stderr)
         return 1
@@ -137,7 +191,10 @@ def cmd_experiments(args) -> int:
         [load_benchmark("compress"), load_benchmark("cc1")]
         if args.fast else load_all()
     )
-    suite = run_suite(target, config, benchmarks)
+    suite = run_suite(
+        target, config, benchmarks,
+        report_path=getattr(args, "report_json", None),
+    )
     print(render_table1())
     print()
     print(render_table2(suite, config.time_limit))
@@ -158,12 +215,35 @@ def cmd_experiments(args) -> int:
     return 0
 
 
+def _add_obs_options(parser, top_level: bool) -> None:
+    """Observability flags, valid before or after the subcommand.
+
+    The main parser holds the defaults; subparsers use ``SUPPRESS`` so
+    an omitted post-command flag does not clobber a pre-command one.
+    """
+    kw = {} if top_level else {"default": argparse.SUPPRESS}
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="print the observability stats snapshot on exit", **kw,
+    )
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="print the phase-tracer span tree on exit", **kw,
+    )
+    parser.add_argument(
+        "--report-json", metavar="PATH", dest="report_json",
+        default=None if top_level else argparse.SUPPRESS,
+        help="write a structured JSON run report to PATH",
+    )
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="IP register allocation for irregular "
                     "architectures (Kong & Wilken, MICRO 1998)",
     )
+    _add_obs_options(parser, top_level=True)
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_alloc = sub.add_parser("alloc", help="allocate a mini-C file")
@@ -178,6 +258,7 @@ def main(argv=None) -> int:
                          default="scipy")
     p_alloc.add_argument("--size-only", action="store_true")
     p_alloc.add_argument("--time-limit", type=float, default=64.0)
+    _add_obs_options(p_alloc, top_level=False)
     p_alloc.set_defaults(func=cmd_alloc)
 
     p_run = sub.add_parser("run", help="execute a mini-C program")
@@ -191,6 +272,7 @@ def main(argv=None) -> int:
     p_run.add_argument("--backend",
                        choices=("scipy", "branch-bound"),
                        default="scipy")
+    _add_obs_options(p_run, top_level=False)
     p_run.set_defaults(func=cmd_run)
 
     p_exp = sub.add_parser(
@@ -198,10 +280,29 @@ def main(argv=None) -> int:
     )
     p_exp.add_argument("--fast", action="store_true")
     p_exp.add_argument("--time-limit", type=float, default=64.0)
+    _add_obs_options(p_exp, top_level=False)
     p_exp.set_defaults(func=cmd_experiments)
 
     args = parser.parse_args(argv)
-    return args.func(args)
+    # REPRO_TRACE=1 behaves like passing --stats --trace.
+    env_on = os.environ.get("REPRO_TRACE", "0") not in ("", "0")
+    show_stats = args.stats or env_on
+    show_trace = args.trace or env_on
+    # --report-json needs live counters for the per-function deltas.
+    obs.enable(
+        stats=show_stats or bool(args.report_json),
+        trace=show_trace,
+    )
+    try:
+        code = args.func(args)
+    finally:
+        if show_trace:
+            print("\n-- phase trace " + "-" * 49, file=sys.stderr)
+            print(obs.render_trace(), file=sys.stderr)
+        if show_stats:
+            print("\n-- stats " + "-" * 55, file=sys.stderr)
+            print(obs.render_stats(), file=sys.stderr)
+    return code
 
 
 if __name__ == "__main__":

@@ -65,6 +65,9 @@ class Allocation:
     #: copy-deletion accounting
     deleted_copy_sites: list[tuple[str, int]] = field(default_factory=list)
     deleted_load_sites: list[tuple[str, int]] = field(default_factory=list)
+    #: :class:`repro.obs.FunctionRunReport` when the allocator ran with
+    #: ``collect_report`` (phase timings, §5 breakdown, solver stats)
+    report: object | None = None
 
     @property
     def succeeded(self) -> bool:

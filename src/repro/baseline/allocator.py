@@ -18,6 +18,7 @@ from ..allocation import Allocation, SpillStats
 from ..analysis import ExecutionFrequencies
 from ..ir import Function, Opcode, VirtualRegister, clone_function
 from ..lowering import lower_for_target
+from ..obs import define_counter, trace_phase
 from ..postpass import merge_noop_copies
 from ..target import TargetMachine
 from .coloring import ColoringFailure, color_function
@@ -25,6 +26,19 @@ from .spill import insert_spill_code
 from .twoaddr import fixup_operands
 
 MAX_SPILL_ROUNDS = 12
+
+STAT_FUNCTIONS = define_counter(
+    "gc.functions", "functions handed to the coloring allocator"
+)
+STAT_ROUNDS = define_counter(
+    "gc.coloring_rounds", "build-simplify-select rounds run"
+)
+STAT_SPILLED = define_counter(
+    "gc.spilled_vregs", "virtual registers spilled by the baseline"
+)
+STAT_FAILED = define_counter(
+    "gc.failed", "functions the coloring allocator gave up on"
+)
 
 
 @dataclass(slots=True)
@@ -39,9 +53,19 @@ class GraphColoringAllocator:
         fn: Function,
         freq: ExecutionFrequencies | None = None,
     ) -> Allocation:
-        work = clone_function(fn)
-        lower_for_target(work, self.target)
-        classes = fixup_operands(work, self.target)
+        STAT_FUNCTIONS.incr()
+        with trace_phase("gc-allocate", function=fn.name):
+            return self._allocate(fn, freq)
+
+    def _allocate(
+        self,
+        fn: Function,
+        freq: ExecutionFrequencies | None,
+    ) -> Allocation:
+        with trace_phase("lower"):
+            work = clone_function(fn)
+            lower_for_target(work, self.target)
+            classes = fixup_operands(work, self.target)
 
         stats = SpillStats()
         unspillable: set[str] = set()
@@ -51,11 +75,14 @@ class GraphColoringAllocator:
 
         result = None
         for _ in range(self.max_rounds):
+            STAT_ROUNDS.incr()
             try:
-                result = color_function(
-                    work, self.target, classes, freq, unspillable
-                )
+                with trace_phase("color"):
+                    result = color_function(
+                        work, self.target, classes, freq, unspillable
+                    )
             except ColoringFailure:
+                STAT_FAILED.incr()
                 return Allocation(
                     fn_name=fn.name,
                     function=work,
@@ -66,7 +93,9 @@ class GraphColoringAllocator:
                 )
             if not result.needs_spill:
                 break
-            outcome = insert_spill_code(work, result.spilled)
+            STAT_SPILLED.add(len(result.spilled))
+            with trace_phase("spill"):
+                outcome = insert_spill_code(work, result.spilled)
             stats.loads += outcome.loads
             stats.stores += outcome.stores
             stats.remats += outcome.remats
@@ -77,6 +106,7 @@ class GraphColoringAllocator:
                 if parent in classes.forbidden:
                     classes.forbid(tmp, classes.forbidden[parent])
         else:
+            STAT_FAILED.incr()
             return Allocation(
                 fn_name=fn.name,
                 function=work,

@@ -28,6 +28,7 @@ from .suite import (
     SuiteResult,
     run_benchmark,
     run_suite,
+    suite_report,
 )
 from .tables import (
     Table2Row,
@@ -73,6 +74,7 @@ __all__ = [
     "run_benchmark",
     "run_suite",
     "scaling_functions",
+    "suite_report",
     "spill_overhead",
     "suite_fig10",
     "suite_fig9",

@@ -24,14 +24,36 @@ from ..analysis import profiled_frequencies
 from ..baseline import GraphColoringAllocator
 from ..core import AllocatorConfig, IPAllocator
 from ..ir import Module, Opcode
+from ..obs import (
+    FunctionRunReport,
+    ModelStats,
+    RunReport,
+    SolverStats,
+    define_counter,
+    snapshot,
+    trace_phase,
+)
 from ..sim import AllocatedFunction, Interpreter, RunResult
 from ..target import TargetMachine
 from .workloads import Benchmark, load_all
 
+STAT_BENCHMARKS = define_counter(
+    "suite.benchmarks", "benchmark programs run end to end"
+)
+STAT_SUITE_FUNCTIONS = define_counter(
+    "suite.functions", "functions allocated by the suite"
+)
+
 
 @dataclass(slots=True)
 class FunctionReport:
-    """Per-function allocation outcome (Table 2 / Fig. 9 / Fig. 10 row)."""
+    """Per-function allocation outcome (Table 2 / Fig. 9 / Fig. 10 row).
+
+    The flat fields are what the tables/figures read; they are sourced
+    from the observability structs (:class:`repro.obs.ModelStats`,
+    :class:`repro.obs.SolverStats`) via :meth:`from_stats` so figures
+    and run reports can never diverge.
+    """
 
     benchmark: str
     function: str
@@ -43,6 +65,37 @@ class FunctionReport:
     n_constraints: int = 0
     solve_seconds: float = 0.0
     objective: float = 0.0
+    #: model-size breakdown by §5 feature class, when collected
+    model: ModelStats | None = None
+    #: solver statistics (nodes, LP relaxations, incumbents)
+    solver: SolverStats | None = None
+
+    @classmethod
+    def from_stats(
+        cls,
+        benchmark: str,
+        function: str,
+        n_instructions: int,
+        model: ModelStats | None = None,
+        solver: SolverStats | None = None,
+    ) -> "FunctionReport":
+        """Build a row whose numbers come from the run-report structs."""
+        report = cls(
+            benchmark=benchmark,
+            function=function,
+            n_instructions=n_instructions,
+            model=model,
+            solver=solver,
+        )
+        if model is not None:
+            report.n_variables = model.n_variables
+            report.n_constraints = model.n_constraints
+        if solver is not None:
+            report.solve_seconds = solver.solve_seconds
+            report.objective = solver.objective
+            report.solved = solver.status in ("optimal", "feasible")
+            report.optimal = solver.status == "optimal"
+        return report
 
 
 @dataclass(slots=True)
@@ -90,8 +143,10 @@ def run_benchmark(
     """Run the full experiment pipeline for one benchmark."""
     config = config or AllocatorConfig()
     args = list(bench.args)
+    STAT_BENCHMARKS.incr()
 
-    reference = Interpreter(module).run(bench.entry, args)
+    with trace_phase("reference-run", benchmark=bench.name):
+        reference = Interpreter(module).run(bench.entry, args)
 
     ip = IPAllocator(target, config)
     gc = GraphColoringAllocator(target)
@@ -104,6 +159,7 @@ def run_benchmark(
 
     for fn in module:
         freq = profiled_frequencies(fn, reference.blocks_of(fn.name))
+        STAT_SUITE_FUNCTIONS.incr()
         report = FunctionReport(
             benchmark=bench.name,
             function=fn.name,
@@ -127,6 +183,11 @@ def run_benchmark(
         report.objective = a.objective
         report.solved = a.succeeded
         report.optimal = a.status == "optimal"
+        if a.report is not None:
+            # collect_report run: source the row from the structs.
+            a.report.benchmark = bench.name
+            report.model = a.report.model
+            report.solver = a.report.solver
         if a.succeeded:
             if validate and not config.validate:
                 validate_allocation(a, target)
@@ -140,12 +201,14 @@ def run_benchmark(
             ip_allocs[fn.name] = gc_allocs[fn.name]
         reports.append(report)
 
-    ip_run = Interpreter(
-        module, target=target, allocations=ip_allocs
-    ).run(bench.entry, args)
-    gc_run = Interpreter(
-        module, target=target, allocations=gc_allocs
-    ).run(bench.entry, args)
+    with trace_phase("ip-run", benchmark=bench.name):
+        ip_run = Interpreter(
+            module, target=target, allocations=ip_allocs
+        ).run(bench.entry, args)
+    with trace_phase("gc-run", benchmark=bench.name):
+        gc_run = Interpreter(
+            module, target=target, allocations=gc_allocs
+        ).run(bench.entry, args)
 
     result = BenchmarkResult(
         benchmark=bench,
@@ -164,11 +227,71 @@ def run_suite(
     target: TargetMachine,
     config: AllocatorConfig | None = None,
     benchmarks: list[tuple[Benchmark, Module]] | None = None,
+    report_path: str | None = None,
 ) -> SuiteResult:
-    """Run the whole suite (all six programs by default)."""
+    """Run the whole suite (all six programs by default).
+
+    With ``report_path``, per-function run reports are collected and a
+    suite-level :class:`repro.obs.RunReport` is written there as JSON.
+    """
+    if report_path is not None:
+        config = config or AllocatorConfig()
+        config.collect_report = True
     suite = SuiteResult()
-    for bench, module in (benchmarks or load_all()):
-        suite.results.append(
-            run_benchmark(bench, module, target, config)
-        )
+    with trace_phase("suite"):
+        for bench, module in (benchmarks or load_all()):
+            with trace_phase("benchmark", benchmark=bench.name):
+                suite.results.append(
+                    run_benchmark(bench, module, target, config)
+                )
+    if report_path is not None:
+        suite_report(suite, target, config).write(report_path)
     return suite
+
+
+def suite_report(
+    suite: SuiteResult,
+    target: TargetMachine | None = None,
+    config: AllocatorConfig | None = None,
+) -> RunReport:
+    """Aggregate the suite's observability data into one RunReport.
+
+    Functions allocated with ``collect_report`` contribute their full
+    per-function reports; the rest contribute rows rebuilt from their
+    flat measurements, so the report is always complete.
+    """
+    report = RunReport(
+        target=getattr(target, "name", "") if target else "",
+        backend=config.backend if config else "",
+        command="run_suite",
+        counters=snapshot(),
+    )
+    for bench_result in suite.results:
+        for f in bench_result.functions:
+            ip_alloc = bench_result.ip_allocations.get(f.function)
+            if ip_alloc is not None and ip_alloc.report is not None:
+                report.functions.append(ip_alloc.report)
+                continue
+            fr = FunctionRunReport(
+                function=f.function,
+                benchmark=f.benchmark,
+                allocator="ip",
+                status="optimal" if f.optimal
+                else ("feasible" if f.solved else "failed"),
+                n_instructions=f.n_instructions,
+                model=f.model,
+                solver=f.solver,
+            )
+            if fr.model is None and f.n_constraints:
+                fr.model = ModelStats(
+                    n_variables=f.n_variables,
+                    n_constraints=f.n_constraints,
+                )
+            if fr.solver is None and (f.solved or f.solve_seconds):
+                fr.solver = SolverStats(
+                    status=fr.status,
+                    solve_seconds=f.solve_seconds,
+                    objective=f.objective,
+                )
+            report.functions.append(fr)
+    return report

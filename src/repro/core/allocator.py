@@ -6,6 +6,13 @@
 plus the shared lowering and post-allocation cleanup both allocators
 use.  The result is an :class:`repro.allocation.Allocation` directly
 comparable with the graph-coloring baseline's.
+
+Every stage is wrapped in an observability phase span
+(:func:`repro.obs.trace_phase`), and with ``config.collect_report`` the
+allocation comes back with a :class:`repro.obs.FunctionRunReport`
+attached: per-phase wall times, IP model size by §5 feature class,
+solver statistics, and the solved objective split into the §4
+``A*cycle + B*size`` terms.
 """
 
 from __future__ import annotations
@@ -16,6 +23,16 @@ from ..allocation import Allocation, validate_allocation
 from ..analysis import ExecutionFrequencies, static_frequencies
 from ..ir import Function, clone_function
 from ..lowering import lower_for_target
+from ..obs import (
+    CostSplit,
+    FunctionRunReport,
+    ModelStats,
+    SolverStats,
+    capture,
+    define_counter,
+    snapshot,
+    trace_phase,
+)
 from ..postpass import merge_noop_copies
 from ..solver import InfeasibleModel, SolveStatus
 from ..target import TargetMachine
@@ -24,6 +41,19 @@ from .config import AllocatorConfig
 from .costmodel import CostModel
 from .rewrite_module import ORARewrite, RewriteError
 from .solver_module import solve_allocation
+
+STAT_FUNCTIONS = define_counter(
+    "ip.functions", "functions handed to the IP allocator"
+)
+STAT_MODELS = define_counter(
+    "ip.models_built", "allocation IPs built"
+)
+STAT_FAILED = define_counter(
+    "ip.failed", "functions the IP allocator could not allocate"
+)
+STAT_REWRITES = define_counter(
+    "ip.rewrites", "solutions rewritten into code"
+)
 
 
 @dataclass(slots=True)
@@ -39,13 +69,16 @@ class IPAllocator:
         freq: ExecutionFrequencies | None = None,
     ):
         """Run only the analysis module (model statistics, Fig. 9)."""
-        work = clone_function(fn)
-        lower_for_target(work, self.target)
-        cost = CostModel(
-            freq=freq or static_frequencies(work), config=self.config
-        )
-        analysis = ORAAnalysis(work, self.target, cost, self.config)
-        model, table, index = analysis.build()
+        with trace_phase("lower"):
+            work = clone_function(fn)
+            lower_for_target(work, self.target)
+        with trace_phase("analysis"):
+            cost = CostModel(
+                freq=freq or static_frequencies(work), config=self.config
+            )
+            analysis = ORAAnalysis(work, self.target, cost, self.config)
+            model, table, index = analysis.build()
+        STAT_MODELS.incr()
         return work, model, table, index
 
     def allocate(
@@ -53,30 +86,60 @@ class IPAllocator:
         fn: Function,
         freq: ExecutionFrequencies | None = None,
     ) -> Allocation:
+        STAT_FUNCTIONS.incr()
+        if not self.config.collect_report:
+            with trace_phase("ip-allocate", function=fn.name):
+                alloc, _, _, _ = self._allocate(fn, freq)
+            return alloc
+
+        counters_before = snapshot()
+        with capture() as cap:
+            with trace_phase("ip-allocate", function=fn.name):
+                alloc, model, table, result = self._allocate(fn, freq)
+        alloc.report = self._build_report(
+            fn, alloc, model, table, result, cap.spans, counters_before
+        )
+        return alloc
+
+    def _allocate(
+        self,
+        fn: Function,
+        freq: ExecutionFrequencies | None,
+    ):
+        """The pipeline proper; returns (allocation, model, table,
+        solve result), the latter three ``None`` where unreached."""
         try:
             work, model, table, index = self.build_model(fn, freq)
         except InfeasibleModel:
-            return self._failed(fn, "failed")
+            STAT_FAILED.incr()
+            return self._failed(fn, "failed"), None, None, None
 
         result = solve_allocation(model, table, self.config)
         if not result.status.has_solution:
+            STAT_FAILED.incr()
             alloc = self._failed(fn, "failed")
             alloc.n_variables = model.n_vars
             alloc.n_constraints = model.n_constraints
             alloc.solve_seconds = result.solve_seconds
-            return alloc
+            return alloc, model, table, result
 
-        rewrite = ORARewrite(work, self.target, table, index, self.config)
-        try:
-            function, assignment, stats = rewrite.apply()
-        except RewriteError:
-            return self._failed(fn, "failed")
+        with trace_phase("rewrite"):
+            rewrite = ORARewrite(
+                work, self.target, table, index, self.config
+            )
+            try:
+                function, assignment, stats = rewrite.apply()
+            except RewriteError:
+                STAT_FAILED.incr()
+                return self._failed(fn, "failed"), model, table, result
+        STAT_REWRITES.incr()
 
-        deleted = merge_noop_copies(function, assignment)
-        stats.copies_deleted += deleted
-        assignment = {
-            v.name: assignment[v.name] for v in function.vregs()
-        }
+        with trace_phase("postpass"):
+            deleted = merge_noop_copies(function, assignment)
+            stats.copies_deleted += deleted
+            assignment = {
+                v.name: assignment[v.name] for v in function.vregs()
+            }
 
         status = (
             "optimal" if result.status is SolveStatus.OPTIMAL
@@ -95,8 +158,33 @@ class IPAllocator:
             objective=result.objective,
         )
         if self.config.validate:
-            validate_allocation(alloc, self.target)
-        return alloc
+            with trace_phase("validate"):
+                validate_allocation(alloc, self.target)
+        return alloc, model, table, result
+
+    def _build_report(
+        self, fn, alloc, model, table, result, spans, counters_before
+    ) -> FunctionRunReport:
+        counters_after = snapshot()
+        delta = {
+            name: counters_after[name] - counters_before.get(name, 0.0)
+            for name in counters_after
+            if counters_after[name] != counters_before.get(name, 0.0)
+        }
+        return FunctionRunReport(
+            function=fn.name,
+            allocator="ip",
+            status=alloc.status,
+            n_instructions=fn.n_instructions,
+            model=ModelStats.from_model(model, table)
+            if model is not None else None,
+            solver=SolverStats.from_result(result)
+            if result is not None else None,
+            cost=CostSplit.from_solution(model, table, result)
+            if model is not None and result is not None else None,
+            phases=spans,
+            counters=delta,
+        )
 
     def _failed(self, fn: Function, status: str) -> Allocation:
         return Allocation(

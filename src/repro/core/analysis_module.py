@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..analysis import Liveness, build_cfg, compute_liveness
+from ..obs import define_counter, trace_phase
 from ..ir import (
     Address,
     Function,
@@ -38,6 +39,13 @@ from .operands import (
 )
 from .predefined import CoalesceCandidate, find_predefined_candidates
 from .table import ActionKind, ActionRecord, DecisionVariableTable
+
+STAT_VARS = define_counter(
+    "ip.variables", "decision variables created (free)"
+)
+STAT_CONSTRAINTS = define_counter(
+    "ip.constraints", "IP constraints emitted"
+)
 
 
 @dataclass(slots=True)
@@ -107,10 +115,11 @@ class ORAAnalysis:
         self.cost = cost
         self.config = config
         self.model = IPModel(name=f"ora.{fn.name}")
-        self.table = DecisionVariableTable(self.model)
+        self.table = DecisionVariableTable(self.model, cost)
         self.index = NetworkIndex()
 
-        self.liveness: Liveness = compute_liveness(fn)
+        with trace_phase("liveness"):
+            self.liveness: Liveness = compute_liveness(fn)
         self.adm: dict[str, tuple[RealRegister, ...]] = {
             v.name: target.admissible(v) for v in fn.vregs()
         }
@@ -134,9 +143,13 @@ class ORAAnalysis:
     # ------------------------------------------------------------------
 
     def build(self) -> tuple[IPModel, DecisionVariableTable, NetworkIndex]:
-        for block in self.fn.blocks:
-            self._build_block(block)
-        self._stitch_edges()
+        with trace_phase("networks"):
+            for block in self.fn.blocks:
+                self._build_block(block)
+        with trace_phase("stitch-edges"):
+            self._stitch_edges()
+        STAT_VARS.add(self.model.n_vars)
+        STAT_CONSTRAINTS.add(self.model.n_constraints)
         return self.model, self.table, self.index
 
     # -- per-block network construction ------------------------------------
@@ -421,7 +434,7 @@ class ORAAnalysis:
                         continue
                     rec = self.table.new_action(
                         ActionKind.USEFROM, s.name,
-                        -self.cost.size_delta(block.name, saving),
+                        self.cost.size_delta(block.name, -saving),
                         block=block.name, index=i, reg=r.name,
                         pos=position.pos_id,
                     )
@@ -523,8 +536,8 @@ class ORAAnalysis:
             if enc_on and instr.info.two_address:
                 # §5.4.1: ALU-with-immediate is shorter through EAX; the
                 # register operand is the tied dst.
-                cost -= self.cost.size_delta(
-                    block.name, encoding.short_opcode_saving(instr, r)
+                cost += self.cost.size_delta(
+                    block.name, -encoding.short_opcode_saving(instr, r)
                 )
             rec = self.table.new_action(
                 ActionKind.DEF, s.name, cost,

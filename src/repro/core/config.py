@@ -41,3 +41,8 @@ class AllocatorConfig:
 
     #: validate the model solution against the rewritten function
     validate: bool = True
+
+    #: attach a :class:`repro.obs.FunctionRunReport` to each allocation
+    #: (per-phase timings, §5 model breakdown, solver stats, §4 cost
+    #: split) — off by default so benchmarks pay nothing for it
+    collect_report: bool = False

@@ -28,10 +28,18 @@ from .config import AllocatorConfig
 
 @dataclass(slots=True)
 class CostModel:
-    """Computes eq.-(1) costs for every allocation action."""
+    """Computes eq.-(1) costs for every allocation action.
+
+    Each cost method also records the eq.-(1) term split of the value
+    it just returned; :meth:`take_split` hands that split to whoever
+    stores the cost (the decision-variable table), so run reports can
+    decompose the solved objective into its A/B/C components.
+    """
 
     freq: ExecutionFrequencies
     config: AllocatorConfig
+    #: (A*cycle, B*size, C*data) of the most recent cost computation
+    last_split: tuple[float, float, float] = (0.0, 0.0, 0.0)
 
     def _a(self, block: str) -> float:
         scale = (
@@ -44,12 +52,29 @@ class CostModel:
                  data: float = 0.0) -> float:
         if self.config.optimize_size_only:
             # §4: pure code-size optimisation drops the A and C terms.
-            return self.config.code_size_weight * size
-        return (
-            self._a(block) * cycles
-            + self.config.code_size_weight * size
-            + self.config.data_size_weight * data
+            self.last_split = (
+                0.0, self.config.code_size_weight * size, 0.0
+            )
+            return self.last_split[1]
+        self.last_split = (
+            self._a(block) * cycles,
+            self.config.code_size_weight * size,
+            self.config.data_size_weight * data,
         )
+        return sum(self.last_split)
+
+    def take_split(
+        self, total: float
+    ) -> tuple[float, float, float] | None:
+        """The term split of a cost equal to ``total``, if the most
+        recent computation produced it (zero costs split trivially)."""
+        if total == 0.0:
+            return (0.0, 0.0, 0.0)
+        if abs(sum(self.last_split) - total) <= 1e-9 * max(
+            1.0, abs(total)
+        ):
+            return self.last_split
+        return None
 
     # -- spill-code actions (Table 1) -----------------------------------
 
@@ -69,7 +94,9 @@ class CostModel:
 
     def copy_deletion(self, block: str) -> float:
         """Savings (negative cost) for deleting an input copy."""
-        return -self.copy(block)
+        saving = -self.copy(block)
+        self.last_split = tuple(-t for t in self.last_split)
+        return saving
 
     # -- §5.2 memory operands -----------------------------------------------
 
@@ -88,13 +115,20 @@ class CostModel:
     # -- §5.4 encoding deltas --------------------------------------------
 
     def size_delta(self, block: str, bytes_delta: float) -> float:
-        """Pure code-size cost (short opcodes, address penalties)."""
-        return self.config.code_size_weight * bytes_delta
+        """Pure code-size cost (short opcodes, address penalties).
+
+        ``bytes_delta`` may be negative (a per-register discount)."""
+        self.last_split = (
+            0.0, self.config.code_size_weight * bytes_delta, 0.0
+        )
+        return self.last_split[1]
 
     # -- §5.5 predefined-memory coalescing ---------------------------------
 
     def coalesce_saving(self, block: str, load_instr) -> float:
         """Savings from deleting the original defining load."""
-        return -self._combine(
+        saving = -self._combine(
             block, base_cycles(load_instr), base_size(load_instr)
         )
+        self.last_split = tuple(-t for t in self.last_split)
+        return saving

@@ -3,9 +3,17 @@ record the solution in the decision-variable table."""
 
 from __future__ import annotations
 
+from ..obs import annotate, define_counter, trace_phase
 from ..solver import IPModel, SolveResult, SolveStatus, solve
 from .config import AllocatorConfig
 from .table import DecisionVariableTable
+
+STAT_SOLVED = define_counter(
+    "ip.solved", "allocation IPs solved to a usable solution"
+)
+STAT_UNSOLVED = define_counter(
+    "ip.unsolved", "allocation IPs with no solution within limits"
+)
 
 
 def solve_allocation(
@@ -15,9 +23,15 @@ def solve_allocation(
 ) -> SolveResult:
     """Solve the allocation IP under the configured backend and time
     limit; the solution (if any) is recorded in the table."""
-    result = solve(
-        model, backend=config.backend, time_limit=config.time_limit
-    )
+    with trace_phase("solve", backend=config.backend):
+        result = solve(
+            model, backend=config.backend, time_limit=config.time_limit
+        )
+        annotate("status", result.status.value)
+        annotate("nodes", result.nodes)
     if result.status.has_solution:
+        STAT_SOLVED.incr()
         table.set_solution(result)
+    else:
+        STAT_UNSOLVED.incr()
     return result

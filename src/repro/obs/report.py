@@ -1,0 +1,370 @@
+"""Structured run reports: what the allocator did, as data.
+
+The paper's evaluation is a set of *measurements* — model size by
+irregularity feature (Fig. 9), solve time (Fig. 10), spill overhead
+(Table 3).  A :class:`RunReport` captures the same quantities for one
+allocator invocation so figures, benchmarks and ad-hoc debugging all
+read from a single struct:
+
+* per-function IP model size, with variables and constraints broken
+  down by §5 feature class (combined-specifier, memory-operand,
+  overlap, encoding, predefined-memory, plus the core network);
+* solver statistics: branch-and-bound nodes, LP relaxations solved,
+  and the incumbent-update timeline;
+* the final cost split into the §4 ``A*cycle + B*size + C*data`` terms;
+* the phase-tracer span tree and a stats-registry counter delta.
+
+Everything serialises to/from plain JSON (``to_json``/``from_json``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from .trace import Span
+
+#: §5 feature classes used in the breakdowns (plus the core network).
+FEATURE_CLASSES = (
+    "core",
+    "combined_specifier",   # §5.1
+    "memory_operand",       # §5.2
+    "overlap",              # §5.3
+    "encoding",             # §5.4
+    "predefined_memory",    # §5.5
+)
+
+#: Constraint-name prefix (up to the first "/") -> feature class.  The
+#: analysis module names every constraint it emits with one of these
+#: tags; anything unrecognised lands in "core".
+CONSTRAINT_CLASS_BY_PREFIX = {
+    # §5.1 combined source/destination specifiers + copy insertion
+    # and deletion.
+    "combspec": "combined_specifier",
+    "copyin-cap": "combined_specifier",
+    "del": "combined_specifier",
+    "dellink-def": "combined_specifier",
+    "dellink-avail": "combined_specifier",
+    # §5.2 memory operands.
+    "memuse-mem": "memory_operand",
+    "cmemud-mem": "memory_operand",
+    "onemem": "memory_operand",
+    # §5.3 overlapping-register capacity.
+    "cap": "overlap",
+    "xcap": "overlap",
+    "wcap": "overlap",
+    # §5.4 instruction-encoding irregularities.
+    "usefrom": "encoding",
+    "short": "encoding",
+}
+
+#: Decision-variable action kind (ActionKind.value) -> feature class.
+VARIABLE_CLASS_BY_KIND = {
+    "copyin": "combined_specifier",
+    "copydel": "combined_specifier",
+    "memuse": "memory_operand",
+    "cmemud": "memory_operand",
+    "usefrom": "encoding",
+    "coalesce": "predefined_memory",
+}
+
+
+def constraint_class(name: str) -> str:
+    prefix = name.split("/", 1)[0]
+    return CONSTRAINT_CLASS_BY_PREFIX.get(prefix, "core")
+
+
+def variable_class(kind: str) -> str:
+    return VARIABLE_CLASS_BY_KIND.get(kind, "core")
+
+
+def _zero_classes() -> dict[str, int]:
+    return {cls: 0 for cls in FEATURE_CLASSES}
+
+
+@dataclass(slots=True)
+class ModelStats:
+    """IP model size, broken down by §5 feature class (Fig. 9 data)."""
+
+    n_variables: int = 0
+    n_constraints: int = 0
+    variables_by_class: dict[str, int] = field(default_factory=_zero_classes)
+    constraints_by_class: dict[str, int] = field(
+        default_factory=_zero_classes
+    )
+
+    @classmethod
+    def from_model(cls, model, table=None) -> "ModelStats":
+        """Measure an :class:`~repro.solver.IPModel` (and, when the
+        decision-variable table is given, classify its variables)."""
+        stats = cls(
+            n_variables=model.n_vars,
+            n_constraints=model.n_constraints,
+        )
+        for con in model.constraints:
+            stats.constraints_by_class[constraint_class(con.name)] += 1
+        if table is not None:
+            for record in table.records:
+                if record.var.fixed is not None:
+                    continue
+                stats.variables_by_class[
+                    variable_class(record.kind.value)
+                ] += 1
+        return stats
+
+    def to_dict(self) -> dict:
+        return {
+            "n_variables": self.n_variables,
+            "n_constraints": self.n_constraints,
+            "variables_by_class": dict(self.variables_by_class),
+            "constraints_by_class": dict(self.constraints_by_class),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ModelStats":
+        return cls(
+            n_variables=d.get("n_variables", 0),
+            n_constraints=d.get("n_constraints", 0),
+            variables_by_class=dict(d.get("variables_by_class", {})),
+            constraints_by_class=dict(d.get("constraints_by_class", {})),
+        )
+
+
+@dataclass(slots=True)
+class SolverStats:
+    """What the IP solver did (Fig. 10 data + incumbent timeline)."""
+
+    backend: str = ""
+    status: str = ""
+    solve_seconds: float = 0.0
+    nodes: int = 0
+    lp_relaxations: int = 0
+    #: [(seconds since solve start, objective)] per incumbent update
+    incumbents: list[tuple[float, float]] = field(default_factory=list)
+    objective: float = 0.0
+
+    @classmethod
+    def from_result(cls, result) -> "SolverStats":
+        """Measure a :class:`~repro.solver.SolveResult`."""
+        return cls(
+            backend=result.backend,
+            status=result.status.value,
+            solve_seconds=result.solve_seconds,
+            nodes=result.nodes,
+            lp_relaxations=result.lp_relaxations,
+            incumbents=[tuple(i) for i in result.incumbents],
+            objective=(
+                result.objective
+                if result.objective != float("inf") else 0.0
+            ),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "backend": self.backend,
+            "status": self.status,
+            "solve_seconds": self.solve_seconds,
+            "nodes": self.nodes,
+            "lp_relaxations": self.lp_relaxations,
+            "incumbents": [list(i) for i in self.incumbents],
+            "objective": self.objective,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "SolverStats":
+        return cls(
+            backend=d.get("backend", ""),
+            status=d.get("status", ""),
+            solve_seconds=d.get("solve_seconds", 0.0),
+            nodes=d.get("nodes", 0),
+            lp_relaxations=d.get("lp_relaxations", 0),
+            incumbents=[tuple(i) for i in d.get("incumbents", [])],
+            objective=d.get("objective", 0.0),
+        )
+
+
+@dataclass(slots=True)
+class CostSplit:
+    """The solved objective split into the §4 eq.-(1) terms."""
+
+    total: float = 0.0
+    cycle_term: float = 0.0      # sum of A * cycle(x)
+    size_term: float = 0.0       # sum of B * instruction_size(x)
+    data_term: float = 0.0       # sum of C * data_size(x)
+    #: objective constant (costs of build-time-fixed actions)
+    constant: float = 0.0
+
+    @classmethod
+    def from_solution(cls, model, table, result) -> "CostSplit | None":
+        """Accumulate the per-action splits of every action the solver
+        selected.  Requires the table to have been built with a cost
+        model attached (so records carry their splits)."""
+        if not result.status.has_solution:
+            return None
+        split = cls(
+            total=result.objective,
+            constant=model.objective_constant,
+        )
+        for record in table.records:
+            if record.split is None:
+                continue
+            value = (
+                record.var.fixed if record.var.fixed is not None
+                else result.values.get(record.var.index, 0)
+            )
+            if not value:
+                continue
+            cycle, size, data = record.split
+            split.cycle_term += cycle
+            split.size_term += size
+            split.data_term += data
+        return split
+
+    def to_dict(self) -> dict:
+        return {
+            "total": self.total,
+            "cycle_term": self.cycle_term,
+            "size_term": self.size_term,
+            "data_term": self.data_term,
+            "constant": self.constant,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "CostSplit":
+        return cls(**{
+            k: d.get(k, 0.0)
+            for k in ("total", "cycle_term", "size_term", "data_term",
+                      "constant")
+        })
+
+
+@dataclass(slots=True)
+class FunctionRunReport:
+    """Everything observed while allocating one function."""
+
+    function: str
+    benchmark: str = ""
+    allocator: str = "ip"
+    status: str = ""
+    n_instructions: int = 0
+    model: ModelStats | None = None
+    solver: SolverStats | None = None
+    cost: CostSplit | None = None
+    #: phase-tracer span forest for this allocation
+    phases: list[Span] = field(default_factory=list)
+    #: stats-registry counter deltas across this allocation
+    counters: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def phase_seconds(self) -> dict[str, float]:
+        """Flattened {phase name: seconds} over the whole span forest."""
+        out: dict[str, float] = {}
+
+        def walk(span: Span) -> None:
+            out[span.name] = out.get(span.name, 0.0) + span.seconds
+            for child in span.children:
+                walk(child)
+
+        for span in self.phases:
+            walk(span)
+        return out
+
+    def to_dict(self) -> dict:
+        return {
+            "function": self.function,
+            "benchmark": self.benchmark,
+            "allocator": self.allocator,
+            "status": self.status,
+            "n_instructions": self.n_instructions,
+            "model": self.model.to_dict() if self.model else None,
+            "solver": self.solver.to_dict() if self.solver else None,
+            "cost": self.cost.to_dict() if self.cost else None,
+            "phases": [s.to_dict() for s in self.phases],
+            "counters": dict(self.counters),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "FunctionRunReport":
+        return cls(
+            function=d["function"],
+            benchmark=d.get("benchmark", ""),
+            allocator=d.get("allocator", "ip"),
+            status=d.get("status", ""),
+            n_instructions=d.get("n_instructions", 0),
+            model=ModelStats.from_dict(d["model"])
+            if d.get("model") else None,
+            solver=SolverStats.from_dict(d["solver"])
+            if d.get("solver") else None,
+            cost=CostSplit.from_dict(d["cost"])
+            if d.get("cost") else None,
+            phases=[Span.from_dict(s) for s in d.get("phases", [])],
+            counters=dict(d.get("counters", {})),
+        )
+
+
+@dataclass(slots=True)
+class RunReport:
+    """One allocator run (CLI invocation or bench-suite execution)."""
+
+    target: str = ""
+    backend: str = ""
+    command: str = ""
+    functions: list[FunctionRunReport] = field(default_factory=list)
+    #: final stats-registry snapshot for the whole run
+    counters: dict[str, float] = field(default_factory=dict)
+
+    # -- aggregates -------------------------------------------------------
+    def totals(self) -> dict:
+        agg = {
+            "functions": len(self.functions),
+            "n_variables": 0,
+            "n_constraints": 0,
+            "solve_seconds": 0.0,
+            "nodes": 0,
+            "lp_relaxations": 0,
+        }
+        for f in self.functions:
+            if f.model is not None:
+                agg["n_variables"] += f.model.n_variables
+                agg["n_constraints"] += f.model.n_constraints
+            if f.solver is not None:
+                agg["solve_seconds"] += f.solver.solve_seconds
+                agg["nodes"] += f.solver.nodes
+                agg["lp_relaxations"] += f.solver.lp_relaxations
+        return agg
+
+    # -- serialisation ----------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "target": self.target,
+            "backend": self.backend,
+            "command": self.command,
+            "functions": [f.to_dict() for f in self.functions],
+            "counters": dict(self.counters),
+            "totals": self.totals(),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "RunReport":
+        return cls(
+            target=d.get("target", ""),
+            backend=d.get("backend", ""),
+            command=d.get("command", ""),
+            functions=[
+                FunctionRunReport.from_dict(f)
+                for f in d.get("functions", [])
+            ],
+            counters=dict(d.get("counters", {})),
+        )
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunReport":
+        return cls.from_dict(json.loads(text))
+
+    def write(self, path: str) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.to_json())
+            handle.write("\n")

@@ -1,0 +1,140 @@
+"""Process-wide stats registry (``DEFINE_STAT`` style).
+
+Modules declare their statistics once at import time::
+
+    from ..obs import define_counter, define_gauge
+
+    STAT_NODES = define_counter("solver.bb.nodes",
+                                "branch-and-bound nodes explored")
+
+and bump them from the hot path with ``STAT_NODES.add(n)``.  Increments
+are gated on a single module-level flag so the disabled cost is one
+attribute check; callers that batch their updates (add once per solve,
+not once per node) pay essentially nothing either way.
+
+``snapshot()`` returns ``{name: value}`` for every registered stat and
+``reset()`` zeroes them, which is what the CLI's ``--stats`` flag and
+the per-function counter deltas in run reports are built on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class _State:
+    """Mutable module state (kept in one object so tests can swap it)."""
+
+    __slots__ = ("enabled",)
+
+    def __init__(self) -> None:
+        self.enabled = False
+
+
+_STATE = _State()
+
+
+def stats_enabled() -> bool:
+    return _STATE.enabled
+
+
+def set_stats_enabled(on: bool) -> None:
+    _STATE.enabled = bool(on)
+
+
+@dataclass(slots=True)
+class Stat:
+    """One named statistic: a monotonic counter or a settable gauge."""
+
+    name: str
+    description: str = ""
+    kind: str = "counter"  # "counter" | "gauge"
+    value: float = 0.0
+
+    def add(self, n: float = 1.0) -> None:
+        if _STATE.enabled:
+            self.value += n
+
+    # Counters alias ``incr`` to ``add`` for readability at call sites.
+    incr = add
+
+    def set(self, v: float) -> None:
+        if _STATE.enabled:
+            self.value = v
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+
+@dataclass(slots=True)
+class StatsRegistry:
+    """All stats of one process (normally the module-level singleton)."""
+
+    stats: dict[str, Stat] = field(default_factory=dict)
+
+    def define(self, name: str, description: str = "",
+               kind: str = "counter") -> Stat:
+        """Get-or-create; re-declaring a name returns the same object."""
+        stat = self.stats.get(name)
+        if stat is None:
+            stat = Stat(name=name, description=description, kind=kind)
+            self.stats[name] = stat
+        elif description and not stat.description:
+            stat.description = description
+        return stat
+
+    def snapshot(self) -> dict[str, float]:
+        return {name: s.value for name, s in sorted(self.stats.items())}
+
+    def reset(self) -> None:
+        for s in self.stats.values():
+            s.reset()
+
+
+REGISTRY = StatsRegistry()
+
+
+def define_counter(name: str, description: str = "") -> Stat:
+    return REGISTRY.define(name, description, kind="counter")
+
+
+def define_gauge(name: str, description: str = "") -> Stat:
+    return REGISTRY.define(name, description, kind="gauge")
+
+
+def counter(name: str) -> Stat:
+    """Get-or-create a counter by name (ad-hoc form of DEFINE_STAT)."""
+    return REGISTRY.define(name, kind="counter")
+
+
+def gauge(name: str) -> Stat:
+    return REGISTRY.define(name, kind="gauge")
+
+
+def snapshot() -> dict[str, float]:
+    return REGISTRY.snapshot()
+
+
+def reset_stats() -> None:
+    REGISTRY.reset()
+
+
+def render_stats(values: dict[str, float] | None = None,
+                 skip_zero: bool = True) -> str:
+    """Human-readable table of the current (or given) snapshot."""
+    values = snapshot() if values is None else values
+    rows = [
+        (name, value) for name, value in values.items()
+        if value or not skip_zero
+    ]
+    if not rows:
+        return "(no stats recorded)"
+    width = max(len(name) for name, _ in rows)
+    lines = []
+    for name, value in rows:
+        shown = f"{value:g}"
+        desc = REGISTRY.stats[name].description if name in REGISTRY.stats \
+            else ""
+        suffix = f"  # {desc}" if desc else ""
+        lines.append(f"{name:<{width}}  {shown:>12}{suffix}")
+    return "\n".join(lines)

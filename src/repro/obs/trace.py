@@ -1,0 +1,200 @@
+"""Phase tracer: nested wall-time spans over the allocation pipeline.
+
+Usage at an instrumentation site::
+
+    from ..obs import trace_phase
+
+    with trace_phase("liveness"):
+        ...
+
+Spans nest into a tree.  When tracing is globally disabled and no
+capture is active, :func:`trace_phase` returns a shared no-op context
+manager — the per-call cost is one flag check, so instrumented code can
+stay instrumented in benchmarks.
+
+Two consumers exist:
+
+* global tracing (``REPRO_TRACE=1`` or ``--trace``): finished top-level
+  spans accumulate until :func:`take_trace` drains them;
+* :func:`capture`, used by the run-report machinery to collect the span
+  tree of one allocation regardless of the global flag.  A capture
+  isolates the thread's span stack, and on exit re-attaches what it
+  recorded to the surrounding trace so the two views stay consistent.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Span:
+    """One timed phase, with nested children."""
+
+    name: str
+    seconds: float = 0.0
+    meta: dict = field(default_factory=dict)
+    children: list["Span"] = field(default_factory=list)
+    _t0: float = 0.0
+
+    # -- context manager -------------------------------------------------
+    def __enter__(self) -> "Span":
+        tls = _tls()
+        tls.stack.append(self)
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.seconds = time.perf_counter() - self._t0
+        tls = _tls()
+        if tls.stack and tls.stack[-1] is self:
+            tls.stack.pop()
+        if tls.stack:
+            tls.stack[-1].children.append(self)
+        else:
+            tls.sinks[-1].append(self)
+        return False
+
+    def annotate(self, key: str, value) -> "Span":
+        self.meta[key] = value
+        return self
+
+    # -- serialisation ---------------------------------------------------
+    def to_dict(self) -> dict:
+        d: dict = {"name": self.name, "seconds": self.seconds}
+        if self.meta:
+            d["meta"] = dict(self.meta)
+        if self.children:
+            d["children"] = [c.to_dict() for c in self.children]
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Span":
+        return cls(
+            name=d["name"],
+            seconds=d.get("seconds", 0.0),
+            meta=dict(d.get("meta", {})),
+            children=[cls.from_dict(c) for c in d.get("children", [])],
+        )
+
+
+class _Noop:
+    """Shared do-nothing span for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_Noop":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def annotate(self, key: str, value) -> "_Noop":
+        return self
+
+
+NOOP_SPAN = _Noop()
+
+_ENABLED = False
+_TLS = threading.local()
+
+
+def _tls():
+    if not hasattr(_TLS, "stack"):
+        _TLS.stack = []
+        _TLS.sinks = [[]]  # sinks[0] is the global trace
+    return _TLS
+
+
+def trace_enabled() -> bool:
+    return _ENABLED
+
+
+def set_trace_enabled(on: bool) -> None:
+    global _ENABLED
+    _ENABLED = bool(on)
+
+
+def _active() -> bool:
+    return _ENABLED or len(_tls().sinks) > 1
+
+
+def trace_phase(name: str, **meta):
+    """Start a phase span, or a shared no-op when tracing is off."""
+    if not _active():
+        return NOOP_SPAN
+    return Span(name=name, meta=dict(meta) if meta else {})
+
+
+def current_span() -> Span | None:
+    stack = _tls().stack
+    return stack[-1] if stack else None
+
+
+def annotate(key: str, value) -> None:
+    """Attach metadata to the innermost open span, if any."""
+    span = current_span()
+    if span is not None:
+        span.annotate(key, value)
+
+
+def take_trace() -> list[Span]:
+    """Drain and return the finished top-level spans of this thread."""
+    tls = _tls()
+    spans, tls.sinks[0] = tls.sinks[0], []
+    return spans
+
+
+class SpanCapture:
+    """Context manager that captures a span subtree (see module doc)."""
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+        self._saved_stack: list[Span] | None = None
+
+    def __enter__(self) -> "SpanCapture":
+        tls = _tls()
+        tls.sinks.append([])
+        self._saved_stack, tls.stack = tls.stack, []
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        tls = _tls()
+        self.spans = tls.sinks.pop()
+        tls.stack = self._saved_stack or []
+        # Re-attach to the surrounding trace so --trace still sees the
+        # spans a report capture swallowed.
+        if tls.stack:
+            tls.stack[-1].children.extend(self.spans)
+        elif _ENABLED:
+            tls.sinks[-1].extend(self.spans)
+        return False
+
+
+def capture() -> SpanCapture:
+    return SpanCapture()
+
+
+def render_trace(spans: list[Span] | None = None) -> str:
+    """Indented text rendering of a span forest."""
+    spans = take_trace() if spans is None else spans
+    if not spans:
+        return "(no trace recorded)"
+    lines: list[str] = []
+
+    def walk(span: Span, depth: int) -> None:
+        meta = "".join(
+            f" {k}={v}" for k, v in sorted(span.meta.items())
+        )
+        lines.append(
+            f"{'  ' * depth}{span.name:<{max(1, 32 - 2 * depth)}} "
+            f"{span.seconds * 1e3:9.3f} ms{meta}"
+        )
+        for child in span.children:
+            walk(child, depth + 1)
+
+    for span in spans:
+        walk(span, 0)
+    return "\n".join(lines)

@@ -20,10 +20,24 @@ import numpy as np
 from scipy import sparse
 from scipy.optimize import linprog
 
+from ..obs import define_counter
 from .model import IPModel, Sense
 from .result import SolveResult, SolveStatus, complete_values
 
 _INT_TOL = 1e-6
+
+STAT_SOLVES = define_counter(
+    "solver.bb.solves", "branch-and-bound invocations"
+)
+STAT_NODES = define_counter(
+    "solver.bb.nodes", "branch-and-bound nodes explored"
+)
+STAT_LPS = define_counter(
+    "solver.bb.lp_relaxations", "LP relaxations solved"
+)
+STAT_INCUMBENTS = define_counter(
+    "solver.bb.incumbents", "incumbent updates"
+)
 
 
 @dataclass(slots=True)
@@ -100,6 +114,7 @@ def solve_with_branch_bound(
     free = model.free_variables()
     n = len(free)
     start = time.perf_counter()
+    STAT_SOLVES.incr()
 
     if n == 0:
         feasible = model.check({})
@@ -116,6 +131,8 @@ def solve_with_branch_bound(
     best_values: dict[int, int] | None = None
     best_obj = float("inf")
     nodes = 0
+    lp_relaxations = 0
+    incumbents: list[tuple[float, float]] = []
     timed_out = False
 
     # DFS stack of (lb, ub) bound pairs.
@@ -133,6 +150,7 @@ def solve_with_branch_bound(
             break
         lb, ub = stack.pop()
         nodes += 1
+        lp_relaxations += 1
 
         res = problem.lp(lb, ub)
         if res.status != 0:  # infeasible / unbounded subproblem
@@ -152,6 +170,9 @@ def solve_with_branch_bound(
             if obj < best_obj:
                 best_obj = obj
                 best_values = full
+                incumbents.append(
+                    (time.perf_counter() - start, best_obj)
+                )
             continue
 
         # Rounding heuristic for an early incumbent.
@@ -162,6 +183,9 @@ def solve_with_branch_bound(
                 if obj < best_obj:
                     best_obj = obj
                     best_values = heur
+                    incumbents.append(
+                        (time.perf_counter() - start, best_obj)
+                    )
 
         branch = int(np.argmax(frac))
         # Explore the branch suggested by the LP value first
@@ -178,12 +202,16 @@ def solve_with_branch_bound(
             stack.append((lb0, ub0))
 
     elapsed = time.perf_counter() - start
+    STAT_NODES.add(nodes)
+    STAT_LPS.add(lp_relaxations)
+    STAT_INCUMBENTS.add(len(incumbents))
     if best_values is None:
         return SolveResult(
             status=SolveStatus.UNSOLVED if timed_out
             else SolveStatus.INFEASIBLE,
             solve_seconds=elapsed,
             nodes=nodes,
+            lp_relaxations=lp_relaxations,
             backend="branch-bound",
         )
     return SolveResult(
@@ -192,5 +220,7 @@ def solve_with_branch_bound(
         objective=best_obj,
         solve_seconds=elapsed,
         nodes=nodes,
+        lp_relaxations=lp_relaxations,
+        incumbents=incumbents,
         backend="branch-bound",
     )

@@ -32,6 +32,11 @@ class SolveResult:
     solve_seconds: float = 0.0
     #: branch-and-bound nodes explored (backend-dependent)
     nodes: int = 0
+    #: LP relaxations solved during the search (backend-dependent)
+    lp_relaxations: int = 0
+    #: incumbent-update timeline: [(seconds since solve start,
+    #: objective)] each time the best known solution improved
+    incumbents: list[tuple[float, float]] = field(default_factory=list)
     backend: str = ""
 
     def value(self, var) -> int:

@@ -13,8 +13,16 @@ import numpy as np
 from scipy import sparse
 from scipy.optimize import Bounds, LinearConstraint, milp
 
+from ..obs import define_counter
 from .model import IPModel, Sense
 from .result import SolveResult, SolveStatus, complete_values
+
+STAT_SOLVES = define_counter(
+    "solver.highs.solves", "HiGHS MILP invocations"
+)
+STAT_NODES = define_counter(
+    "solver.highs.nodes", "HiGHS branch-and-cut nodes"
+)
 
 
 def solve_with_scipy(
@@ -85,6 +93,7 @@ def solve_with_scipy(
     )
     elapsed = time.perf_counter() - start
 
+    STAT_SOLVES.incr()
     if res.x is not None:
         free_values = {
             v.index: int(round(res.x[j])) for j, v in enumerate(free)
@@ -94,12 +103,17 @@ def solve_with_scipy(
         status = (
             SolveStatus.OPTIMAL if res.status == 0 else SolveStatus.FEASIBLE
         )
+        nodes = int(getattr(res, "mip_node_count", 0) or 0)
+        STAT_NODES.add(nodes)
         return SolveResult(
             status=status,
             values=values,
             objective=objective,
             solve_seconds=elapsed,
-            nodes=int(getattr(res, "mip_node_count", 0) or 0),
+            nodes=nodes,
+            # HiGHS reports neither LP counts nor an incumbent log
+            # through scipy; record the final incumbent only.
+            incumbents=[(elapsed, objective)],
             backend="scipy-highs",
         )
 

@@ -1,0 +1,74 @@
+"""Instruction-encoding irregularities (§5.4).
+
+Three ia32 quirks the paper turns into per-register cost deltas:
+
+* **Short opcodes** (§5.4.1): arithmetic with an immediate has a
+  one-byte-shorter form when the register operand is AL/AX/EAX.
+* **Address penalties** (§5.4.2): ESP as a base register forces a SIB
+  byte; bare ``[EBP]`` has no displacement-less form and costs a byte.
+* **Exclusions** (§5.4.3): ESP can never be a scaled index register.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir import Address, Instr, Opcode
+from .registers import RealRegister, RegPart
+
+#: Opcodes with a short accumulator-with-immediate form (CJUMP stands
+#: in for CMP, which shares the ALU encoding family).
+SHORT_EAX_IMM_OPS = frozenset({
+    Opcode.ADD,
+    Opcode.SUB,
+    Opcode.AND,
+    Opcode.OR,
+    Opcode.XOR,
+    Opcode.CJUMP,
+})
+
+
+@dataclass(frozen=True)
+class Encoding:
+    """Per-register byte deltas of one encoding scheme."""
+
+    name: str
+    irregular: bool
+
+    def short_opcode_saving(
+        self, instr: Instr, reg: RealRegister
+    ) -> int:
+        """Bytes saved by placing the operand of ``instr`` in ``reg``."""
+        if not self.irregular:
+            return 0
+        if instr.opcode not in SHORT_EAX_IMM_OPS:
+            return 0
+        if not instr.has_immediate_src():
+            return 0
+        if reg.family != "A" or reg.part is RegPart.HIGH8:
+            return 0
+        return 1
+
+    def address_penalty(
+        self, addr: Address, role: str, reg: RealRegister
+    ) -> int:
+        """Extra bytes when ``reg`` fills ``role`` in ``addr``."""
+        if not self.irregular or role != "base":
+            return 0
+        if reg.family == "SP":
+            return 1  # ESP base always needs a SIB byte
+        if reg.family == "BP" and addr.slot is None and addr.disp == 0:
+            return 1  # no displacement-less [EBP] form exists
+        return 0
+
+    def excluded_from_address(
+        self, addr: Address, role: str, reg: RealRegister
+    ) -> bool:
+        """Is ``reg`` flatly illegal in ``role`` for ``addr``?"""
+        if not self.irregular:
+            return False
+        return role == "index" and addr.scale != 1 and reg.family == "SP"
+
+
+X86_ENCODING = Encoding("x86", irregular=True)
+UNIFORM_ENCODING = Encoding("uniform", irregular=False)
