@@ -2,15 +2,24 @@
 
     python -m repro alloc FILE.c [--function f] [--allocator ip|gc]
                                  [--target x86|x86+ebp|risc]
-                                 [--size-only] [--backend scipy|branch-bound]
+                                 [--size-only] [--backend NAME]
+                                 [--jobs N] [--cache [DIR]]
     python -m repro run FILE.c [--entry main] [--args 1 2 3]
                                [--allocator ip|gc|none]
-    python -m repro experiments [--fast]
+    python -m repro experiments [--fast] [--bench NAME]
+                                [--jobs N] [--cache [DIR]]
 
 ``alloc`` compiles a mini-C file, allocates one or all functions, and
 prints the rewritten code with register assignments.  ``run`` executes
 a program (optionally through an allocator) and reports the result and
-cycle counts.  ``experiments`` regenerates the paper's tables/figures.
+cycle counts.  ``experiments`` (alias: ``exp``) regenerates the
+paper's tables/figures.
+
+``alloc`` and ``experiments`` go through the parallel allocation
+engine: ``--jobs N`` fans per-function IP solves across N worker
+processes (default: the ``REPRO_JOBS`` environment variable, else 1)
+and ``--cache [DIR]`` replays previously solved functions from a
+persistent on-disk result cache (default directory ``.repro-cache``).
 
 Observability flags (accepted before or after the subcommand):
 
@@ -35,10 +44,12 @@ from .allocation import allocation_code_size, validate_allocation
 from .analysis import profiled_frequencies
 from .baseline import GraphColoringAllocator
 from .core import AllocatorConfig, IPAllocator
+from .engine import DEFAULT_CACHE_DIR, AllocationEngine, EngineConfig
 from .ir import format_function
 from .lang import compile_program
 from .obs import FunctionRunReport, RunReport
 from .sim import AllocatedFunction, Interpreter
+from .solver import BACKENDS
 from .target import risc_target, x86_target
 
 TARGETS = {
@@ -63,6 +74,23 @@ def _make_allocator(args, target):
         collect_report=bool(getattr(args, "report_json", None)),
     )
     return IPAllocator(target, config)
+
+
+def _default_jobs() -> int:
+    """The REPRO_JOBS environment default for ``--jobs``."""
+    try:
+        return max(1, int(os.environ.get("REPRO_JOBS", "1")))
+    except ValueError:
+        return 1
+
+
+def _engine_config(args, fallback: bool = True) -> EngineConfig:
+    """Build the engine configuration from ``--jobs``/``--cache``."""
+    return EngineConfig(
+        jobs=getattr(args, "jobs", 1),
+        cache_dir=getattr(args, "cache", None),
+        fallback=fallback,
+    )
 
 
 def _report_sink(args) -> RunReport | None:
@@ -107,8 +135,23 @@ def cmd_alloc(args) -> int:
         [module.functions[args.function]]
         if args.function else list(module)
     )
+    if isinstance(allocator, IPAllocator):
+        # The engine adds process-pool fan-out and cache replay; with
+        # fallback off, a failed function reports "failed" exactly as
+        # the bare allocator would.
+        engine = AllocationEngine(
+            target, allocator.config, _engine_config(args, fallback=False)
+        )
+        allocations = {
+            o.function: o.attempt
+            for o in engine.allocate_module(functions)
+        }
+    else:
+        allocations = {
+            fn.name: allocator.allocate(fn) for fn in functions
+        }
     for fn in functions:
-        alloc = allocator.allocate(fn)
+        alloc = allocations[fn.name]
         _report_collect(report, alloc)
         print(f"== {fn.name}: {alloc.status}", end="")
         if alloc.n_constraints:
@@ -187,13 +230,16 @@ def cmd_experiments(args) -> int:
 
     target = x86_target()
     config = AllocatorConfig(time_limit=args.time_limit)
-    benchmarks = (
-        [load_benchmark("compress"), load_benchmark("cc1")]
-        if args.fast else load_all()
-    )
+    if args.bench:
+        benchmarks = [load_benchmark(name) for name in args.bench]
+    elif args.fast:
+        benchmarks = [load_benchmark("compress"), load_benchmark("cc1")]
+    else:
+        benchmarks = load_all()
     suite = run_suite(
         target, config, benchmarks,
         report_path=getattr(args, "report_json", None),
+        engine=_engine_config(args),
     )
     print(render_table1())
     print()
@@ -213,6 +259,21 @@ def cmd_experiments(args) -> int:
         "paper: roughly O(n^2.5) on CPLEX 6.0",
     ))
     return 0
+
+
+def _add_engine_options(parser) -> None:
+    """Engine flags shared by the ``alloc`` and ``exp`` subcommands."""
+    parser.add_argument(
+        "--jobs", type=int, default=_default_jobs(), metavar="N",
+        help="worker processes for per-function IP solves "
+             "(default: $REPRO_JOBS or 1)",
+    )
+    parser.add_argument(
+        "--cache", nargs="?", const=DEFAULT_CACHE_DIR, default=None,
+        metavar="DIR",
+        help="replay solved functions from a persistent result cache "
+             f"(default directory: {DEFAULT_CACHE_DIR})",
+    )
 
 
 def _add_obs_options(parser, top_level: bool) -> None:
@@ -254,10 +315,11 @@ def main(argv=None) -> int:
     p_alloc.add_argument("--target", choices=sorted(TARGETS),
                          default="x86")
     p_alloc.add_argument("--backend",
-                         choices=("scipy", "branch-bound"),
+                         choices=sorted(BACKENDS),
                          default="scipy")
     p_alloc.add_argument("--size-only", action="store_true")
     p_alloc.add_argument("--time-limit", type=float, default=64.0)
+    _add_engine_options(p_alloc)
     _add_obs_options(p_alloc, top_level=False)
     p_alloc.set_defaults(func=cmd_alloc)
 
@@ -270,16 +332,22 @@ def main(argv=None) -> int:
     p_run.add_argument("--target", choices=sorted(TARGETS),
                        default="x86")
     p_run.add_argument("--backend",
-                       choices=("scipy", "branch-bound"),
+                       choices=sorted(BACKENDS),
                        default="scipy")
     _add_obs_options(p_run, top_level=False)
     p_run.set_defaults(func=cmd_run)
 
     p_exp = sub.add_parser(
-        "experiments", help="regenerate the paper's tables and figures"
+        "experiments", aliases=["exp"],
+        help="regenerate the paper's tables and figures",
     )
     p_exp.add_argument("--fast", action="store_true")
+    p_exp.add_argument(
+        "--bench", action="append", metavar="NAME", default=None,
+        help="run only the named benchmark (repeatable)",
+    )
     p_exp.add_argument("--time-limit", type=float, default=64.0)
+    _add_engine_options(p_exp)
     _add_obs_options(p_exp, top_level=False)
     p_exp.set_defaults(func=cmd_experiments)
 

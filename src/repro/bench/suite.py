@@ -11,7 +11,11 @@ This is the reproduction of the paper's experimental setup (§6):
    statistics behind Tables 2 and 3 and Figures 9 and 10.
 
 Functions the IP solver cannot finish keep the baseline's allocation —
-mirroring the paper, where unattempted functions keep GCC's.
+mirroring the paper, where unattempted functions keep GCC's.  The IP
+solves themselves go through :class:`repro.engine.AllocationEngine`, so
+passing an :class:`repro.engine.EngineConfig` fans them across worker
+processes and/or replays them from the persistent result cache; the
+default configuration solves serially with no cache, exactly as before.
 """
 
 from __future__ import annotations
@@ -22,7 +26,8 @@ from dataclasses import dataclass, field
 from ..allocation import Allocation, AllocationError, validate_allocation
 from ..analysis import profiled_frequencies
 from ..baseline import GraphColoringAllocator
-from ..core import AllocatorConfig, IPAllocator
+from ..core import AllocatorConfig
+from ..engine import AllocationEngine, EngineConfig
 from ..ir import Module, Opcode
 from ..obs import (
     FunctionRunReport,
@@ -139,8 +144,14 @@ def run_benchmark(
     target: TargetMachine,
     config: AllocatorConfig | None = None,
     validate: bool = True,
+    engine: EngineConfig | None = None,
 ) -> BenchmarkResult:
-    """Run the full experiment pipeline for one benchmark."""
+    """Run the full experiment pipeline for one benchmark.
+
+    ``engine`` configures the allocation engine (worker processes,
+    result cache, fallback policy); ``None`` solves serially with no
+    cache.
+    """
     config = config or AllocatorConfig()
     args = list(bench.args)
     STAT_BENCHMARKS.incr()
@@ -148,7 +159,6 @@ def run_benchmark(
     with trace_phase("reference-run", benchmark=bench.name):
         reference = Interpreter(module).run(bench.entry, args)
 
-    ip = IPAllocator(target, config)
     gc = GraphColoringAllocator(target)
 
     reports: list[FunctionReport] = []
@@ -156,15 +166,12 @@ def run_benchmark(
     gc_allocs: dict[str, AllocatedFunction] = {}
     ip_allocations: dict[str, Allocation] = {}
     gc_allocations: dict[str, Allocation] = {}
+    freqs = {}
 
     for fn in module:
         freq = profiled_frequencies(fn, reference.blocks_of(fn.name))
+        freqs[fn.name] = freq
         STAT_SUITE_FUNCTIONS.incr()
-        report = FunctionReport(
-            benchmark=bench.name,
-            function=fn.name,
-            n_instructions=fn.n_instructions,
-        )
 
         g = gc.allocate(fn, freq)
         if not g.succeeded:
@@ -176,7 +183,21 @@ def run_benchmark(
         gc_allocs[fn.name] = AllocatedFunction(g.function, g.assignment)
         gc_allocations[fn.name] = g
 
-        a = ip.allocate(fn, freq)
+    # The IP side goes through the engine: cache replay, process-pool
+    # fan-out, and baseline fallback for unsolved functions.
+    ip_engine = AllocationEngine(target, config, engine)
+    module_alloc = ip_engine.allocate_module(
+        module, freqs, baseline=gc_allocations
+    )
+
+    for fn in module:
+        outcome = module_alloc.outcome(fn.name)
+        a = outcome.attempt
+        report = FunctionReport(
+            benchmark=bench.name,
+            function=fn.name,
+            n_instructions=fn.n_instructions,
+        )
         report.n_variables = a.n_variables
         report.n_constraints = a.n_constraints
         report.solve_seconds = a.solve_seconds
@@ -197,8 +218,10 @@ def run_benchmark(
             ip_allocations[fn.name] = a
         else:
             # Paper behaviour: unsolved functions keep the traditional
-            # allocator's code.
-            ip_allocs[fn.name] = gc_allocs[fn.name]
+            # allocator's code (the engine already fell back to it).
+            ip_allocs[fn.name] = AllocatedFunction(
+                outcome.final.function, outcome.final.assignment
+            ) if outcome.final.succeeded else gc_allocs[fn.name]
         reports.append(report)
 
     with trace_phase("ip-run", benchmark=bench.name):
@@ -228,11 +251,14 @@ def run_suite(
     config: AllocatorConfig | None = None,
     benchmarks: list[tuple[Benchmark, Module]] | None = None,
     report_path: str | None = None,
+    engine: EngineConfig | None = None,
 ) -> SuiteResult:
     """Run the whole suite (all six programs by default).
 
     With ``report_path``, per-function run reports are collected and a
     suite-level :class:`repro.obs.RunReport` is written there as JSON.
+    ``engine`` (worker count, cache directory) applies to every
+    benchmark; the on-disk cache is shared across them.
     """
     if report_path is not None:
         config = config or AllocatorConfig()
@@ -242,7 +268,9 @@ def run_suite(
         for bench, module in (benchmarks or load_all()):
             with trace_phase("benchmark", benchmark=bench.name):
                 suite.results.append(
-                    run_benchmark(bench, module, target, config)
+                    run_benchmark(
+                        bench, module, target, config, engine=engine
+                    )
                 )
     if report_path is not None:
         suite_report(suite, target, config).write(report_path)

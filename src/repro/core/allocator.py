@@ -85,17 +85,29 @@ class IPAllocator:
         self,
         fn: Function,
         freq: ExecutionFrequencies | None = None,
+        solve_override=None,
     ) -> Allocation:
+        """Allocate ``fn``.
+
+        ``solve_override``, when given, replaces the solver-module call:
+        it is invoked as ``solve_override(model, table)`` and must
+        return a :class:`~repro.solver.SolveResult` with the solution
+        recorded in the table.  The allocation engine uses this to
+        inject cached solver results (skipping the solver entirely) and
+        to capture raw solver output for its persistent cache.
+        """
         STAT_FUNCTIONS.incr()
         if not self.config.collect_report:
             with trace_phase("ip-allocate", function=fn.name):
-                alloc, _, _, _ = self._allocate(fn, freq)
+                alloc, _, _, _ = self._allocate(fn, freq, solve_override)
             return alloc
 
         counters_before = snapshot()
         with capture() as cap:
             with trace_phase("ip-allocate", function=fn.name):
-                alloc, model, table, result = self._allocate(fn, freq)
+                alloc, model, table, result = self._allocate(
+                    fn, freq, solve_override
+                )
         alloc.report = self._build_report(
             fn, alloc, model, table, result, cap.spans, counters_before
         )
@@ -105,6 +117,7 @@ class IPAllocator:
         self,
         fn: Function,
         freq: ExecutionFrequencies | None,
+        solve_override=None,
     ):
         """The pipeline proper; returns (allocation, model, table,
         solve result), the latter three ``None`` where unreached."""
@@ -114,7 +127,10 @@ class IPAllocator:
             STAT_FAILED.incr()
             return self._failed(fn, "failed"), None, None, None
 
-        result = solve_allocation(model, table, self.config)
+        if solve_override is not None:
+            result = solve_override(model, table)
+        else:
+            result = solve_allocation(model, table, self.config)
         if not result.status.has_solution:
             STAT_FAILED.incr()
             alloc = self._failed(fn, "failed")

@@ -48,6 +48,12 @@ STAT_CONSTRAINTS = define_counter(
 )
 
 
+def _ordered(regs) -> list[VirtualRegister]:
+    """Liveness sets in name order, so variable/constraint creation
+    does not depend on the process's string-hash seed."""
+    return sorted(regs, key=lambda v: v.name)
+
+
 @dataclass(slots=True)
 class SiteVars:
     """Variables that can make S available in one register at one use
@@ -177,7 +183,7 @@ class ORAAnalysis:
         mem: dict[str, Variable] = {}
         live_regs: dict[str, VirtualRegister] = {}
 
-        for s in live_in:
+        for s in _ordered(live_in):
             cur[s.name] = {
                 r.name: self._occ_var(s, r, f"{bname}.entry")
                 for r in self.adm[s.name]
@@ -257,14 +263,15 @@ class ORAAnalysis:
         # Block exit bookkeeping + exit capacity.
         live_out = self.liveness.live_out[bname]
         self._exit_occ[bname] = {
-            s.name: dict(cur.get(s.name, {})) for s in live_out
+            s.name: dict(cur.get(s.name, {})) for s in _ordered(live_out)
         }
         self._exit_mem[bname] = {
-            s.name: mem[s.name] for s in live_out if s.name in mem
+            s.name: mem[s.name]
+            for s in _ordered(live_out) if s.name in mem
         }
         self._emit_segment_capacity(
             f"{bname}.exit",
-            {s.name: cur.get(s.name, {}) for s in live_out},
+            {s.name: cur.get(s.name, {}) for s in _ordered(live_out)},
         )
 
     # -- use-site actions ---------------------------------------------------
@@ -610,7 +617,7 @@ class ORAAnalysis:
                 if self.target.register_file[r_name] not in chain:
                     continue
                 terms = [(1.0, dvar)]
-                for s2 in live_after:
+                for s2 in _ordered(live_after):
                     if s2 == s:
                         continue
                     for r2 in chain:

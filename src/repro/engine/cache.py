@@ -1,0 +1,162 @@
+"""Persistent on-disk cache of solver results.
+
+One JSON record per solved allocation IP, stored under
+``<root>/<fp[:2]>/<fp>.json`` where ``fp`` is the canonical problem
+fingerprint (:mod:`repro.engine.fingerprint`).  Records hold the *raw
+solver output* — the 0/1 values of the free decision variables — not
+the rewritten function: replaying a record re-runs the (cheap,
+deterministic) analysis and rewrite modules and injects the cached
+solution in place of the (expensive) IP solve, so a warm run performs
+zero solver invocations while still producing a fully validated
+allocation.
+
+Records are self-invalidating: the fingerprint covers the lowered IR,
+target, config, and cost coefficients, and on replay the values are
+checked against the freshly built model (free-variable count and full
+constraint feasibility) before being trusted.  Writes are atomic
+(temp file + ``os.replace``) so concurrent runs sharing a cache
+directory can never observe a torn record.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: cache record schema version; bump to invalidate all existing records
+CACHE_VERSION = 1
+
+
+@dataclass(slots=True)
+class CacheRecord:
+    """One cached solver result, keyed by problem fingerprint."""
+
+    fingerprint: str
+    function: str
+    status: str  # "optimal" | "feasible"
+    #: solver values of the *free* variables, {variable name: 0/1}.
+    #: Keyed by name, not index: variable order inside a freshly built
+    #: model is not stable across processes, names are.
+    free_values: dict[str, int] = field(default_factory=dict)
+    #: number of free variables at solve time (staleness guard)
+    n_free: int = 0
+    objective: float = 0.0
+    solve_seconds: float = 0.0
+    nodes: int = 0
+    lp_relaxations: int = 0
+    backend: str = ""
+    timed_out: bool = False
+    created: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "version": CACHE_VERSION,
+            "fingerprint": self.fingerprint,
+            "function": self.function,
+            "status": self.status,
+            "free_values": dict(self.free_values),
+            "n_free": self.n_free,
+            "objective": self.objective,
+            "solve_seconds": self.solve_seconds,
+            "nodes": self.nodes,
+            "lp_relaxations": self.lp_relaxations,
+            "backend": self.backend,
+            "timed_out": self.timed_out,
+            "created": self.created,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "CacheRecord | None":
+        if d.get("version") != CACHE_VERSION:
+            return None
+        try:
+            return cls(
+                fingerprint=d["fingerprint"],
+                function=d.get("function", ""),
+                status=d["status"],
+                free_values={
+                    str(k): int(v)
+                    for k, v in d.get("free_values", {}).items()
+                },
+                n_free=int(d.get("n_free", 0)),
+                objective=float(d.get("objective", 0.0)),
+                solve_seconds=float(d.get("solve_seconds", 0.0)),
+                nodes=int(d.get("nodes", 0)),
+                lp_relaxations=int(d.get("lp_relaxations", 0)),
+                backend=d.get("backend", ""),
+                timed_out=bool(d.get("timed_out", False)),
+                created=float(d.get("created", 0.0)),
+            )
+        except (KeyError, TypeError, ValueError):
+            return None
+
+
+class ResultCache:
+    """Filesystem-backed fingerprint -> :class:`CacheRecord` store."""
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+
+    def path_for(self, fingerprint: str) -> Path:
+        return self.root / fingerprint[:2] / f"{fingerprint}.json"
+
+    def get(self, fingerprint: str) -> CacheRecord | None:
+        """Load a record, or ``None`` on miss/corruption/version skew."""
+        path = self.path_for(fingerprint)
+        try:
+            text = path.read_text()
+        except OSError:
+            return None
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError:
+            return None
+        record = CacheRecord.from_dict(data)
+        if record is None or record.fingerprint != fingerprint:
+            return None
+        return record
+
+    def put(self, record: CacheRecord) -> None:
+        """Atomically persist a record (best-effort: IO errors are
+        swallowed — a cache must never fail the run)."""
+        if not record.created:
+            record.created = time.time()
+        path = self.path_for(record.fingerprint)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=path.parent, prefix=".tmp-", suffix=".json"
+            )
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    json.dump(record.to_dict(), handle)
+                    handle.write("\n")
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            pass
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every record; returns how many were removed."""
+        removed = 0
+        for path in self.root.glob("*/*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

@@ -1,0 +1,669 @@
+"""The parallel allocation engine: whole-module orchestration.
+
+The paper's experiments solve one independent 0-1 IP per function under
+a solver time budget — an embarrassingly parallel workload.  The engine
+exploits that:
+
+* **Process-pool scheduling** — per-function solves fan out across N
+  worker processes (``concurrent.futures.ProcessPoolExecutor``),
+  largest-function-first so the long poles start earliest.  Results are
+  keyed by function and reassembled in module order, and every solve is
+  deterministic given its inputs, so parallel output is bit-identical
+  to a serial run.
+* **Persistent result cache** — solver outputs are stored on disk keyed
+  by a canonical fingerprint of the lowered function + target + config
+  + cost coefficients (:mod:`repro.engine.fingerprint`).  A warm run
+  replays cached solutions through the analysis/rewrite pipeline and
+  performs zero solver invocations.
+* **Deadline & fallback policy** — each backend runs under the
+  configured ``time_limit`` and a feasible incumbent returned on
+  TIME_LIMIT is accepted; a function whose solve fails (no incumbent,
+  solver error, worker crash, or blown wall-clock deadline) degrades
+  gracefully to the graph-coloring baseline allocation instead of
+  aborting the run — mirroring the paper, where unattempted functions
+  keep GCC's allocation.
+
+Observability: ``engine.cache_hits`` / ``engine.cache_misses`` /
+``engine.timeouts`` / ``engine.fallbacks`` counters, worker counter
+deltas merged back into the parent's stats registry, and per-worker
+phase spans (tagged with the worker pid) surfaced in run reports.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+
+from ..allocation import Allocation
+from ..analysis import ExecutionFrequencies, static_frequencies
+from ..core import AllocatorConfig, IPAllocator
+from ..core.solver_module import solve_allocation
+from ..ir import Function, clone_function, format_function
+from ..lowering import lower_for_target
+from ..obs import (
+    REGISTRY,
+    Span,
+    capture,
+    define_counter,
+    set_stats_enabled,
+    snapshot,
+    trace_enabled,
+    trace_phase,
+)
+from ..solver import SolveResult, SolveStatus
+from ..target import TargetMachine
+from .cache import CacheRecord, ResultCache
+from .fingerprint import allocation_fingerprint
+
+#: where ``--cache`` without an argument puts its records
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+STAT_CACHE_HITS = define_counter(
+    "engine.cache_hits", "allocations replayed from the result cache"
+)
+STAT_CACHE_MISSES = define_counter(
+    "engine.cache_misses", "cache lookups that required a solve"
+)
+STAT_CACHE_STALE = define_counter(
+    "engine.cache_stale", "cache records rejected by the replay guard"
+)
+STAT_TIMEOUTS = define_counter(
+    "engine.timeouts", "function solves that hit a time budget"
+)
+STAT_FALLBACKS = define_counter(
+    "engine.fallbacks", "functions degraded to the baseline allocation"
+)
+STAT_PARALLEL = define_counter(
+    "engine.parallel_solves", "solves dispatched to worker processes"
+)
+STAT_SERIAL = define_counter(
+    "engine.serial_solves", "solves run in the engine's own process"
+)
+STAT_RETRIES = define_counter(
+    "engine.retries", "in-process retries after a worker failure"
+)
+
+
+@dataclass(slots=True)
+class EngineConfig:
+    """Orchestration knobs (solver knobs live in AllocatorConfig)."""
+
+    #: worker processes; 1 = solve serially in this process
+    jobs: int = 1
+    #: result-cache directory; None disables persistent caching
+    cache_dir: str | None = None
+    #: extra wall-clock seconds past the solver ``time_limit`` before a
+    #: worker is declared hung and its function falls back
+    deadline_grace: float = 30.0
+    #: degrade failed functions to the graph-coloring baseline
+    fallback: bool = True
+    #: in-process retries when a worker process dies mid-solve
+    retries: int = 1
+
+
+@dataclass(slots=True)
+class EngineOutcome:
+    """What the engine did for one function."""
+
+    function: str
+    #: the IP allocator's own result (possibly ``status == "failed"``)
+    attempt: Allocation
+    #: the allocation the module actually uses: the attempt when it
+    #: succeeded, otherwise the baseline fallback
+    final: Allocation
+    #: "solver" | "cache" | "fallback"
+    source: str
+    cache_hit: bool = False
+    timed_out: bool = False
+    #: pid of the worker process that solved it (0 = this process)
+    worker_pid: int = 0
+
+    @property
+    def fell_back(self) -> bool:
+        return self.source == "fallback"
+
+
+@dataclass(slots=True)
+class ModuleAllocation:
+    """Per-function outcomes, in module order."""
+
+    outcomes: list[EngineOutcome] = field(default_factory=list)
+
+    def __iter__(self):
+        return iter(self.outcomes)
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    def outcome(self, name: str) -> EngineOutcome:
+        for o in self.outcomes:
+            if o.function == name:
+                return o
+        raise KeyError(name)
+
+    @property
+    def allocations(self) -> dict[str, Allocation]:
+        """{function: final allocation} (post-fallback)."""
+        return {o.function: o.final for o in self.outcomes}
+
+    @property
+    def objectives(self) -> dict[str, float]:
+        """{function: solved objective} for successful IP attempts."""
+        return {
+            o.function: o.attempt.objective
+            for o in self.outcomes
+            if o.attempt.succeeded
+        }
+
+
+class _StaleRecord(Exception):
+    """A cache record no longer matches the freshly built model."""
+
+
+@dataclass(slots=True)
+class _Job:
+    """One function awaiting allocation."""
+
+    fn: Function
+    freq: ExecutionFrequencies
+    fingerprint: str
+    #: lowered instruction count — the largest-first scheduling key
+    #: (Fig. 9: model size grows superlinearly in instructions)
+    size: int
+
+
+@dataclass(slots=True)
+class _WorkerPayload:
+    fn: Function
+    freq: ExecutionFrequencies
+    target: TargetMachine
+    config: AllocatorConfig
+    fingerprint: str
+    capture_spans: bool
+
+
+@dataclass(slots=True)
+class _WorkerReturn:
+    function: str
+    alloc: Allocation | None
+    record: CacheRecord | None
+    counters: dict[str, float]
+    spans: list[Span]
+    pid: int
+    timed_out: bool
+    error: str = ""
+
+
+def _record_from(
+    fingerprint: str, function: str, model, result: SolveResult
+) -> CacheRecord | None:
+    """Build a cache record from raw solver output (None if uncacheable)."""
+    if result is None or not result.status.has_solution:
+        return None
+    free = model.free_variables()
+    return CacheRecord(
+        fingerprint=fingerprint,
+        function=function,
+        status=result.status.value,
+        free_values={
+            v.name: int(result.values.get(v.index, 0)) for v in free
+        },
+        n_free=len(free),
+        objective=result.objective,
+        solve_seconds=result.solve_seconds,
+        nodes=result.nodes,
+        lp_relaxations=result.lp_relaxations,
+        backend=result.backend,
+        timed_out=result.timed_out,
+    )
+
+
+def _run_pipeline(
+    target: TargetMachine,
+    config: AllocatorConfig,
+    fn: Function,
+    freq: ExecutionFrequencies,
+):
+    """Allocate ``fn`` while capturing the raw solver model/result.
+
+    Returns ``(allocation, model, result)`` — model/result are ``None``
+    when the pipeline failed before the solve.
+    """
+    captured: dict = {}
+
+    def recording_solve(model, table):
+        result = solve_allocation(model, table, config)
+        captured["model"] = model
+        captured["result"] = result
+        return result
+
+    alloc = IPAllocator(target, config).allocate(
+        fn, freq, solve_override=recording_solve
+    )
+    return alloc, captured.get("model"), captured.get("result")
+
+
+def _worker_solve(payload: _WorkerPayload) -> _WorkerReturn:
+    """Process-pool entry point: full allocation pipeline for one fn."""
+    # Workers measure their own counter deltas regardless of the
+    # parent's flag; the parent merges them (gated on its own flag).
+    set_stats_enabled(True)
+    before = snapshot()
+    alloc = model = result = None
+    spans: list[Span] = []
+    error = ""
+    try:
+        if payload.capture_spans:
+            with capture() as cap:
+                alloc, model, result = _run_pipeline(
+                    payload.target, payload.config, payload.fn,
+                    payload.freq,
+                )
+            spans = cap.spans
+        else:
+            alloc, model, result = _run_pipeline(
+                payload.target, payload.config, payload.fn, payload.freq
+            )
+    except Exception as exc:  # degrade, never abort the run
+        error = f"{type(exc).__name__}: {exc}"
+    after = snapshot()
+    counters = {
+        name: after[name] - before.get(name, 0.0)
+        for name in after
+        if after[name] != before.get(name, 0.0)
+    }
+    record = (
+        _record_from(
+            payload.fingerprint, payload.fn.name, model, result
+        )
+        if model is not None else None
+    )
+    return _WorkerReturn(
+        function=payload.fn.name,
+        alloc=alloc,
+        record=record,
+        counters=counters,
+        spans=spans,
+        pid=os.getpid(),
+        timed_out=bool(result is not None and result.timed_out),
+        error=error,
+    )
+
+
+class AllocationEngine:
+    """Whole-module allocation: cache, fan out, degrade gracefully."""
+
+    def __init__(
+        self,
+        target: TargetMachine,
+        config: AllocatorConfig | None = None,
+        engine_config: EngineConfig | None = None,
+    ) -> None:
+        self.target = target
+        self.config = config or AllocatorConfig()
+        self.engine_config = engine_config or EngineConfig()
+        self.cache = (
+            ResultCache(self.engine_config.cache_dir)
+            if self.engine_config.cache_dir else None
+        )
+
+    # -- public API ------------------------------------------------------
+
+    def allocate_module(
+        self,
+        functions,
+        freqs: dict[str, ExecutionFrequencies] | None = None,
+        baseline=None,
+    ) -> ModuleAllocation:
+        """Allocate every function of a module (or function iterable).
+
+        ``freqs`` maps function names to execution frequencies (missing
+        entries fall back to static estimates).  ``baseline`` supplies
+        the graph-coloring fallback: a ``{name: Allocation}`` dict, a
+        ``callable(fn, freq) -> Allocation``, or ``None`` to let the
+        engine run :class:`~repro.baseline.GraphColoringAllocator`
+        itself when needed.
+        """
+        fns = list(functions)
+        order = [fn.name for fn in fns]
+        outcomes: dict[str, EngineOutcome] = {}
+        with trace_phase(
+            "engine", jobs=self.engine_config.jobs, functions=len(fns)
+        ) as engine_span:
+            pending: list[_Job] = []
+            for fn in fns:
+                job = self._prepare(fn, (freqs or {}).get(fn.name))
+                hit = self._try_cache(job, baseline)
+                if hit is not None:
+                    outcomes[fn.name] = hit
+                else:
+                    pending.append(job)
+            # Largest first: the long poles must start earliest for the
+            # pool to finish soonest.  The sort is stable, so equal
+            # sizes keep module order and scheduling is deterministic.
+            pending.sort(key=lambda j: -j.size)
+            if len(pending) > 1 and self.engine_config.jobs > 1:
+                self._solve_parallel(
+                    pending, outcomes, baseline, engine_span
+                )
+            else:
+                for job in pending:
+                    outcomes[job.fn.name] = self._solve_local(
+                        job, baseline
+                    )
+        return ModuleAllocation([outcomes[name] for name in order])
+
+    def allocate(
+        self,
+        fn: Function,
+        freq: ExecutionFrequencies | None = None,
+        baseline=None,
+    ) -> EngineOutcome:
+        """Single-function convenience wrapper (cache + fallback)."""
+        return self.allocate_module(
+            [fn], {fn.name: freq} if freq is not None else None, baseline
+        ).outcomes[0]
+
+    # -- preparation & cache ---------------------------------------------
+
+    def _prepare(
+        self, fn: Function, freq: ExecutionFrequencies | None
+    ) -> _Job:
+        work = clone_function(fn)
+        lower_for_target(work, self.target)
+        if freq is None:
+            # Mirror IPAllocator's default so the fingerprint and the
+            # solve see the same A factors.
+            freq = static_frequencies(work)
+        fingerprint = allocation_fingerprint(
+            format_function(work), self.target, self.config, freq
+        )
+        return _Job(
+            fn=fn, freq=freq, fingerprint=fingerprint,
+            size=work.n_instructions,
+        )
+
+    def _try_cache(self, job: _Job, baseline) -> EngineOutcome | None:
+        if self.cache is None:
+            return None
+        record = self.cache.get(job.fingerprint)
+        if record is None:
+            STAT_CACHE_MISSES.incr()
+            return None
+        try:
+            with trace_phase("cache-replay", function=job.fn.name):
+                attempt = self._replay(job, record)
+        except _StaleRecord:
+            STAT_CACHE_STALE.incr()
+            STAT_CACHE_MISSES.incr()
+            return None
+        if not attempt.succeeded:
+            # The solution replayed but the rewrite refused it —
+            # treat as a miss and re-solve from scratch.
+            STAT_CACHE_STALE.incr()
+            STAT_CACHE_MISSES.incr()
+            return None
+        STAT_CACHE_HITS.incr()
+        return EngineOutcome(
+            function=job.fn.name,
+            attempt=attempt,
+            final=attempt,
+            source="cache",
+            cache_hit=True,
+        )
+
+    def _replay(self, job: _Job, record: CacheRecord) -> Allocation:
+        """Re-run analysis+rewrite with the cached solver solution."""
+
+        def cached_solve(model, table):
+            free = model.free_variables()
+            if len(free) != record.n_free:
+                raise _StaleRecord
+            try:
+                values = {
+                    v.index: record.free_values[v.name] for v in free
+                }
+            except KeyError:
+                raise _StaleRecord from None
+            for v in model.variables:
+                if v.fixed is not None:
+                    values[v.index] = v.fixed
+            if not model.check(values):
+                raise _StaleRecord
+            result = SolveResult(
+                status=SolveStatus(record.status),
+                values=values,
+                objective=model.evaluate(values),
+                solve_seconds=0.0,
+                backend="cache",
+            )
+            table.set_solution(result)
+            return result
+
+        return IPAllocator(self.target, self.config).allocate(
+            job.fn, job.freq, solve_override=cached_solve
+        )
+
+    # -- solving ---------------------------------------------------------
+
+    def _solve_local(self, job: _Job, baseline) -> EngineOutcome:
+        """Solve one function in this process (the serial path)."""
+        STAT_SERIAL.incr()
+        attempt = model = result = None
+        try:
+            attempt, model, result = _run_pipeline(
+                self.target, self.config, job.fn, job.freq
+            )
+        except Exception:  # degrade, never abort the run
+            attempt = None
+        timed_out = bool(result is not None and result.timed_out)
+        if timed_out:
+            STAT_TIMEOUTS.incr()
+        if attempt is None:
+            attempt = self._failed_allocation(job)
+        if attempt.succeeded and self.cache is not None \
+                and model is not None:
+            record = _record_from(
+                job.fingerprint, job.fn.name, model, result
+            )
+            if record is not None:
+                self.cache.put(record)
+        return self._finish(job, attempt, timed_out, 0, baseline)
+
+    def _solve_parallel(
+        self,
+        jobs: list[_Job],
+        outcomes: dict[str, EngineOutcome],
+        baseline,
+        engine_span,
+    ) -> None:
+        """Fan the pending solves across a process pool."""
+        ec = self.engine_config
+        workers = min(ec.jobs, len(jobs))
+        collect = self.config.collect_report
+        capture_spans = trace_enabled() and not collect
+        try:
+            executor = ProcessPoolExecutor(max_workers=workers)
+        except (OSError, ValueError):
+            # Restricted environment (no semaphores/fork): degrade to
+            # in-process solving rather than failing the run.
+            for job in jobs:
+                outcomes[job.fn.name] = self._solve_local(job, baseline)
+            return
+        try:
+            future_of = {}
+            for job in jobs:
+                payload = _WorkerPayload(
+                    fn=job.fn,
+                    freq=job.freq,
+                    target=self.target,
+                    config=self.config,
+                    fingerprint=job.fingerprint,
+                    capture_spans=capture_spans or collect,
+                )
+                future_of[executor.submit(_worker_solve, payload)] = job
+            self._drain(future_of, outcomes, baseline, engine_span)
+        finally:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+    def _deadline(self, n_jobs: int, workers: int) -> float | None:
+        """Wall-clock budget for the whole pool drain."""
+        limit = self.config.time_limit
+        if limit is None:
+            return None
+        waves = math.ceil(n_jobs / max(1, workers))
+        grace = self.engine_config.deadline_grace
+        return waves * (limit + grace) + grace
+
+    def _drain(
+        self, future_of, outcomes, baseline, engine_span
+    ) -> None:
+        ec = self.engine_config
+        deadline = self._deadline(
+            len(future_of), min(ec.jobs, len(future_of))
+        )
+        expiry = (
+            time.monotonic() + deadline if deadline is not None else None
+        )
+        pending = set(future_of)
+        while pending:
+            timeout = None
+            if expiry is not None:
+                timeout = max(0.0, expiry - time.monotonic())
+            done, pending = wait(
+                pending, timeout=timeout, return_when=FIRST_COMPLETED
+            )
+            if not done:
+                # Blown deadline: everything still running falls back.
+                for future in pending:
+                    future.cancel()
+                    job = future_of[future]
+                    STAT_TIMEOUTS.incr()
+                    outcomes[job.fn.name] = self._finish(
+                        job, self._failed_allocation(job), True, 0,
+                        baseline,
+                    )
+                return
+            for future in done:
+                job = future_of[future]
+                try:
+                    ret = future.result()
+                except Exception:  # worker died / pool broke
+                    ret = None
+                outcomes[job.fn.name] = self._absorb(
+                    job, ret, baseline, engine_span
+                )
+
+    def _absorb(
+        self, job: _Job, ret: _WorkerReturn | None, baseline, engine_span
+    ) -> EngineOutcome:
+        """Fold one worker's result back into the parent process."""
+        if ret is None or ret.error:
+            # Worker crash or in-worker exception: optionally retry the
+            # solve in this process before giving up on the function.
+            if self.engine_config.retries > 0:
+                STAT_RETRIES.incr()
+                return self._solve_local(job, baseline)
+            return self._finish(
+                job, self._failed_allocation(job), False, 0, baseline
+            )
+        STAT_PARALLEL.incr()
+        self._merge_counters(ret.counters)
+        if ret.timed_out:
+            STAT_TIMEOUTS.incr()
+        attempt = ret.alloc
+        if attempt is None:
+            attempt = self._failed_allocation(job)
+        if attempt.succeeded and self.cache is not None \
+                and ret.record is not None:
+            self.cache.put(ret.record)
+        self._surface_spans(ret, attempt, engine_span)
+        return self._finish(
+            job, attempt, ret.timed_out, ret.pid, baseline
+        )
+
+    # -- fallback --------------------------------------------------------
+
+    def _finish(
+        self, job: _Job, attempt: Allocation, timed_out: bool,
+        pid: int, baseline,
+    ) -> EngineOutcome:
+        if attempt.succeeded:
+            return EngineOutcome(
+                function=job.fn.name,
+                attempt=attempt,
+                final=attempt,
+                source="solver",
+                timed_out=timed_out,
+                worker_pid=pid,
+            )
+        STAT_FALLBACKS.incr()
+        final = attempt
+        if self.engine_config.fallback:
+            fallback = self._baseline_allocation(job, baseline)
+            if fallback is not None and fallback.succeeded:
+                final = fallback
+        return EngineOutcome(
+            function=job.fn.name,
+            attempt=attempt,
+            final=final,
+            source="fallback",
+            timed_out=timed_out,
+            worker_pid=pid,
+        )
+
+    def _baseline_allocation(
+        self, job: _Job, baseline
+    ) -> Allocation | None:
+        if isinstance(baseline, dict):
+            return baseline.get(job.fn.name)
+        if callable(baseline):
+            return baseline(job.fn, job.freq)
+        from ..baseline import GraphColoringAllocator
+
+        try:
+            return GraphColoringAllocator(self.target).allocate(
+                job.fn, job.freq
+            )
+        except Exception:
+            return None
+
+    def _failed_allocation(self, job: _Job) -> Allocation:
+        return Allocation(
+            fn_name=job.fn.name,
+            function=job.fn,
+            assignment={},
+            allocator="ip",
+            status="failed",
+        )
+
+    # -- observability plumbing -----------------------------------------
+
+    def _merge_counters(self, counters: dict[str, float]) -> None:
+        """Add a worker's counter deltas to this process's registry."""
+        for name, delta in counters.items():
+            stat = REGISTRY.define(name)
+            if stat.kind == "counter":
+                stat.add(delta)
+
+    def _surface_spans(
+        self, ret: _WorkerReturn, attempt: Allocation, engine_span
+    ) -> None:
+        """Expose worker phase spans, tagged with the worker pid."""
+
+        def wrap(spans: list[Span]) -> Span:
+            return Span(
+                name="worker",
+                seconds=sum(s.seconds for s in spans),
+                meta={"pid": ret.pid, "function": ret.function},
+                children=spans,
+            )
+
+        report = getattr(attempt, "report", None)
+        if report is not None and report.phases:
+            report.phases = [wrap(report.phases)]
+        if ret.spans and hasattr(engine_span, "children"):
+            engine_span.children.append(wrap(ret.spans))

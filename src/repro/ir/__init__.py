@@ -20,7 +20,12 @@ from .instructions import (
 )
 from .parser import ParseError, parse_function, parse_module
 from .rewrite import clone_function, copy_instr, map_registers
-from .printer import format_function, format_instr, format_module
+from .printer import (
+    format_function,
+    format_instr,
+    format_module,
+    function_fingerprint,
+)
 from .types import ALL_TYPES, I8, I16, I32, IntType, type_from_name
 from .values import (
     Address,
@@ -64,6 +69,7 @@ __all__ = [
     "map_registers",
     "format_instr",
     "format_module",
+    "function_fingerprint",
     "opcode_info",
     "parse_function",
     "parse_module",

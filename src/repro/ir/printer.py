@@ -20,6 +20,8 @@ Example::
 
 from __future__ import annotations
 
+import hashlib
+
 from .function import Function
 from .instructions import Instr, Opcode
 from .values import SlotKind
@@ -53,6 +55,19 @@ def format_function(fn: Function) -> str:
             lines.append(f"  {format_instr(instr)}")
     lines.append("}")
     return "\n".join(lines)
+
+
+def function_fingerprint(fn: Function) -> str:
+    """Stable content hash of a function's canonical printed form.
+
+    Because :func:`format_function` emits slots in canonical order and
+    the printed form round-trips through the parser byte-for-byte, two
+    functions with the same code have the same fingerprint no matter how
+    they were built — the property the allocation-result cache
+    (:mod:`repro.engine`) keys on.
+    """
+    digest = hashlib.sha256(format_function(fn).encode("utf-8"))
+    return digest.hexdigest()
 
 
 def format_module(module) -> str:

@@ -142,6 +142,8 @@ class SolverStats:
     #: [(seconds since solve start, objective)] per incumbent update
     incumbents: list[tuple[float, float]] = field(default_factory=list)
     objective: float = 0.0
+    #: the solve stopped on its time/node budget (engine TIME_LIMIT)
+    timed_out: bool = False
 
     @classmethod
     def from_result(cls, result) -> "SolverStats":
@@ -157,6 +159,7 @@ class SolverStats:
                 result.objective
                 if result.objective != float("inf") else 0.0
             ),
+            timed_out=result.timed_out,
         )
 
     def to_dict(self) -> dict:
@@ -168,6 +171,7 @@ class SolverStats:
             "lp_relaxations": self.lp_relaxations,
             "incumbents": [list(i) for i in self.incumbents],
             "objective": self.objective,
+            "timed_out": self.timed_out,
         }
 
     @classmethod
@@ -180,6 +184,7 @@ class SolverStats:
             lp_relaxations=d.get("lp_relaxations", 0),
             incumbents=[tuple(i) for i in d.get("incumbents", [])],
             objective=d.get("objective", 0.0),
+            timed_out=bool(d.get("timed_out", False)),
         )
 
 

@@ -15,6 +15,7 @@ from .scipy_backend import solve_with_scipy
 BACKENDS = {
     "scipy": solve_with_scipy,
     "branch-bound": solve_with_branch_bound,
+    "brute-force": solve_brute_force,
 }
 
 

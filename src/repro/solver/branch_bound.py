@@ -213,6 +213,7 @@ def solve_with_branch_bound(
             nodes=nodes,
             lp_relaxations=lp_relaxations,
             backend="branch-bound",
+            timed_out=timed_out,
         )
     return SolveResult(
         status=SolveStatus.FEASIBLE if timed_out else SolveStatus.OPTIMAL,
@@ -223,4 +224,5 @@ def solve_with_branch_bound(
         lp_relaxations=lp_relaxations,
         incumbents=incumbents,
         backend="branch-bound",
+        timed_out=timed_out,
     )

@@ -38,6 +38,10 @@ class SolveResult:
     #: objective)] each time the best known solution improved
     incumbents: list[tuple[float, float]] = field(default_factory=list)
     backend: str = ""
+    #: the search stopped on its time (or node) budget rather than by
+    #: proving optimality/infeasibility — a FEASIBLE result with this
+    #: set is the paper's "accept the incumbent on TIME_LIMIT" case
+    timed_out: bool = False
 
     def value(self, var) -> int:
         return self.values[var.index]

@@ -94,6 +94,8 @@ def solve_with_scipy(
     elapsed = time.perf_counter() - start
 
     STAT_SOLVES.incr()
+    # scipy.optimize.milp status 1 = iteration or time limit reached.
+    timed_out = res.status == 1
     if res.x is not None:
         free_values = {
             v.index: int(round(res.x[j])) for j, v in enumerate(free)
@@ -115,6 +117,7 @@ def solve_with_scipy(
             # through scipy; record the final incumbent only.
             incumbents=[(elapsed, objective)],
             backend="scipy-highs",
+            timed_out=timed_out,
         )
 
     status = (
@@ -124,4 +127,5 @@ def solve_with_scipy(
         status=status,
         solve_seconds=elapsed,
         backend="scipy-highs",
+        timed_out=timed_out,
     )

@@ -1,0 +1,361 @@
+"""Tests for the allocation engine: process-pool solves, persistent
+result cache, deadline fallback (repro.engine)."""
+
+import pytest
+
+from repro.core import AllocatorConfig
+from repro.engine import (
+    AllocationEngine,
+    CacheRecord,
+    EngineConfig,
+    ResultCache,
+    allocation_fingerprint,
+    config_signature,
+    fingerprint_function,
+    frequency_signature,
+)
+from repro.analysis import static_frequencies
+from repro.ir import (
+    clone_function,
+    format_function,
+    function_fingerprint,
+    parse_function,
+)
+from repro.lowering import lower_for_target
+from repro.obs import reset_stats, set_stats_enabled, snapshot
+from repro.solver import (
+    IPModel,
+    Sense,
+    SolveStatus,
+    solve_brute_force,
+)
+
+from tests.conftest import build_loop_sum
+
+
+@pytest.fixture(autouse=True)
+def stats():
+    set_stats_enabled(True)
+    reset_stats()
+    yield
+    set_stats_enabled(False)
+    reset_stats()
+
+
+@pytest.fixture()
+def module():
+    return build_loop_sum()
+
+
+def fast_config() -> AllocatorConfig:
+    return AllocatorConfig(time_limit=60.0)
+
+
+class TestFingerprint:
+    def test_function_fingerprint_round_trips(self, module):
+        fn = module.functions["sum"]
+        text = format_function(fn)
+        reparsed = parse_function(text)
+        assert format_function(reparsed) == text
+        assert function_fingerprint(reparsed) == function_fingerprint(fn)
+
+    def test_clone_preserves_fingerprint(self, module):
+        fn = module.functions["sum"]
+        assert function_fingerprint(clone_function(fn)) == \
+            function_fingerprint(fn)
+
+    def test_config_signature_excludes_non_semantic(self, x86):
+        base = config_signature(AllocatorConfig())
+        assert config_signature(
+            AllocatorConfig(validate=False, collect_report=True)
+        ) == base
+        assert config_signature(
+            AllocatorConfig(code_size_weight=1.0)
+        ) != base
+
+    def test_fingerprint_sensitivity(self, x86, module):
+        fn = module.functions["sum"]
+        config = fast_config()
+        fp, _ = fingerprint_function(fn, x86, config, None)
+        fp2, _ = fingerprint_function(fn, x86, config, None)
+        assert fp == fp2
+        other, _ = fingerprint_function(
+            fn, x86, AllocatorConfig(code_size_weight=7.0), None
+        )
+        assert other != fp
+        work = clone_function(fn)
+        lower_for_target(work, x86)
+        freq = static_frequencies(work)
+        freq.counts[next(iter(freq.counts))] += 100.0
+        bumped, _ = fingerprint_function(fn, x86, config, freq)
+        assert bumped != fp
+
+    def test_frequency_signature_orders_blocks(self, x86, module):
+        fn = module.functions["sum"]
+        work = clone_function(fn)
+        lower_for_target(work, x86)
+        freq = static_frequencies(work)
+        sig = frequency_signature(freq)
+        assert sig == frequency_signature(freq)
+        blocks = [b for b, _ in sig["counts"]]
+        assert blocks == sorted(blocks)
+        assert frequency_signature(None) == {
+            "source": "none", "counts": [],
+        }
+
+
+class TestBruteForceTimeLimit:
+    def build(self, n=12):
+        model = IPModel("t")
+        vars_ = [model.add_var(f"x{i}", cost=float(i + 1))
+                 for i in range(n)]
+        model.add_constraint(
+            [(1.0, v) for v in vars_], Sense.GE, 2.0, "pick-two"
+        )
+        return model, vars_
+
+    def test_completes_without_limit(self):
+        model, _ = self.build()
+        result = solve_brute_force(model)
+        assert result.status is SolveStatus.OPTIMAL
+        assert not result.timed_out
+        assert result.objective == pytest.approx(3.0)  # x0 + x1
+
+    def test_generous_limit_is_optimal(self):
+        model, _ = self.build()
+        result = solve_brute_force(model, time_limit=60.0)
+        assert result.status is SolveStatus.OPTIMAL
+        assert not result.timed_out
+
+    def test_zero_limit_times_out(self):
+        model, _ = self.build(n=20)
+        result = solve_brute_force(model, time_limit=0.0)
+        assert result.timed_out
+        assert result.status in (
+            SolveStatus.FEASIBLE, SolveStatus.UNSOLVED
+        )
+        if result.status is SolveStatus.FEASIBLE:
+            # the incumbent must satisfy the model
+            assert model.check(result.values)
+
+
+class TestParallelEqualsSerial:
+    def test_objectives_and_code_identical(self, x86, module):
+        config = fast_config()
+        serial = AllocationEngine(
+            x86, config, EngineConfig(jobs=1)
+        ).allocate_module(module)
+        parallel = AllocationEngine(
+            x86, config, EngineConfig(jobs=2)
+        ).allocate_module(module)
+        assert serial.objectives == parallel.objectives
+        for s, p in zip(serial, parallel):
+            assert s.function == p.function
+            assert s.attempt.status == p.attempt.status
+            assert s.attempt.assignment == p.attempt.assignment
+            assert format_function(s.final.function) == \
+                format_function(p.final.function)
+
+    def test_worker_counters_merge(self, x86, module):
+        AllocationEngine(
+            x86, fast_config(), EngineConfig(jobs=2)
+        ).allocate_module(module)
+        counters = snapshot()
+        assert counters.get("engine.parallel_solves") == len(
+            list(module)
+        )
+        # solver invocations happened in workers but are visible here
+        solves = sum(
+            v for k, v in counters.items()
+            if k.startswith("solver.") and k.endswith(".solves")
+        )
+        assert solves == len(list(module))
+
+
+class TestResultCache:
+    def test_engine_cold_then_warm(self, x86, module, tmp_path):
+        config = fast_config()
+        cache = str(tmp_path / "cache")
+        cold = AllocationEngine(
+            x86, config, EngineConfig(jobs=1, cache_dir=cache)
+        ).allocate_module(module)
+        cold_counters = snapshot()
+        n = len(list(module))
+        assert cold_counters.get("engine.cache_misses") == n
+        assert len(ResultCache(cache)) == n
+
+        reset_stats()
+        warm = AllocationEngine(
+            x86, config, EngineConfig(jobs=1, cache_dir=cache)
+        ).allocate_module(module)
+        warm_counters = snapshot()
+        assert warm_counters.get("engine.cache_hits") == n
+        assert sum(
+            v for k, v in warm_counters.items()
+            if k.startswith("solver.") and k.endswith(".solves")
+        ) == 0
+        assert warm.objectives == cold.objectives
+        for c, w in zip(cold, warm):
+            assert w.cache_hit
+            assert w.source == "cache"
+            assert c.attempt.assignment == w.attempt.assignment
+
+    def test_config_change_invalidates(self, x86, module, tmp_path):
+        cache = str(tmp_path / "cache")
+        ec = EngineConfig(jobs=1, cache_dir=cache)
+        AllocationEngine(x86, fast_config(), ec).allocate_module(module)
+        reset_stats()
+        changed = AllocatorConfig(
+            time_limit=60.0, code_size_weight=2000.0
+        )
+        AllocationEngine(x86, changed, ec).allocate_module(module)
+        counters = snapshot()
+        n = len(list(module))
+        assert counters.get("engine.cache_hits", 0.0) == 0
+        assert counters.get("engine.cache_misses") == n
+
+    def test_cost_change_invalidates(self, x86, module, tmp_path):
+        cache = str(tmp_path / "cache")
+        ec = EngineConfig(jobs=1, cache_dir=cache)
+        config = fast_config()
+        engine = AllocationEngine(x86, config, ec)
+        fn = module.functions["sum"]
+        engine.allocate(fn)
+        reset_stats()
+        work = clone_function(fn)
+        lower_for_target(work, x86)
+        freq = static_frequencies(work)
+        for block in freq.counts:
+            freq.counts[block] *= 3.0
+        engine.allocate(fn, freq)
+        counters = snapshot()
+        assert counters.get("engine.cache_hits", 0.0) == 0
+        assert counters.get("engine.cache_misses") == 1
+
+    def test_stale_record_is_resolved(self, x86, module, tmp_path):
+        """A record whose values no longer fit the model re-solves."""
+        cache_dir = str(tmp_path / "cache")
+        ec = EngineConfig(jobs=1, cache_dir=cache_dir)
+        config = fast_config()
+        engine = AllocationEngine(x86, config, ec)
+        fn = module.functions["double"]
+        first = engine.allocate(fn)
+        assert first.attempt.succeeded
+        cache = ResultCache(cache_dir)
+        job = engine._prepare(fn, None)
+        record = cache.get(job.fingerprint)
+        assert record is not None
+        cache.put(CacheRecord(
+            fingerprint=record.fingerprint,
+            function=record.function,
+            status=record.status,
+            free_values={},  # guaranteed mismatch
+            n_free=record.n_free + 1,
+            objective=record.objective,
+        ))
+        reset_stats()
+        again = engine.allocate(fn)
+        counters = snapshot()
+        assert counters.get("engine.cache_stale") == 1
+        assert again.source == "solver"
+        assert again.attempt.assignment == first.attempt.assignment
+
+    def test_corrupt_record_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        fp = "ab" + "0" * 62
+        path = cache.path_for(fp)
+        path.parent.mkdir(parents=True)
+        path.write_text("{not json")
+        assert cache.get(fp) is None
+
+    def test_version_skew_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        record = CacheRecord(
+            fingerprint="cd" + "0" * 62, function="f",
+            status="optimal", free_values={"x": 1}, n_free=1,
+        )
+        cache.put(record)
+        data = cache.path_for(record.fingerprint)
+        text = data.read_text().replace('"version": 1', '"version": 0')
+        data.write_text(text)
+        assert cache.get(record.fingerprint) is None
+
+    def test_record_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        record = CacheRecord(
+            fingerprint="ef" + "1" * 62, function="g",
+            status="feasible", free_values={"a": 1, "b": 0},
+            n_free=2, objective=12.5, solve_seconds=0.25,
+            nodes=3, lp_relaxations=9, backend="scipy",
+            timed_out=True,
+        )
+        cache.put(record)
+        loaded = cache.get(record.fingerprint)
+        assert loaded == record
+        assert len(cache) == 1
+        assert cache.clear() == 1
+        assert cache.get(record.fingerprint) is None
+
+
+class TestDeadlineFallback:
+    def test_timeout_falls_back_to_baseline(self, x86, module):
+        config = AllocatorConfig(
+            backend="branch-bound", time_limit=0.0
+        )
+        result = AllocationEngine(
+            x86, config, EngineConfig(jobs=1)
+        ).allocate_module(module)
+        counters = snapshot()
+        for outcome in result:
+            assert outcome.fell_back
+            assert not outcome.attempt.succeeded
+            assert outcome.final.succeeded
+            assert outcome.final.allocator != "ip"
+        assert counters.get("engine.fallbacks") == len(list(module))
+
+    def test_fallback_disabled_keeps_failure(self, x86, module):
+        config = AllocatorConfig(
+            backend="branch-bound", time_limit=0.0
+        )
+        result = AllocationEngine(
+            x86, config, EngineConfig(jobs=1, fallback=False)
+        ).allocate_module(module)
+        for outcome in result:
+            assert outcome.source == "fallback"
+            assert not outcome.final.succeeded
+
+    def test_baseline_dict_is_used(self, x86, module):
+        from repro.baseline import GraphColoringAllocator
+
+        gc = GraphColoringAllocator(x86)
+        baseline = {
+            fn.name: gc.allocate(fn, None) for fn in module
+        }
+        config = AllocatorConfig(
+            backend="branch-bound", time_limit=0.0
+        )
+        result = AllocationEngine(
+            x86, config, EngineConfig(jobs=1)
+        ).allocate_module(module, baseline=baseline)
+        for outcome in result:
+            assert outcome.final is baseline[outcome.function]
+
+
+class TestEngineOutcomeShape:
+    def test_module_order_preserved(self, x86, module):
+        result = AllocationEngine(
+            x86, fast_config(), EngineConfig(jobs=2)
+        ).allocate_module(module)
+        assert [o.function for o in result] == [
+            fn.name for fn in module
+        ]
+        assert len(result) == len(list(module))
+        with pytest.raises(KeyError):
+            result.outcome("nope")
+
+    def test_single_function_convenience(self, x86, module):
+        outcome = AllocationEngine(x86, fast_config()).allocate(
+            module.functions["double"]
+        )
+        assert outcome.function == "double"
+        assert outcome.attempt.succeeded
