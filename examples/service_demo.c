@@ -1,0 +1,15 @@
+// Demo workload for the allocation service (CI smoke + docs).
+// Two functions so a single submit exercises multi-function
+// allocation, the shared cache, and the canonical rendering.
+int scale(int a, int b) {
+    int t = a * b;
+    t += a - b;
+    return t;
+}
+int main(int n) {
+    int s = 0;
+    for (int i = 0; i < n; i += 1) {
+        s += scale(i, n);
+    }
+    return s;
+}

@@ -8,18 +8,26 @@
                                [--allocator ip|gc|none]
     python -m repro experiments [--fast] [--bench NAME]
                                 [--jobs N] [--cache [DIR]]
+    python -m repro serve [--port P] [--queue-capacity N]
+                          [--max-in-flight N] [--jobs N]
+                          [--cache [DIR]]
+    python -m repro submit FILE.c [--port P] [--deadline S]
+                                  [--verb allocate|status|stats|drain]
 
 ``alloc`` compiles a mini-C file, allocates one or all functions, and
 prints the rewritten code with register assignments.  ``run`` executes
 a program (optionally through an allocator) and reports the result and
 cycle counts.  ``experiments`` (alias: ``exp``) regenerates the
-paper's tables/figures.
+paper's tables/figures.  ``serve`` starts the resident allocation
+service (asyncio TCP, newline-delimited JSON) and ``submit`` sends it
+a program or control verb.
 
 ``alloc`` and ``experiments`` go through the parallel allocation
 engine: ``--jobs N`` fans per-function IP solves across N worker
 processes (default: the ``REPRO_JOBS`` environment variable, else 1)
 and ``--cache [DIR]`` replays previously solved functions from a
-persistent on-disk result cache (default directory ``.repro-cache``).
+persistent on-disk result cache (default directory ``.repro-cache``,
+LRU-bounded via ``--cache-max-entries`` / ``REPRO_CACHE_MAX_ENTRIES``).
 
 Observability flags (accepted before or after the subcommand):
 
@@ -28,6 +36,8 @@ Observability flags (accepted before or after the subcommand):
     --report-json PATH  write a structured run report (per-phase
                         timings, §5 model breakdown, solver stats,
                         §4 cost split) as JSON
+    --trace-id ID       caller identity stamped onto run reports
+                        (generated when omitted but a report is asked)
 
 Setting ``REPRO_TRACE=1`` in the environment is equivalent to passing
 both ``--stats`` and ``--trace``.
@@ -36,16 +46,18 @@ both ``--stats`` and ``--trace``.
 from __future__ import annotations
 
 import argparse
+import asyncio
+import json
 import os
 import sys
+import uuid
 
 from . import obs
-from .allocation import allocation_code_size, validate_allocation
+from .allocation import render_allocation, validate_allocation
 from .analysis import profiled_frequencies
 from .baseline import GraphColoringAllocator
 from .core import AllocatorConfig, IPAllocator
 from .engine import DEFAULT_CACHE_DIR, AllocationEngine, EngineConfig
-from .ir import format_function
 from .lang import compile_program
 from .obs import FunctionRunReport, RunReport
 from .sim import AllocatedFunction, Interpreter
@@ -64,6 +76,19 @@ def _load(path: str):
         return compile_program(handle.read(), name=path)
 
 
+def _resolve_trace_id(args) -> str:
+    """The run's caller identity: ``--trace-id``, or a generated one
+    whenever a report was requested (so reports are attributable)."""
+    trace_id = getattr(args, "trace_id", None)
+    if trace_id:
+        return trace_id
+    if getattr(args, "report_json", None):
+        trace_id = f"run-{uuid.uuid4().hex[:12]}"
+        args.trace_id = trace_id  # memoize: one id per run
+        return trace_id
+    return ""
+
+
 def _make_allocator(args, target):
     if args.allocator == "gc":
         return GraphColoringAllocator(target)
@@ -72,6 +97,7 @@ def _make_allocator(args, target):
         time_limit=getattr(args, "time_limit", 64.0),
         optimize_size_only=getattr(args, "size_only", False),
         collect_report=bool(getattr(args, "report_json", None)),
+        trace_id=_resolve_trace_id(args),
     )
     return IPAllocator(target, config)
 
@@ -89,6 +115,7 @@ def _engine_config(args, fallback: bool = True) -> EngineConfig:
     return EngineConfig(
         jobs=getattr(args, "jobs", 1),
         cache_dir=getattr(args, "cache", None),
+        cache_max_entries=getattr(args, "cache_max_entries", None),
         fallback=fallback,
     )
 
@@ -100,6 +127,7 @@ def _report_sink(args) -> RunReport | None:
         target=args.target,
         backend=getattr(args, "backend", "scipy"),
         command=args.command,
+        trace_id=_resolve_trace_id(args),
     )
 
 
@@ -162,16 +190,10 @@ def cmd_alloc(args) -> int:
         if not alloc.succeeded:
             continue
         validate_allocation(alloc, target)
-        print(format_function(alloc.function))
-        print("assignment:", {
-            v: r.name for v, r in sorted(alloc.assignment.items())
-        })
-        print(f"code size: {allocation_code_size(alloc, target)} bytes")
-        s = alloc.stats
-        print(f"spill: loads={s.loads} stores={s.stores} "
-              f"remats={s.remats} copies+={s.copies_inserted} "
-              f"copies-={s.copies_deleted} memuse={s.mem_operand_uses} "
-              f"rmw={s.rmw_mem_defs} coalesced={s.loads_deleted}")
+        # The canonical rendering (shared with the allocation service,
+        # which emits it byte-identically) minus its header line — the
+        # CLI header above adds the model-size/timing annotations.
+        print(render_allocation(alloc, target).split("\n", 1)[1])
         print()
     _report_write(report, args)
     return 0
@@ -229,7 +251,10 @@ def cmd_experiments(args) -> int:
     )
 
     target = x86_target()
-    config = AllocatorConfig(time_limit=args.time_limit)
+    config = AllocatorConfig(
+        time_limit=args.time_limit,
+        trace_id=_resolve_trace_id(args),
+    )
     if args.bench:
         benchmarks = [load_benchmark(name) for name in args.bench]
     elif args.fast:
@@ -261,6 +286,134 @@ def cmd_experiments(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from .service import AllocationServer, ServiceConfig
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        queue_capacity=args.queue_capacity,
+        max_in_flight=args.max_in_flight,
+        max_batch=args.max_batch,
+        jobs=args.jobs,
+        cache_dir=args.cache,
+        cache_max_entries=args.cache_max_entries,
+        default_target=args.target,
+        default_time_limit=args.time_limit,
+        default_backend=args.backend,
+    )
+    server = AllocationServer(config, targets=dict(TARGETS))
+
+    async def _run() -> None:
+        await server.start()
+        print(
+            f"repro allocation service listening on "
+            f"{config.host}:{server.port} "
+            f"(queue={config.queue_capacity} "
+            f"in-flight={config.max_in_flight} "
+            f"jobs={server.scheduler.jobs} "
+            f"cache={config.cache_dir or 'off'})",
+            flush=True,
+        )
+        try:
+            await server.scheduler.drained_event.wait()
+        finally:
+            await server.stop()
+
+    asyncio.run(_run())
+    print("service drained; exiting", file=sys.stderr)
+    return 0
+
+
+def cmd_submit(args) -> int:
+    from .service import ServiceClient, ServiceError
+
+    try:
+        client = ServiceClient(
+            args.host, args.port, timeout=args.timeout,
+            connect_retries=args.connect_retries,
+        )
+    except OSError as exc:
+        print(f"error: cannot connect to {args.host}:{args.port}: "
+              f"{exc}", file=sys.stderr)
+        return 1
+    with client:
+        if args.verb == "allocate":
+            if not args.file:
+                print("error: allocate needs a program file",
+                      file=sys.stderr)
+                return 2
+            with open(args.file) as handle:
+                text = handle.read()
+            config = {}
+            if args.backend is not None:
+                config["backend"] = args.backend
+            if args.time_limit is not None:
+                config["time_limit"] = args.time_limit
+            if args.size_only:
+                config["size_only"] = True
+            response = client.allocate(
+                source=None if args.ir else text,
+                ir=text if args.ir else None,
+                target=args.target,
+                function=args.function,
+                config=config or None,
+                deadline=args.deadline,
+                report=bool(getattr(args, "report_json", None)),
+                trace_id=getattr(args, "trace_id", None),
+            )
+        else:
+            response = getattr(client, args.verb)()
+    if args.json:
+        print(json.dumps(response, indent=2))
+    try:
+        ServiceClient.check(response)
+    except ServiceError as exc:
+        if not args.json:
+            print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        return 0
+    result = response.get("result", {})
+    if args.verb == "allocate":
+        for entry in result.get("functions", []):
+            if "rendered" in entry:
+                print(entry["rendered"])
+            else:
+                print(f"== {entry['function']}: {entry['status']} ==")
+            print()
+        summary = " ".join(
+            f"{e['function']}={e['source']}"
+            + ("+cache" if e.get("cache_hit") else "")
+            for e in result.get("functions", [])
+        )
+        print(f"trace_id={response.get('trace_id', '')} {summary}",
+              file=sys.stderr)
+        if getattr(args, "report_json", None):
+            reports = [
+                e["report"] for e in result.get("functions", [])
+                if "report" in e
+            ]
+            with open(args.report_json, "w") as handle:
+                json.dump(
+                    {"trace_id": response.get("trace_id", ""),
+                     "functions": reports},
+                    handle, indent=2,
+                )
+            print(f"run report written to {args.report_json}",
+                  file=sys.stderr)
+    else:
+        print(json.dumps(result, indent=2))
+    return 0
+
+
+def _default_cache_max() -> int | None:
+    """The REPRO_CACHE_MAX_ENTRIES default for --cache-max-entries."""
+    from .engine import default_max_entries
+
+    return default_max_entries()
+
+
 def _add_engine_options(parser) -> None:
     """Engine flags shared by the ``alloc`` and ``exp`` subcommands."""
     parser.add_argument(
@@ -273,6 +426,12 @@ def _add_engine_options(parser) -> None:
         metavar="DIR",
         help="replay solved functions from a persistent result cache "
              f"(default directory: {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--cache-max-entries", type=int,
+        default=_default_cache_max(), metavar="N",
+        help="LRU bound on the result cache "
+             "(default: $REPRO_CACHE_MAX_ENTRIES, else unbounded)",
     )
 
 
@@ -295,6 +454,12 @@ def _add_obs_options(parser, top_level: bool) -> None:
         "--report-json", metavar="PATH", dest="report_json",
         default=None if top_level else argparse.SUPPRESS,
         help="write a structured JSON run report to PATH",
+    )
+    parser.add_argument(
+        "--trace-id", metavar="ID", dest="trace_id",
+        default=None if top_level else argparse.SUPPRESS,
+        help="caller identity stamped onto run reports (generated "
+             "when omitted but --report-json is given)",
     )
 
 
@@ -350,6 +515,67 @@ def main(argv=None) -> int:
     _add_engine_options(p_exp)
     _add_obs_options(p_exp, top_level=False)
     p_exp.set_defaults(func=cmd_experiments)
+
+    p_serve = sub.add_parser(
+        "serve", help="start the resident allocation service",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8753,
+                         help="TCP port (0 = ephemeral)")
+    p_serve.add_argument("--queue-capacity", type=int, default=16,
+                         metavar="N",
+                         help="admission queue bound; a full queue "
+                              "rejects with 'overloaded'")
+    p_serve.add_argument("--max-in-flight", type=int, default=4,
+                         metavar="N",
+                         help="requests solved concurrently")
+    p_serve.add_argument("--max-batch", type=int, default=8,
+                         metavar="N",
+                         help="most requests one solver batch carries")
+    p_serve.add_argument("--target", choices=sorted(TARGETS),
+                         default="x86",
+                         help="target assumed when a request names "
+                              "none")
+    p_serve.add_argument("--backend", choices=sorted(BACKENDS),
+                         default="scipy")
+    p_serve.add_argument("--time-limit", type=float, default=64.0)
+    _add_engine_options(p_serve)
+    _add_obs_options(p_serve, top_level=False)
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit", help="send a program or verb to the service",
+    )
+    p_submit.add_argument("file", nargs="?", default=None)
+    p_submit.add_argument("--verb", default="allocate",
+                          choices=("allocate", "status", "stats",
+                                   "ping", "drain"))
+    p_submit.add_argument("--host", default="127.0.0.1")
+    p_submit.add_argument("--port", type=int, default=8753)
+    p_submit.add_argument("--function", default=None)
+    p_submit.add_argument("--target", choices=sorted(TARGETS),
+                          default=None,
+                          help="(default: the server's)")
+    p_submit.add_argument("--backend", choices=sorted(BACKENDS),
+                          default=None,
+                          help="(default: the server's)")
+    p_submit.add_argument("--time-limit", type=float, default=None)
+    p_submit.add_argument("--size-only", action="store_true")
+    p_submit.add_argument("--ir", action="store_true",
+                          help="FILE is printed IR, not mini-C")
+    p_submit.add_argument("--deadline", type=float, default=None,
+                          metavar="S",
+                          help="wall-clock budget; an expired request "
+                               "degrades to the baseline")
+    p_submit.add_argument("--timeout", type=float, default=300.0,
+                          help="client socket timeout")
+    p_submit.add_argument("--connect-retries", type=int, default=0,
+                          metavar="N",
+                          help="retry refused connections N times")
+    p_submit.add_argument("--json", action="store_true",
+                          help="print the raw JSON response")
+    _add_obs_options(p_submit, top_level=False)
+    p_submit.set_defaults(func=cmd_submit)
 
     args = parser.parse_args(argv)
     # REPRO_TRACE=1 behaves like passing --stats --trace.

@@ -78,6 +78,35 @@ class AllocationError(Exception):
     """Raised when an allocation violates a machine constraint."""
 
 
+def render_allocation(alloc: "Allocation",
+                      target: TargetMachine) -> str:
+    """Canonical text rendering of one allocation (no timings).
+
+    Header, rewritten code, assignment, code size, and spill stats —
+    shared by the ``alloc`` CLI and the allocation service so both
+    surfaces emit byte-identical results for the same allocation.
+    """
+    from .ir import format_function
+
+    head = f"== {alloc.fn_name}: {alloc.status} =="
+    if not alloc.succeeded:
+        return head
+    s = alloc.stats
+    assignment = {
+        v: r.name for v, r in sorted(alloc.assignment.items())
+    }
+    return "\n".join([
+        head,
+        format_function(alloc.function),
+        f"assignment: {assignment}",
+        f"code size: {allocation_code_size(alloc, target)} bytes",
+        f"spill: loads={s.loads} stores={s.stores} "
+        f"remats={s.remats} copies+={s.copies_inserted} "
+        f"copies-={s.copies_deleted} memuse={s.mem_operand_uses} "
+        f"rmw={s.rmw_mem_defs} coalesced={s.loads_deleted}",
+    ])
+
+
 def allocation_code_size(alloc: "Allocation",
                          target: TargetMachine) -> int:
     """Static code size in bytes of the allocated function.

@@ -292,6 +292,7 @@ def suite_report(
         target=getattr(target, "name", "") if target else "",
         backend=config.backend if config else "",
         command="run_suite",
+        trace_id=getattr(config, "trace_id", "") if config else "",
         counters=snapshot(),
     )
     for bench_result in suite.results:

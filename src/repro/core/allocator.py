@@ -189,6 +189,7 @@ class IPAllocator:
         }
         return FunctionRunReport(
             function=fn.name,
+            trace_id=self.config.trace_id,
             allocator="ip",
             status=alloc.status,
             n_instructions=fn.n_instructions,

@@ -46,3 +46,8 @@ class AllocatorConfig:
     #: (per-phase timings, §5 model breakdown, solver stats, §4 cost
     #: split) — off by default so benchmarks pay nothing for it
     collect_report: bool = False
+
+    #: caller identity stamped onto run reports (service request trace
+    #: ID or ``--trace-id``); non-semantic: never affects the
+    #: allocation or the cache fingerprint
+    trace_id: str = ""

@@ -11,7 +11,13 @@ aborting — the paper's "unattempted functions keep GCC's allocation"
 policy, made a first-class subsystem.
 """
 
-from .cache import CACHE_VERSION, CacheRecord, ResultCache
+from .cache import (
+    CACHE_MAX_ENTRIES_ENV,
+    CACHE_VERSION,
+    CacheRecord,
+    ResultCache,
+    default_max_entries,
+)
 from .engine import (
     DEFAULT_CACHE_DIR,
     AllocationEngine,
@@ -30,6 +36,7 @@ from .fingerprint import (
 
 __all__ = [
     "AllocationEngine",
+    "CACHE_MAX_ENTRIES_ENV",
     "CACHE_VERSION",
     "CacheRecord",
     "DEFAULT_CACHE_DIR",
@@ -40,6 +47,7 @@ __all__ = [
     "ResultCache",
     "allocation_fingerprint",
     "config_signature",
+    "default_max_entries",
     "fingerprint_function",
     "frequency_signature",
     "target_signature",

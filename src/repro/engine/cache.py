@@ -16,6 +16,15 @@ checked against the freshly built model (free-variable count and full
 constraint feasibility) before being trusted.  Writes are atomic
 (temp file + ``os.replace``) so concurrent runs sharing a cache
 directory can never observe a torn record.
+
+The cache is bounded: ``max_entries`` (default from the
+``REPRO_CACHE_MAX_ENTRIES`` environment variable, unbounded when
+unset) caps the number of records, with least-recently-used pruning.
+Recency is the record file's mtime — a hit touches the file, so
+entries that keep earning their place survive, and a cache shared by
+many runs (or by the allocation service's concurrent clients)
+converges on the hot working set.  All public methods are
+thread-safe; cross-process safety comes from the atomic writes.
 """
 
 from __future__ import annotations
@@ -23,12 +32,35 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from ..obs import define_counter, define_gauge
+
 #: cache record schema version; bump to invalidate all existing records
 CACHE_VERSION = 1
+
+#: environment variable supplying the default ``max_entries``
+CACHE_MAX_ENTRIES_ENV = "REPRO_CACHE_MAX_ENTRIES"
+
+STAT_EVICTIONS = define_counter(
+    "engine.cache_evictions", "cache records pruned by the LRU bound"
+)
+STAT_ENTRIES = define_gauge(
+    "engine.cache_entries", "records currently in the result cache"
+)
+
+
+def default_max_entries() -> int | None:
+    """The LRU bound from ``REPRO_CACHE_MAX_ENTRIES`` (None = unbounded)."""
+    raw = os.environ.get(CACHE_MAX_ENTRIES_ENV, "")
+    try:
+        value = int(raw)
+    except ValueError:
+        return None
+    return value if value > 0 else None
 
 
 @dataclass(slots=True)
@@ -96,16 +128,38 @@ class CacheRecord:
 
 
 class ResultCache:
-    """Filesystem-backed fingerprint -> :class:`CacheRecord` store."""
+    """Filesystem-backed fingerprint -> :class:`CacheRecord` store.
 
-    def __init__(self, root: str | os.PathLike) -> None:
+    ``max_entries`` bounds the cache with LRU pruning; ``None`` reads
+    the ``REPRO_CACHE_MAX_ENTRIES`` environment variable, and any value
+    <= 0 means unbounded.
+    """
+
+    def __init__(
+        self,
+        root: str | os.PathLike,
+        max_entries: int | None = None,
+    ) -> None:
         self.root = Path(root)
+        if max_entries is None:
+            max_entries = default_max_entries()
+        self.max_entries = (
+            max_entries if max_entries and max_entries > 0 else None
+        )
+        self._lock = threading.RLock()
+        #: lazily initialised record count (scanning once, then kept
+        #: incrementally so bounded puts stay O(1) until they prune)
+        self._count: int | None = None
 
     def path_for(self, fingerprint: str) -> Path:
         return self.root / fingerprint[:2] / f"{fingerprint}.json"
 
     def get(self, fingerprint: str) -> CacheRecord | None:
-        """Load a record, or ``None`` on miss/corruption/version skew."""
+        """Load a record, or ``None`` on miss/corruption/version skew.
+
+        A hit touches the record file (LRU touch-on-hit), so recently
+        replayed entries outlive cold ones under pruning.
+        """
         path = self.path_for(fingerprint)
         try:
             text = path.read_text()
@@ -118,45 +172,87 @@ class ResultCache:
         record = CacheRecord.from_dict(data)
         if record is None or record.fingerprint != fingerprint:
             return None
+        try:
+            os.utime(path)
+        except OSError:
+            pass
         return record
 
     def put(self, record: CacheRecord) -> None:
         """Atomically persist a record (best-effort: IO errors are
-        swallowed — a cache must never fail the run)."""
+        swallowed — a cache must never fail the run), then prune the
+        least-recently-used entries past ``max_entries``."""
         if not record.created:
             record.created = time.time()
         path = self.path_for(record.fingerprint)
-        try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(
-                dir=path.parent, prefix=".tmp-", suffix=".json"
-            )
+        with self._lock:
+            fresh = not path.exists()
             try:
-                with os.fdopen(fd, "w") as handle:
-                    json.dump(record.to_dict(), handle)
-                    handle.write("\n")
-                os.replace(tmp, path)
-            except BaseException:
+                path.parent.mkdir(parents=True, exist_ok=True)
+                fd, tmp = tempfile.mkstemp(
+                    dir=path.parent, prefix=".tmp-", suffix=".json"
+                )
                 try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
-                raise
-        except OSError:
-            pass
+                    with os.fdopen(fd, "w") as handle:
+                        json.dump(record.to_dict(), handle)
+                        handle.write("\n")
+                    os.replace(tmp, path)
+                except BaseException:
+                    try:
+                        os.unlink(tmp)
+                    except OSError:
+                        pass
+                    raise
+            except OSError:
+                return
+            if fresh and self._count is not None:
+                self._count += 1
+            if self.max_entries is not None:
+                self._prune_locked()
+            STAT_ENTRIES.set(self._entries_locked())
+
+    def _entries_locked(self) -> int:
+        if self._count is None:
+            self._count = sum(1 for _ in self.root.glob("*/*.json")) \
+                if self.root.is_dir() else 0
+        return self._count
+
+    def _prune_locked(self) -> None:
+        """Evict oldest-mtime records until the count fits the bound."""
+        if self._entries_locked() <= self.max_entries:
+            return
+        entries = []
+        for path in self.root.glob("*/*.json"):
+            try:
+                entries.append((path.stat().st_mtime, path))
+            except OSError:
+                pass
+        self._count = len(entries)
+        entries.sort(key=lambda e: e[0])
+        for _, path in entries[: max(0, len(entries) - self.max_entries)]:
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            self._count -= 1
+            STAT_EVICTIONS.incr()
 
     def __len__(self) -> int:
-        if not self.root.is_dir():
-            return 0
-        return sum(1 for _ in self.root.glob("*/*.json"))
+        with self._lock:
+            # Recount: other processes may have added records.
+            self._count = None
+            return self._entries_locked()
 
     def clear(self) -> int:
         """Delete every record; returns how many were removed."""
         removed = 0
-        for path in self.root.glob("*/*.json"):
-            try:
-                path.unlink()
-                removed += 1
-            except OSError:
-                pass
+        with self._lock:
+            for path in self.root.glob("*/*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+            self._count = 0
+            STAT_ENTRIES.set(0)
         return removed

@@ -102,6 +102,9 @@ class EngineConfig:
     fallback: bool = True
     #: in-process retries when a worker process dies mid-solve
     retries: int = 1
+    #: LRU bound on the persistent result cache (None: the
+    #: ``REPRO_CACHE_MAX_ENTRIES`` environment default, else unbounded)
+    cache_max_entries: int | None = None
 
 
 @dataclass(slots=True)
@@ -301,14 +304,28 @@ class AllocationEngine:
         target: TargetMachine,
         config: AllocatorConfig | None = None,
         engine_config: EngineConfig | None = None,
+        *,
+        cache: ResultCache | None = None,
+        executor: ProcessPoolExecutor | None = None,
     ) -> None:
+        """``cache`` and ``executor``, when given, are externally owned
+        and shared: the engine uses them but never shuts them down.
+        The allocation service passes both so every request of a server
+        lifetime reuses one process pool and one result cache."""
         self.target = target
         self.config = config or AllocatorConfig()
         self.engine_config = engine_config or EngineConfig()
-        self.cache = (
-            ResultCache(self.engine_config.cache_dir)
-            if self.engine_config.cache_dir else None
-        )
+        if cache is not None:
+            self.cache = cache
+        else:
+            self.cache = (
+                ResultCache(
+                    self.engine_config.cache_dir,
+                    max_entries=self.engine_config.cache_max_entries,
+                )
+                if self.engine_config.cache_dir else None
+            )
+        self._shared_executor = executor
 
     # -- public API ------------------------------------------------------
 
@@ -366,6 +383,30 @@ class AllocationEngine:
         return self.allocate_module(
             [fn], {fn.name: freq} if freq is not None else None, baseline
         ).outcomes[0]
+
+    def fallback_module(
+        self,
+        functions,
+        freqs: dict[str, ExecutionFrequencies] | None = None,
+        baseline=None,
+    ) -> ModuleAllocation:
+        """Degrade every function straight to the baseline allocation.
+
+        The allocation service uses this for requests whose deadline
+        expired while queued: no solver work is attempted, each
+        function gets exactly the graph-coloring fallback a timed-out
+        solve would have received (``source == "fallback"``,
+        ``timed_out == True``).
+        """
+        outcomes = []
+        for fn in functions:
+            job = self._prepare(fn, (freqs or {}).get(fn.name))
+            outcomes.append(
+                self._finish(
+                    job, self._failed_allocation(job), True, 0, baseline
+                )
+            )
+        return ModuleAllocation(outcomes)
 
     # -- preparation & cache ---------------------------------------------
 
@@ -485,14 +526,20 @@ class AllocationEngine:
         workers = min(ec.jobs, len(jobs))
         collect = self.config.collect_report
         capture_spans = trace_enabled() and not collect
-        try:
-            executor = ProcessPoolExecutor(max_workers=workers)
-        except (OSError, ValueError):
-            # Restricted environment (no semaphores/fork): degrade to
-            # in-process solving rather than failing the run.
-            for job in jobs:
-                outcomes[job.fn.name] = self._solve_local(job, baseline)
-            return
+        shared = self._shared_executor is not None
+        if shared:
+            executor = self._shared_executor
+        else:
+            try:
+                executor = ProcessPoolExecutor(max_workers=workers)
+            except (OSError, ValueError):
+                # Restricted environment (no semaphores/fork): degrade
+                # to in-process solving rather than failing the run.
+                for job in jobs:
+                    outcomes[job.fn.name] = self._solve_local(
+                        job, baseline
+                    )
+                return
         try:
             future_of = {}
             for job in jobs:
@@ -504,10 +551,20 @@ class AllocationEngine:
                     fingerprint=job.fingerprint,
                     capture_spans=capture_spans or collect,
                 )
-                future_of[executor.submit(_worker_solve, payload)] = job
+                try:
+                    future = executor.submit(_worker_solve, payload)
+                except (RuntimeError, OSError):
+                    # Pool broken or shut down under us: finish the
+                    # remaining functions in this process.
+                    outcomes[job.fn.name] = self._solve_local(
+                        job, baseline
+                    )
+                    continue
+                future_of[future] = job
             self._drain(future_of, outcomes, baseline, engine_span)
         finally:
-            executor.shutdown(wait=False, cancel_futures=True)
+            if not shared:
+                executor.shutdown(wait=False, cancel_futures=True)
 
     def _deadline(self, n_jobs: int, workers: int) -> float | None:
         """Wall-clock budget for the whole pool drain."""

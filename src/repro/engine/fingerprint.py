@@ -28,7 +28,9 @@ from ..lowering import lower_for_target
 from ..target import TargetMachine
 
 #: AllocatorConfig fields with no influence on the allocation itself.
-NON_SEMANTIC_CONFIG_FIELDS = frozenset({"validate", "collect_report"})
+NON_SEMANTIC_CONFIG_FIELDS = frozenset(
+    {"validate", "collect_report", "trace_id"}
+)
 
 
 def config_signature(config: AllocatorConfig) -> dict:

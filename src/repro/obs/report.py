@@ -249,6 +249,9 @@ class FunctionRunReport:
 
     function: str
     benchmark: str = ""
+    #: caller identity: the service request trace ID (or ``--trace-id``)
+    #: this allocation was performed for — empty for anonymous runs
+    trace_id: str = ""
     allocator: str = "ip"
     status: str = ""
     n_instructions: int = 0
@@ -278,6 +281,7 @@ class FunctionRunReport:
         return {
             "function": self.function,
             "benchmark": self.benchmark,
+            "trace_id": self.trace_id,
             "allocator": self.allocator,
             "status": self.status,
             "n_instructions": self.n_instructions,
@@ -293,6 +297,7 @@ class FunctionRunReport:
         return cls(
             function=d["function"],
             benchmark=d.get("benchmark", ""),
+            trace_id=d.get("trace_id", ""),
             allocator=d.get("allocator", "ip"),
             status=d.get("status", ""),
             n_instructions=d.get("n_instructions", 0),
@@ -314,6 +319,9 @@ class RunReport:
     target: str = ""
     backend: str = ""
     command: str = ""
+    #: caller identity for the whole run (CLI ``--trace-id`` or a
+    #: generated one); per-function reports may carry their own
+    trace_id: str = ""
     functions: list[FunctionRunReport] = field(default_factory=list)
     #: final stats-registry snapshot for the whole run
     counters: dict[str, float] = field(default_factory=dict)
@@ -344,6 +352,7 @@ class RunReport:
             "target": self.target,
             "backend": self.backend,
             "command": self.command,
+            "trace_id": self.trace_id,
             "functions": [f.to_dict() for f in self.functions],
             "counters": dict(self.counters),
             "totals": self.totals(),
@@ -355,6 +364,7 @@ class RunReport:
             target=d.get("target", ""),
             backend=d.get("backend", ""),
             command=d.get("command", ""),
+            trace_id=d.get("trace_id", ""),
             functions=[
                 FunctionRunReport.from_dict(f)
                 for f in d.get("functions", [])

@@ -1,0 +1,64 @@
+"""The allocation service: a resident server over the engine.
+
+Combinatorial register allocation is served, not embedded: solve
+latency is the adoption barrier, so the solver lives behind a
+long-lived process that amortizes its warm caches and worker pool
+across every caller.  This package is that process:
+
+* :mod:`repro.service.protocol` — newline-delimited JSON wire format
+  (verbs, error codes, request validation);
+* :mod:`repro.service.scheduler` — admission control (bounded queue,
+  explicit ``overloaded`` rejection, max-in-flight, per-request
+  deadlines) and request batching through one shared
+  :class:`~repro.engine.AllocationEngine` stack;
+* :mod:`repro.service.server` — the asyncio TCP server, control
+  verbs, graceful drain on SIGTERM, trace-ID threading;
+* :mod:`repro.service.client` — blocking client library
+  (what ``python -m repro submit`` uses).
+
+Start one with ``python -m repro serve``, talk to it with
+``python -m repro submit`` or :class:`ServiceClient`.
+"""
+
+from .client import ServiceClient, ServiceError
+from .protocol import (
+    E_BAD_REQUEST,
+    E_DRAINING,
+    E_INTERNAL,
+    E_OVERLOADED,
+    E_PARSE,
+    E_UNKNOWN_VERB,
+    ERROR_CODES,
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    VERBS,
+    AllocateRequest,
+    ProtocolError,
+    decode_line,
+    encode,
+)
+from .scheduler import BatchScheduler
+from .server import AllocationServer, ServerThread, ServiceConfig
+
+__all__ = [
+    "AllocateRequest",
+    "AllocationServer",
+    "BatchScheduler",
+    "E_BAD_REQUEST",
+    "E_DRAINING",
+    "E_INTERNAL",
+    "E_OVERLOADED",
+    "E_PARSE",
+    "E_UNKNOWN_VERB",
+    "ERROR_CODES",
+    "MAX_LINE_BYTES",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ServerThread",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "VERBS",
+    "decode_line",
+    "encode",
+]

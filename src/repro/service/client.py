@@ -1,0 +1,158 @@
+"""Synchronous client for the allocation service.
+
+A thin blocking wrapper over the NDJSON protocol — one socket, one
+request line out, one response line back, in order.  Used by the
+``python -m repro submit`` CLI, the test suite, and any embedder that
+wants to talk to a resident allocation server without asyncio::
+
+    with ServiceClient("127.0.0.1", 8753) as client:
+        resp = client.allocate(source=open("prog.c").read(),
+                               deadline=10.0)
+        for fn in resp["result"]["functions"]:
+            print(fn["rendered"])
+
+Every method returns the decoded response dict (``ok``/``result`` or
+``ok``/``error``); :meth:`ServiceClient.check` converts an error
+response into a :class:`ServiceError` for callers that prefer raising.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+
+from .protocol import MAX_LINE_BYTES, ProtocolError
+
+
+class ServiceError(Exception):
+    """An error response from the service, as an exception."""
+
+    def __init__(self, code: str, message: str, response: dict) -> None:
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.message = message
+        self.response = response
+
+
+class ServiceClient:
+    """Blocking NDJSON client; safe for one thread at a time."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8753,
+        timeout: float = 300.0,
+        connect_retries: int = 0,
+        retry_interval: float = 0.25,
+    ) -> None:
+        """``connect_retries`` retries refused connections — handy for
+        scripts racing a server that is still binding its socket."""
+        self.host = host
+        self.port = port
+        last: Exception | None = None
+        for attempt in range(connect_retries + 1):
+            try:
+                self._sock = socket.create_connection(
+                    (host, port), timeout=timeout
+                )
+                break
+            except OSError as exc:
+                last = exc
+                if attempt == connect_retries:
+                    raise
+                time.sleep(retry_interval)
+        self._sock.settimeout(timeout)
+        self._file = self._sock.makefile("rwb")
+
+    # -- plumbing --------------------------------------------------------
+
+    def request(self, message: dict) -> dict:
+        """Send one request object, return the decoded response."""
+        self._file.write(
+            json.dumps(message, separators=(",", ":")).encode("utf-8")
+            + b"\n"
+        )
+        self._file.flush()
+        line = self._file.readline(MAX_LINE_BYTES)
+        if not line:
+            raise ConnectionError(
+                "service closed the connection without responding"
+            )
+        return json.loads(line)
+
+    @staticmethod
+    def check(response: dict) -> dict:
+        """Return ``response`` if ok, else raise :class:`ServiceError`."""
+        if response.get("ok"):
+            return response
+        error = response.get("error") or {}
+        raise ServiceError(
+            error.get("code", "unknown"),
+            error.get("message", ""),
+            response,
+        )
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- verbs -----------------------------------------------------------
+
+    def allocate(
+        self,
+        source: str | None = None,
+        ir: str | None = None,
+        target: str | None = None,
+        function: str | None = None,
+        config: dict | None = None,
+        deadline: float | None = None,
+        report: bool = False,
+        trace_id: str | None = None,
+        request_id=None,
+    ) -> dict:
+        message: dict = {"verb": "allocate"}
+        if source is not None:
+            message["source"] = source
+        if ir is not None:
+            message["ir"] = ir
+        if target is not None:
+            message["target"] = target
+        if function is not None:
+            message["function"] = function
+        if config:
+            message["config"] = config
+        if deadline is not None:
+            message["deadline"] = deadline
+        if report:
+            message["report"] = True
+        if trace_id is not None:
+            message["trace_id"] = trace_id
+        if request_id is not None:
+            message["id"] = request_id
+        return self.request(message)
+
+    def status(self) -> dict:
+        return self.request({"verb": "status"})
+
+    def stats(self) -> dict:
+        return self.request({"verb": "stats"})
+
+    def ping(self) -> dict:
+        return self.request({"verb": "ping"})
+
+    def drain(self) -> dict:
+        """Ask the server to drain; returns once it has finished all
+        accepted work (this call can take as long as the work does)."""
+        return self.request({"verb": "drain"})
+
+
+__all__ = ["ProtocolError", "ServiceClient", "ServiceError"]

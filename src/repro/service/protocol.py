@@ -1,0 +1,275 @@
+"""Wire protocol of the allocation service.
+
+Newline-delimited JSON over TCP: each request is one JSON object on a
+single line, each response is one JSON object on a single line, in
+request order per connection.
+
+Request shape::
+
+    {"verb": "allocate" | "status" | "stats" | "drain" | "ping",
+     "id": <any JSON value, echoed back>,        # optional
+     "trace_id": "client-chosen-id",             # optional
+     # allocate only:
+     "source": "<mini-C program text>",          # exactly one of
+     "ir": "<printed IR module text>",           # source / ir
+     "target": "x86" | "x86+ebp" | "risc",       # optional
+     "function": "name",                         # optional filter
+     "deadline": <seconds, wall clock>,          # optional
+     "report": true,                             # per-function reports
+     "config": {"backend": ..., "time_limit": ...,
+                "size_only": ..., "code_size_weight": ...,
+                "data_size_weight": ...}}        # optional
+
+Response shape::
+
+    {"id": <echo>, "trace_id": "...", "verb": "...", "ok": true|false,
+     "result": {...},                            # when ok
+     "error": {"code": "...", "message": "..."}} # when not ok
+
+Error codes (:data:`ERROR_CODES`): ``overloaded`` (admission queue
+full — resubmit later), ``draining`` (server is shutting down),
+``bad_request`` (malformed fields, unknown target/backend/function,
+failed compile), ``parse_error`` (request line is not valid JSON),
+``unknown_verb``, and ``internal``.
+
+Every `allocate` admission gets a terminal response: a result (solver,
+cache replay, or baseline fallback), or an explicit error — the
+service never silently drops an accepted request.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+
+from ..core import AllocatorConfig
+
+PROTOCOL_VERSION = 1
+
+VERB_ALLOCATE = "allocate"
+VERB_STATUS = "status"
+VERB_STATS = "stats"
+VERB_DRAIN = "drain"
+VERB_PING = "ping"
+VERBS = (VERB_ALLOCATE, VERB_STATUS, VERB_STATS, VERB_DRAIN, VERB_PING)
+
+E_OVERLOADED = "overloaded"
+E_DRAINING = "draining"
+E_BAD_REQUEST = "bad_request"
+E_PARSE = "parse_error"
+E_UNKNOWN_VERB = "unknown_verb"
+E_INTERNAL = "internal"
+ERROR_CODES = (
+    E_OVERLOADED, E_DRAINING, E_BAD_REQUEST, E_PARSE, E_UNKNOWN_VERB,
+    E_INTERNAL,
+)
+
+#: request ``config`` keys -> AllocatorConfig field (whitelist: the
+#: service only exposes knobs that are safe per request)
+CONFIG_FIELDS = {
+    "backend": "backend",
+    "time_limit": "time_limit",
+    "size_only": "optimize_size_only",
+    "code_size_weight": "code_size_weight",
+    "data_size_weight": "data_size_weight",
+}
+
+#: largest accepted request line (also the asyncio stream limit)
+MAX_LINE_BYTES = 8 * 1024 * 1024
+
+
+class ProtocolError(Exception):
+    """A request that cannot be serviced; carries the error code."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+
+def encode(message: dict) -> bytes:
+    """One NDJSON frame (compact JSON + newline)."""
+    return json.dumps(
+        message, separators=(",", ":"), sort_keys=True
+    ).encode("utf-8") + b"\n"
+
+
+def decode_line(line: bytes) -> dict:
+    """Parse one request frame; raises :class:`ProtocolError`."""
+    try:
+        message = json.loads(line)
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise ProtocolError(E_PARSE, f"invalid JSON: {exc}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError(E_PARSE, "request must be a JSON object")
+    return message
+
+
+def ok_response(message: dict, verb: str, result: dict) -> dict:
+    return {
+        "id": message.get("id"),
+        "trace_id": message.get("trace_id", ""),
+        "verb": verb,
+        "ok": True,
+        "result": result,
+    }
+
+
+def error_response(
+    message: dict, verb: str, code: str, detail: str
+) -> dict:
+    return {
+        "id": message.get("id") if isinstance(message, dict) else None,
+        "trace_id": (
+            message.get("trace_id", "")
+            if isinstance(message, dict) else ""
+        ),
+        "verb": verb,
+        "ok": False,
+        "error": {"code": code, "message": detail},
+    }
+
+
+def request_config(
+    message: dict, defaults: AllocatorConfig
+) -> AllocatorConfig:
+    """Build the per-request :class:`AllocatorConfig`.
+
+    Starts from the server defaults and applies the whitelisted
+    ``config`` overrides; unknown keys are a ``bad_request`` so typos
+    fail loudly instead of silently running with defaults.
+    """
+    overrides = message.get("config") or {}
+    if not isinstance(overrides, dict):
+        raise ProtocolError(E_BAD_REQUEST, "config must be an object")
+    unknown = sorted(set(overrides) - set(CONFIG_FIELDS))
+    if unknown:
+        raise ProtocolError(
+            E_BAD_REQUEST,
+            f"unknown config keys: {', '.join(unknown)} "
+            f"(allowed: {', '.join(sorted(CONFIG_FIELDS))})",
+        )
+    kwargs = {}
+    for key, value in overrides.items():
+        field_name = CONFIG_FIELDS[key]
+        if field_name in ("backend",):
+            if not isinstance(value, str):
+                raise ProtocolError(
+                    E_BAD_REQUEST, f"config.{key} must be a string"
+                )
+            kwargs[field_name] = value
+        elif field_name == "optimize_size_only":
+            kwargs[field_name] = bool(value)
+        else:
+            try:
+                kwargs[field_name] = float(value)
+            except (TypeError, ValueError):
+                raise ProtocolError(
+                    E_BAD_REQUEST, f"config.{key} must be a number"
+                ) from None
+    config = replace(defaults, **kwargs)
+    config.trace_id = str(message.get("trace_id", "") or "")
+    config.collect_report = bool(message.get("report", False))
+    return config
+
+
+@dataclass(slots=True)
+class AllocateRequest:
+    """A validated, compiled ``allocate`` request (pre-admission)."""
+
+    message: dict
+    trace_id: str
+    target_name: str
+    config: AllocatorConfig
+    #: IR functions to allocate, in request order
+    functions: list = field(default_factory=list)
+    #: wall-clock budget in seconds from admission (None: unbounded)
+    deadline: float | None = None
+
+    @property
+    def wants_report(self) -> bool:
+        return self.config.collect_report
+
+    def function_names(self) -> set[str]:
+        return {fn.name for fn in self.functions}
+
+
+def parse_allocate(
+    message: dict,
+    default_target: str,
+    defaults: AllocatorConfig,
+    trace_id: str,
+    targets: dict,
+    backends,
+) -> AllocateRequest:
+    """Validate and compile an ``allocate`` request.
+
+    ``targets`` maps target names to factories (the CLI's TARGETS
+    table); ``backends`` is the set of legal solver backend names.
+    Raises :class:`ProtocolError` on any defect.
+    """
+    from ..ir import parse_module
+    from ..lang import compile_program
+
+    source = message.get("source")
+    ir_text = message.get("ir")
+    if (source is None) == (ir_text is None):
+        raise ProtocolError(
+            E_BAD_REQUEST,
+            "exactly one of 'source' (mini-C) or 'ir' (IR text) "
+            "is required",
+        )
+    target_name = message.get("target", default_target)
+    if target_name not in targets:
+        raise ProtocolError(
+            E_BAD_REQUEST,
+            f"unknown target {target_name!r} "
+            f"(known: {', '.join(sorted(targets))})",
+        )
+    config = request_config(message, defaults)
+    config.trace_id = trace_id
+    if config.backend not in backends:
+        raise ProtocolError(
+            E_BAD_REQUEST,
+            f"unknown backend {config.backend!r} "
+            f"(known: {', '.join(sorted(backends))})",
+        )
+    deadline = message.get("deadline")
+    if deadline is not None:
+        try:
+            deadline = float(deadline)
+        except (TypeError, ValueError):
+            raise ProtocolError(
+                E_BAD_REQUEST, "deadline must be a number of seconds"
+            ) from None
+        if deadline <= 0:
+            raise ProtocolError(
+                E_BAD_REQUEST, "deadline must be positive"
+            )
+    try:
+        if source is not None:
+            module = compile_program(str(source), name="request")
+        else:
+            module = parse_module(str(ir_text), name="request")
+    except Exception as exc:
+        raise ProtocolError(
+            E_BAD_REQUEST, f"compile failed: {exc}"
+        ) from None
+    functions = list(module)
+    wanted = message.get("function")
+    if wanted is not None:
+        functions = [fn for fn in functions if fn.name == wanted]
+        if not functions:
+            raise ProtocolError(
+                E_BAD_REQUEST, f"no function named {wanted!r}"
+            )
+    if not functions:
+        raise ProtocolError(E_BAD_REQUEST, "program has no functions")
+    return AllocateRequest(
+        message=message,
+        trace_id=trace_id,
+        target_name=target_name,
+        config=config,
+        functions=functions,
+        deadline=deadline,
+    )

@@ -1,0 +1,498 @@
+"""Admission control and request batching for the allocation service.
+
+The :class:`BatchScheduler` is the server's core: requests admitted by
+the bounded queue are drained in batches and solved through **one
+shared allocation stack** — a single :class:`~repro.engine.ResultCache`
+and a single process pool for the whole server lifetime — so
+concurrent clients get cache hits off each other's work and never pay
+pool start-up per request.
+
+Admission (all enforced before any work is done):
+
+* bounded queue — ``queue_capacity`` requests may wait; a full queue
+  is an explicit ``overloaded`` rejection, never silent latency;
+* max-in-flight — at most ``max_in_flight`` admitted requests are
+  being solved at any moment; the rest wait in the queue;
+* per-request deadline — wall clock from admission; a request whose
+  deadline expires while queued skips the solver entirely and
+  degrades to the graph-coloring baseline, exactly as a timed-out
+  solve does.
+
+Batching: the scheduler dequeues up to ``max_batch`` requests at once,
+groups them by (target, semantic config), and feeds each group through
+one :meth:`AllocationEngine.allocate_module` call — requests whose
+function names collide are split into collision-free sub-calls, which
+also means identical concurrent requests are solved once and replayed
+from cache for the duplicates.
+
+Every admitted request reaches a terminal response; the scheduler
+never drops one, including during graceful drain.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, replace
+
+from ..allocation import allocation_code_size, render_allocation
+from ..engine import (
+    AllocationEngine,
+    EngineConfig,
+    ResultCache,
+    config_signature,
+)
+from ..ir import format_function
+from ..obs import define_counter, define_gauge, trace_phase
+from .protocol import (
+    E_DRAINING,
+    E_INTERNAL,
+    E_OVERLOADED,
+    AllocateRequest,
+    ProtocolError,
+)
+
+STAT_REQUESTS = define_counter(
+    "service.requests", "allocate requests received"
+)
+STAT_ADMITTED = define_counter(
+    "service.admitted", "allocate requests admitted to the queue"
+)
+STAT_REJECTED = define_counter(
+    "service.rejected_overloaded", "requests rejected with 'overloaded'"
+)
+STAT_REJECTED_DRAIN = define_counter(
+    "service.rejected_draining", "requests rejected while draining"
+)
+STAT_COMPLETED = define_counter(
+    "service.completed", "admitted requests answered"
+)
+STAT_BATCHES = define_counter(
+    "service.batches", "solver batches dispatched"
+)
+STAT_DEADLINE = define_counter(
+    "service.deadline_expired",
+    "requests whose deadline expired in the queue (baseline fallback)",
+)
+STAT_QUEUE_WAIT = define_counter(
+    "service.queue_wait_seconds", "total seconds requests spent queued"
+)
+STAT_SOLVE = define_counter(
+    "service.solve_seconds", "total seconds spent solving batches"
+)
+GAUGE_QUEUE_DEPTH = define_gauge(
+    "service.queue_depth", "requests waiting in the admission queue"
+)
+GAUGE_IN_FLIGHT = define_gauge(
+    "service.in_flight", "admitted requests currently being solved"
+)
+
+
+@dataclass(slots=True)
+class _Pending:
+    """One admitted request awaiting its batch."""
+
+    request: AllocateRequest
+    future: asyncio.Future
+    admitted: float = 0.0
+    #: monotonic instant after which the request is deadline-expired
+    expires: float | None = None
+    #: monotonic instant the batch containing it started solving
+    started: float = 0.0
+
+    def remaining(self) -> float | None:
+        if self.expires is None:
+            return None
+        return self.expires - time.monotonic()
+
+
+class BatchScheduler:
+    """Bounded queue -> batches -> one shared AllocationEngine stack."""
+
+    def __init__(self, config, targets: dict, batch_hook=None) -> None:
+        """``config`` is the server's ServiceConfig; ``targets`` maps
+        target names to factories.  ``batch_hook``, when given, is
+        called with each batch in the solver thread before solving —
+        a test seam for making solve latency deterministic."""
+        self.config = config
+        self._target_factories = targets
+        self._targets: dict[str, object] = {}
+        self._batch_hook = batch_hook
+        self.cache = (
+            ResultCache(
+                config.cache_dir, max_entries=config.cache_max_entries
+            )
+            if config.cache_dir else None
+        )
+        self.jobs = max(1, config.jobs)
+        self._pool: ProcessPoolExecutor | None = None
+        self._solver: ThreadPoolExecutor | None = None
+        self._engines: dict[tuple, AllocationEngine] = {}
+        self._engine_lock = threading.Lock()
+        self._queue: asyncio.Queue | None = None
+        self._room: asyncio.Event | None = None
+        self._drained = asyncio.Event()
+        self._task: asyncio.Task | None = None
+        #: strong refs to in-flight batch tasks (asyncio keeps weak)
+        self._batch_tasks: set[asyncio.Task] = set()
+        self._in_flight = 0
+        self.draining = False
+        # plain request accounting for the status verb
+        self.admitted = 0
+        self.completed = 0
+        self.rejected = 0
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def start(self) -> None:
+        self._queue = asyncio.Queue()
+        self._room = asyncio.Event()
+        self._room.set()
+        if self.jobs > 1:
+            try:
+                self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+            except (OSError, ValueError):
+                # Restricted environment: solve in-process instead.
+                self._pool = None
+                self.jobs = 1
+        self._solver = ThreadPoolExecutor(
+            max_workers=max(1, self.config.max_in_flight),
+            thread_name_prefix="repro-solve",
+        )
+        self._task = asyncio.create_task(
+            self._schedule(), name="repro-scheduler"
+        )
+
+    async def drain(self) -> None:
+        """Stop admitting, finish in-flight work, then report drained."""
+        self.draining = True
+        self._check_drained()
+        await self._drained.wait()
+
+    @property
+    def drained_event(self) -> asyncio.Event:
+        return self._drained
+
+    async def stop(self) -> None:
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+        if self._solver is not None:
+            self._solver.shutdown(wait=True, cancel_futures=True)
+            self._solver = None
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    # -- admission (event-loop thread) -----------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        return self._queue.qsize() if self._queue is not None else 0
+
+    @property
+    def in_flight(self) -> int:
+        return self._in_flight
+
+    def submit(self, request: AllocateRequest) -> asyncio.Future:
+        """Admit one request, or raise a ProtocolError rejection.
+
+        Must be called from the event loop; the capacity check and the
+        enqueue are atomic because nothing here awaits.
+        """
+        STAT_REQUESTS.incr()
+        if self.draining:
+            STAT_REJECTED_DRAIN.incr()
+            self.rejected += 1
+            raise ProtocolError(
+                E_DRAINING, "server is draining; not accepting work"
+            )
+        if self._queue is None:
+            raise ProtocolError(E_INTERNAL, "scheduler not started")
+        if self._queue.qsize() >= self.config.queue_capacity:
+            STAT_REJECTED.incr()
+            self.rejected += 1
+            raise ProtocolError(
+                E_OVERLOADED,
+                f"admission queue full "
+                f"({self.config.queue_capacity} waiting); retry later",
+            )
+        now = time.monotonic()
+        pending = _Pending(
+            request=request,
+            future=asyncio.get_running_loop().create_future(),
+            admitted=now,
+            expires=(
+                now + request.deadline
+                if request.deadline is not None else None
+            ),
+        )
+        self._queue.put_nowait(pending)
+        self.admitted += 1
+        STAT_ADMITTED.incr()
+        GAUGE_QUEUE_DEPTH.set(self._queue.qsize())
+        return pending.future
+
+    # -- scheduling (event-loop thread) ----------------------------------
+
+    async def _schedule(self) -> None:
+        cfg = self.config
+        while True:
+            while self._in_flight >= cfg.max_in_flight:
+                self._room.clear()
+                await self._room.wait()
+            pending = await self._queue.get()
+            batch = [pending]
+            room = min(cfg.max_batch, cfg.max_in_flight - self._in_flight)
+            while len(batch) < room and not self._queue.empty():
+                batch.append(self._queue.get_nowait())
+            self._in_flight += len(batch)
+            GAUGE_QUEUE_DEPTH.set(self._queue.qsize())
+            GAUGE_IN_FLIGHT.set(self._in_flight)
+            task = asyncio.create_task(self._run_batch(batch))
+            self._batch_tasks.add(task)
+            task.add_done_callback(self._batch_tasks.discard)
+
+    async def _run_batch(self, batch: list[_Pending]) -> None:
+        loop = asyncio.get_running_loop()
+        STAT_BATCHES.incr()
+        try:
+            responses = await loop.run_in_executor(
+                self._solver, self._solve_batch, batch
+            )
+        except Exception as exc:  # solver thread died: still respond
+            detail = f"{type(exc).__name__}: {exc}"
+            responses = {
+                id(p): {
+                    "ok": False,
+                    "error": {"code": E_INTERNAL, "message": detail},
+                }
+                for p in batch
+            }
+        for pending in batch:
+            if not pending.future.done():
+                pending.future.set_result(
+                    responses.get(
+                        id(pending),
+                        {
+                            "ok": False,
+                            "error": {
+                                "code": E_INTERNAL,
+                                "message": "request lost by scheduler",
+                            },
+                        },
+                    )
+                )
+            self.completed += 1
+            STAT_COMPLETED.incr()
+        self._in_flight -= len(batch)
+        GAUGE_IN_FLIGHT.set(self._in_flight)
+        self._room.set()
+        self._check_drained()
+
+    def _check_drained(self) -> None:
+        if (
+            self.draining
+            and self._in_flight == 0
+            and (self._queue is None or self._queue.empty())
+        ):
+            self._drained.set()
+
+    # -- solving (solver threads) ----------------------------------------
+
+    def _solve_batch(self, batch: list[_Pending]) -> dict[int, dict]:
+        """Solve one batch; returns ``{id(pending): result-dict}``."""
+        if self._batch_hook is not None:
+            self._batch_hook(batch)
+        t0 = time.monotonic()
+        for pending in batch:
+            pending.started = t0
+            STAT_QUEUE_WAIT.add(t0 - pending.admitted)
+        responses: dict[int, dict] = {}
+        groups: list[list[_Pending]] = []
+        shared: dict[tuple, list[_Pending]] = {}
+        with trace_phase("service-batch", requests=len(batch)):
+            for pending in batch:
+                req = pending.request
+                remaining = pending.remaining()
+                if remaining is not None and remaining <= 0:
+                    self._respond_expired(pending, responses)
+                elif (
+                    req.wants_report
+                    or (remaining is not None
+                        and remaining < req.config.time_limit)
+                ):
+                    # Needs its own engine: a per-request report
+                    # identity or a deadline-capped time limit.
+                    groups.append([pending])
+                else:
+                    key = self._engine_key(req)
+                    shared.setdefault(key, []).append(pending)
+            groups.extend(shared.values())
+            for group in groups:
+                self._solve_group(group, responses)
+        STAT_SOLVE.add(time.monotonic() - t0)
+        return responses
+
+    def _engine_key(self, req: AllocateRequest) -> tuple:
+        return (
+            req.target_name,
+            json.dumps(
+                config_signature(req.config),
+                sort_keys=True,
+                separators=(",", ":"),
+            ),
+        )
+
+    def _target(self, name: str):
+        target = self._targets.get(name)
+        if target is None:
+            target = self._targets[name] = \
+                self._target_factories[name]()
+        return target
+
+    def _make_engine(self, target_name: str, config) -> AllocationEngine:
+        return AllocationEngine(
+            self._target(target_name),
+            config,
+            EngineConfig(jobs=self.jobs, fallback=True),
+            cache=self.cache,
+            executor=self._pool,
+        )
+
+    def _engine_for(self, pending: _Pending) -> AllocationEngine:
+        req = pending.request
+        config = req.config
+        remaining = pending.remaining()
+        if remaining is not None and remaining < config.time_limit:
+            config = replace(
+                config, time_limit=max(0.05, remaining)
+            )
+        if req.wants_report or config is not req.config:
+            # Per-request identity or budget: don't cache the engine.
+            return self._make_engine(req.target_name, config)
+        key = self._engine_key(req)
+        with self._engine_lock:
+            engine = self._engines.get(key)
+            if engine is None:
+                engine = self._engines[key] = self._make_engine(
+                    req.target_name, config
+                )
+        return engine
+
+    def _solve_group(
+        self, group: list[_Pending], responses: dict[int, dict]
+    ) -> None:
+        engine = self._engine_for(group[0])
+        for sub in _collision_free(group):
+            functions = [
+                fn for p in sub for fn in p.request.functions
+            ]
+            trace_ids = ",".join(p.request.trace_id for p in sub)
+            try:
+                with trace_phase(
+                    "service-solve",
+                    functions=len(functions),
+                    trace_ids=trace_ids,
+                ):
+                    module_alloc = engine.allocate_module(functions)
+            except Exception as exc:
+                detail = f"{type(exc).__name__}: {exc}"
+                for p in sub:
+                    responses[id(p)] = {
+                        "ok": False,
+                        "error": {
+                            "code": E_INTERNAL, "message": detail,
+                        },
+                    }
+                continue
+            for p in sub:
+                outcomes = [
+                    module_alloc.outcome(fn.name)
+                    for fn in p.request.functions
+                ]
+                responses[id(p)] = self._result(p, outcomes)
+
+    def _respond_expired(
+        self, pending: _Pending, responses: dict[int, dict]
+    ) -> None:
+        """Deadline blew in the queue: baseline fallback, no solve."""
+        STAT_DEADLINE.incr()
+        req = pending.request
+        engine = self._make_engine(req.target_name, req.config)
+        with trace_phase(
+            "service-fallback", trace_id=req.trace_id
+        ):
+            module_alloc = engine.fallback_module(req.functions)
+        result = self._result(pending, list(module_alloc))
+        result["result"]["deadline_expired"] = True
+        responses[id(pending)] = result
+
+    def _result(
+        self, pending: _Pending, outcomes
+    ) -> dict:
+        req = pending.request
+        target = self._target(req.target_name)
+        functions = []
+        for outcome in outcomes:
+            alloc = outcome.final
+            entry = {
+                "function": outcome.function,
+                "status": alloc.status,
+                "allocator": alloc.allocator,
+                "source": outcome.source,
+                "cache_hit": outcome.cache_hit,
+                "timed_out": outcome.timed_out,
+            }
+            if alloc.succeeded:
+                entry["rendered"] = render_allocation(alloc, target)
+                entry["code"] = format_function(alloc.function)
+                entry["assignment"] = {
+                    v: r.name
+                    for v, r in sorted(alloc.assignment.items())
+                }
+                entry["code_size"] = allocation_code_size(
+                    alloc, target
+                )
+            if outcome.attempt.succeeded:
+                entry["objective"] = outcome.attempt.objective
+            report = getattr(outcome.attempt, "report", None)
+            if report is not None and req.wants_report:
+                entry["report"] = report.to_dict()
+            functions.append(entry)
+        return {
+            "ok": True,
+            "result": {
+                "target": req.target_name,
+                "functions": functions,
+                "queue_seconds": pending.started - pending.admitted,
+            },
+        }
+
+
+def _collision_free(group: list[_Pending]) -> list[list[_Pending]]:
+    """Split a group into sub-batches with unique function names.
+
+    Requests carrying a function name an earlier sub-batch already
+    solves go to a later sub-batch — by then the earlier solve has
+    populated the shared cache, so duplicates replay instead of
+    re-solving.
+    """
+    subs: list[tuple[list[_Pending], set[str]]] = []
+    for pending in group:
+        names = pending.request.function_names()
+        for sub, taken in subs:
+            if not (names & taken):
+                sub.append(pending)
+                taken |= names
+                break
+        else:
+            subs.append(([pending], set(names)))
+    return [sub for sub, _ in subs]

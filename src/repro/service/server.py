@@ -1,0 +1,433 @@
+"""The allocation service: an asyncio TCP front-end over the engine.
+
+``python -m repro serve`` starts an :class:`AllocationServer` — a
+long-lived process that amortizes warm caches and worker pools across
+requests, the serving shape combinatorial allocators want (solve
+latency is the adoption barrier; a resident service pays pool start-up
+and cache warm-up once per lifetime instead of once per invocation).
+
+The server speaks the newline-delimited JSON protocol of
+:mod:`repro.service.protocol` and delegates all allocate work to the
+:class:`~repro.service.scheduler.BatchScheduler` (admission control,
+batching, the shared engine).  This module owns the I/O and lifecycle:
+
+* per-connection request/response loop (responses in request order);
+* the ``status`` / ``stats`` / ``drain`` / ``ping`` control verbs;
+* graceful drain — on SIGTERM/SIGINT (or the ``drain`` verb) the
+  server stops admitting, finishes every in-flight and queued
+  request, flushes responses, and exits; an accepted request is never
+  dropped;
+* trace IDs — every request gets one (client-supplied or generated),
+  echoed in the response, stamped into ``obs`` spans and run reports.
+
+:class:`ServerThread` hosts a server inside a background thread with
+its own event loop — the in-process form used by tests and embedders.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import itertools
+import signal
+import threading
+import time
+import uuid
+from dataclasses import dataclass
+
+from .. import obs
+from ..core import AllocatorConfig
+from ..engine import DEFAULT_CACHE_DIR  # noqa: F401  (re-export)
+from ..solver import BACKENDS
+from .protocol import (
+    E_INTERNAL,
+    E_UNKNOWN_VERB,
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    VERB_ALLOCATE,
+    VERB_DRAIN,
+    VERB_PING,
+    VERB_STATS,
+    VERB_STATUS,
+    ProtocolError,
+    decode_line,
+    encode,
+    error_response,
+    parse_allocate,
+)
+from .scheduler import BatchScheduler
+
+
+def _default_targets() -> dict:
+    from ..target import risc_target, x86_target
+
+    return {
+        "x86": lambda: x86_target(),
+        "x86+ebp": lambda: x86_target(allow_ebp=True),
+        "risc": lambda: risc_target(),
+    }
+
+
+@dataclass(slots=True)
+class ServiceConfig:
+    """Deployment knobs of the allocation service."""
+
+    host: str = "127.0.0.1"
+    #: 0 = bind an ephemeral port (read it back from ``server.port``)
+    port: int = 0
+    #: admitted requests that may wait for a solver slot; a full queue
+    #: rejects with ``overloaded``
+    queue_capacity: int = 16
+    #: admitted requests solved concurrently
+    max_in_flight: int = 4
+    #: most requests one solver batch may carry
+    max_batch: int = 8
+    #: worker processes of the shared engine pool (1 = in-process)
+    jobs: int = 1
+    #: persistent result cache shared by every request (None = off)
+    cache_dir: str | None = None
+    #: LRU bound for the cache (None: REPRO_CACHE_MAX_ENTRIES env)
+    cache_max_entries: int | None = None
+    #: target assumed when a request names none
+    default_target: str = "x86"
+    #: solver time limit assumed when a request sets none
+    default_time_limit: float = 64.0
+    #: default solver backend
+    default_backend: str = "scipy"
+    #: grace given to open connections to flush after drain, seconds
+    stop_grace: float = 2.0
+
+
+class AllocationServer:
+    """Asyncio TCP server wrapping one shared allocation stack."""
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        targets: dict | None = None,
+        batch_hook=None,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.targets = targets or _default_targets()
+        self.scheduler = BatchScheduler(
+            self.config, self.targets, batch_hook=batch_hook
+        )
+        self._server: asyncio.base_events.Server | None = None
+        self._connections: set[asyncio.Task] = set()
+        self._started = 0.0
+        self._trace_seq = itertools.count(1)
+        self._signals_installed: list[int] = []
+
+    # -- lifecycle -------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound port (after :meth:`start`)."""
+        assert self._server is not None, "server not started"
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        # The stats verb serves the registry snapshot, so counting is
+        # always on for a serving process.
+        obs.enable(stats=True, trace=False)
+        self._started = time.monotonic()
+        await self.scheduler.start()
+        self._server = await asyncio.start_server(
+            self._on_connection,
+            self.config.host,
+            self.config.port,
+            limit=MAX_LINE_BYTES,
+        )
+        self._install_signal_handlers()
+
+    async def run(self) -> None:
+        """Serve until drained (SIGTERM/SIGINT or the drain verb)."""
+        await self.start()
+        try:
+            await self.scheduler.drained_event.wait()
+        finally:
+            await self.stop()
+
+    async def drain(self) -> None:
+        """Stop admitting, finish all accepted work (see scheduler)."""
+        await self.scheduler.drain()
+
+    async def stop(self) -> None:
+        self._remove_signal_handlers()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # Let connections flush their final responses, then cut the
+        # stragglers (e.g. idle keep-alive clients).
+        if self._connections:
+            done, pending = await asyncio.wait(
+                set(self._connections), timeout=self.config.stop_grace
+            )
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.wait(pending, timeout=1.0)
+        await self.scheduler.stop()
+
+    def _install_signal_handlers(self) -> None:
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(
+                    sig,
+                    lambda: asyncio.ensure_future(self.drain()),
+                )
+            except (NotImplementedError, RuntimeError, ValueError):
+                # Non-main thread or unsupported platform: the drain
+                # verb and ServerThread.drain() remain available.
+                continue
+            self._signals_installed.append(sig)
+
+    def _remove_signal_handlers(self) -> None:
+        loop = asyncio.get_running_loop()
+        for sig in self._signals_installed:
+            with contextlib.suppress(Exception):
+                loop.remove_signal_handler(sig)
+        self._signals_installed.clear()
+
+    # -- connection handling ---------------------------------------------
+
+    async def _on_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        self._connections.add(task)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (
+                    asyncio.LimitOverrunError, ValueError, OSError,
+                ):
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                response = await self._serve_line(line)
+                writer.write(encode(response))
+                try:
+                    await writer.drain()
+                except (ConnectionError, OSError):
+                    break
+        finally:
+            self._connections.discard(task)
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _serve_line(self, line: bytes) -> dict:
+        try:
+            message = decode_line(line)
+        except ProtocolError as exc:
+            return error_response({}, "", exc.code, exc.message)
+        verb = message.get("verb", VERB_ALLOCATE)
+        try:
+            return await self._dispatch(verb, message)
+        except ProtocolError as exc:
+            return error_response(message, verb, exc.code, exc.message)
+        except Exception as exc:  # never kill the connection loop
+            return error_response(
+                message, verb, E_INTERNAL,
+                f"{type(exc).__name__}: {exc}",
+            )
+
+    async def _dispatch(self, verb: str, message: dict) -> dict:
+        if verb == VERB_ALLOCATE:
+            return await self._handle_allocate(message)
+        if verb == VERB_STATUS:
+            return self._wrap(message, verb, self.status())
+        if verb == VERB_STATS:
+            return self._wrap(message, verb, self.stats())
+        if verb == VERB_PING:
+            return self._wrap(
+                message, verb, {"protocol": PROTOCOL_VERSION}
+            )
+        if verb == VERB_DRAIN:
+            await self.drain()
+            return self._wrap(
+                message, verb,
+                {
+                    "state": "drained",
+                    "completed": self.scheduler.completed,
+                },
+            )
+        raise ProtocolError(
+            E_UNKNOWN_VERB,
+            f"unknown verb {verb!r} (known: "
+            f"{VERB_ALLOCATE}, {VERB_STATUS}, {VERB_STATS}, "
+            f"{VERB_DRAIN}, {VERB_PING})",
+        )
+
+    def _wrap(self, message: dict, verb: str, result: dict) -> dict:
+        return {
+            "id": message.get("id"),
+            "trace_id": message.get("trace_id", ""),
+            "verb": verb,
+            "ok": True,
+            "result": result,
+        }
+
+    async def _handle_allocate(self, message: dict) -> dict:
+        trace_id = str(message.get("trace_id") or "") or \
+            f"req-{next(self._trace_seq):06d}-{uuid.uuid4().hex[:6]}"
+        defaults = AllocatorConfig(
+            backend=self.config.default_backend,
+            time_limit=self.config.default_time_limit,
+        )
+        request = parse_allocate(
+            message,
+            self.config.default_target,
+            defaults,
+            trace_id,
+            self.targets,
+            BACKENDS,
+        )
+        # Admission happens after validation so rejections are cheap
+        # and a malformed request never occupies a queue slot.
+        future = self.scheduler.submit(request)
+        payload = await future
+        response = {
+            "id": message.get("id"),
+            "trace_id": trace_id,
+            "verb": VERB_ALLOCATE,
+            **payload,
+        }
+        return response
+
+    # -- control-verb bodies ---------------------------------------------
+
+    def status(self) -> dict:
+        sched = self.scheduler
+        return {
+            "state": "draining" if sched.draining else "serving",
+            "protocol": PROTOCOL_VERSION,
+            "uptime_seconds": time.monotonic() - self._started,
+            "queue_depth": sched.queue_depth,
+            "queue_capacity": self.config.queue_capacity,
+            "in_flight": sched.in_flight,
+            "max_in_flight": self.config.max_in_flight,
+            "max_batch": self.config.max_batch,
+            "jobs": sched.jobs,
+            "requests": {
+                "admitted": sched.admitted,
+                "completed": sched.completed,
+                "rejected": sched.rejected,
+            },
+        }
+
+    def stats(self) -> dict:
+        sched = self.scheduler
+        counters = obs.snapshot()
+        completed = max(1.0, counters.get("service.completed", 0.0))
+        return {
+            "counters": counters,
+            "queue": {
+                "depth": sched.queue_depth,
+                "capacity": self.config.queue_capacity,
+                "in_flight": sched.in_flight,
+                "max_in_flight": self.config.max_in_flight,
+                "avg_queue_seconds": (
+                    counters.get("service.queue_wait_seconds", 0.0)
+                    / completed
+                ),
+                "avg_solve_seconds": (
+                    counters.get("service.solve_seconds", 0.0)
+                    / max(1.0, counters.get("service.batches", 0.0))
+                ),
+            },
+            "cache": {
+                "dir": self.config.cache_dir,
+                "entries": (
+                    len(sched.cache) if sched.cache is not None
+                    else None
+                ),
+                "max_entries": (
+                    sched.cache.max_entries
+                    if sched.cache is not None else None
+                ),
+            },
+            "uptime_seconds": time.monotonic() - self._started,
+        }
+
+
+class ServerThread:
+    """An :class:`AllocationServer` on a background thread + loop.
+
+    The in-process form: tests and embedders start one, talk to it
+    over TCP like any client, and drain it to shut down::
+
+        handle = ServerThread(ServiceConfig(queue_capacity=4))
+        handle.start()
+        ... ServiceClient("127.0.0.1", handle.port) ...
+        handle.drain()        # graceful: finishes accepted work
+        handle.join()
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        targets: dict | None = None,
+        batch_hook=None,
+    ) -> None:
+        self.server = AllocationServer(
+            config, targets, batch_hook=batch_hook
+        )
+        self._thread = threading.Thread(
+            target=self._main, name="repro-service", daemon=True
+        )
+        self._ready = threading.Event()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._port: int | None = None
+        self._error: BaseException | None = None
+
+    def start(self, timeout: float = 30.0) -> "ServerThread":
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise RuntimeError("service thread failed to start")
+        if self._error is not None:
+            raise RuntimeError(
+                f"service failed to start: {self._error}"
+            ) from self._error
+        return self
+
+    def _main(self) -> None:
+        asyncio.run(self._amain())
+
+    async def _amain(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        try:
+            await self.server.start()
+            self._port = self.server.port
+        except BaseException as exc:
+            self._error = exc
+            self._ready.set()
+            return
+        self._ready.set()
+        try:
+            await self.server.scheduler.drained_event.wait()
+        finally:
+            await self.server.stop()
+
+    @property
+    def port(self) -> int:
+        assert self._port is not None, "server not started"
+        return self._port
+
+    def drain(self, timeout: float = 60.0) -> None:
+        """Trigger graceful drain from any thread and wait for exit."""
+        loop = self._loop
+        if loop is not None and loop.is_running():
+            with contextlib.suppress(RuntimeError):
+                asyncio.run_coroutine_threadsafe(
+                    self.server.drain(), loop
+                )
+        self.join(timeout)
+
+    def join(self, timeout: float = 60.0) -> None:
+        self._thread.join(timeout)
+        if self._thread.is_alive():
+            raise RuntimeError("service thread did not exit")

@@ -71,3 +71,28 @@ class TestCLI:
         ]) == 0
         out = capsys.readouterr().out
         assert "graph-coloring result" in out
+
+    def test_report_json_carries_trace_id(self, program, tmp_path):
+        import json
+
+        path = tmp_path / "report.json"
+        assert main([
+            "alloc", program, "--function", "helper",
+            "--report-json", str(path), "--trace-id", "ci-run-7",
+        ]) == 0
+        report = json.loads(path.read_text())
+        assert report["trace_id"] == "ci-run-7"
+        assert report["functions"][0]["trace_id"] == "ci-run-7"
+
+    def test_report_json_generates_trace_id(self, program, tmp_path):
+        import json
+
+        path = tmp_path / "report.json"
+        assert main([
+            "alloc", program, "--function", "helper",
+            "--report-json", str(path),
+        ]) == 0
+        report = json.loads(path.read_text())
+        assert report["trace_id"].startswith("run-")
+        assert report["functions"][0]["trace_id"] == \
+            report["trace_id"]

@@ -69,6 +69,10 @@ class TestFingerprint:
         assert config_signature(
             AllocatorConfig(validate=False, collect_report=True)
         ) == base
+        # Caller identity never splits the cache key.
+        assert config_signature(
+            AllocatorConfig(trace_id="req-000042-ff")
+        ) == base
         assert config_signature(
             AllocatorConfig(code_size_weight=1.0)
         ) != base
@@ -295,6 +299,102 @@ class TestResultCache:
         assert len(cache) == 1
         assert cache.clear() == 1
         assert cache.get(record.fingerprint) is None
+
+
+class TestCacheLRUBound:
+    @staticmethod
+    def record(tag: str) -> CacheRecord:
+        return CacheRecord(
+            fingerprint=tag * 32, function=f"f{tag}",
+            status="optimal", free_values={"x": 1}, n_free=1,
+        )
+
+    @staticmethod
+    def age(cache, record, mtime) -> None:
+        """Pin a record's recency (mtime drives LRU order)."""
+        import os
+
+        os.utime(cache.path_for(record.fingerprint), (mtime, mtime))
+
+    def test_eviction_keeps_newest(self, tmp_path):
+        cache = ResultCache(tmp_path, max_entries=2)
+        a, b, c = (self.record(t) for t in "abc")
+        cache.put(a)
+        self.age(cache, a, 1_000_000.0)
+        cache.put(b)
+        self.age(cache, b, 1_000_001.0)
+        cache.put(c)  # over the bound: the oldest (a) is pruned
+        assert len(cache) == 2
+        assert cache.get(a.fingerprint) is None
+        assert cache.get(b.fingerprint) is not None
+        assert cache.get(c.fingerprint) is not None
+        assert snapshot()["engine.cache_evictions"] == 1
+        assert snapshot()["engine.cache_entries"] == 2
+
+    def test_hit_touches_recency(self, tmp_path):
+        cache = ResultCache(tmp_path, max_entries=2)
+        a, b, c = (self.record(t) for t in "abc")
+        cache.put(a)
+        self.age(cache, a, 1_000_000.0)
+        cache.put(b)
+        self.age(cache, b, 1_000_001.0)
+        # A hit refreshes a's mtime, so b is now least recent.
+        assert cache.get(a.fingerprint) is not None
+        cache.put(c)
+        assert cache.get(a.fingerprint) is not None
+        assert cache.get(b.fingerprint) is None
+
+    def test_unbounded_by_default(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_MAX_ENTRIES", raising=False)
+        cache = ResultCache(tmp_path)
+        assert cache.max_entries is None
+        for tag in "abcdef":
+            cache.put(self.record(tag))
+        assert len(cache) == 6
+        assert snapshot().get("engine.cache_evictions", 0) == 0
+
+    def test_env_default(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_MAX_ENTRIES", "3")
+        cache = ResultCache(tmp_path)
+        assert cache.max_entries == 3
+        for i, tag in enumerate("abcde"):
+            record = self.record(tag)
+            cache.put(record)
+            self.age(cache, record, 1_000_000.0 + i)
+        assert len(cache) == 3
+        # Explicit argument beats the environment.
+        assert ResultCache(tmp_path, max_entries=7).max_entries == 7
+        # Garbage / non-positive values mean unbounded.
+        monkeypatch.setenv("REPRO_CACHE_MAX_ENTRIES", "nope")
+        assert ResultCache(tmp_path).max_entries is None
+        monkeypatch.setenv("REPRO_CACHE_MAX_ENTRIES", "0")
+        assert ResultCache(tmp_path).max_entries is None
+
+    def test_engine_config_passthrough(self, x86, module, tmp_path):
+        engine = AllocationEngine(
+            x86, fast_config(),
+            EngineConfig(
+                cache_dir=str(tmp_path), cache_max_entries=1
+            ),
+        )
+        engine.allocate_module(module)  # several functions, bound 1
+        assert len(engine.cache) == 1
+        assert snapshot()["engine.cache_evictions"] >= 1
+        # Whichever record survived the bound still replays.
+        import json
+
+        record = next(tmp_path.glob("*/*.json"))
+        survivor_name = json.loads(record.read_text())["function"]
+        survivor = next(
+            fn for fn in module if fn.name == survivor_name
+        )
+        warm = AllocationEngine(
+            x86, fast_config(),
+            EngineConfig(
+                cache_dir=str(tmp_path), cache_max_entries=1
+            ),
+        ).allocate(survivor)
+        assert warm.cache_hit
 
 
 class TestDeadlineFallback:

@@ -265,6 +265,27 @@ class TestRunReport:
         assert back.functions[0].model.n_constraints == \
             report.model.n_constraints
 
+    def test_trace_id_stamped_and_round_tripped(self, fn):
+        """A caller identity in the config flows into the function
+        report and survives the JSON round trip (the allocation
+        service and --report-json rely on this for attribution)."""
+        config = AllocatorConfig(
+            collect_report=True, trace_id="req-000001-abc"
+        )
+        alloc = IPAllocator(x86_target(), config).allocate(fn)
+        assert alloc.report.trace_id == "req-000001-abc"
+        report = RunReport(
+            trace_id="req-000001-abc", functions=[alloc.report]
+        )
+        back = RunReport.from_json(report.to_json())
+        assert back.trace_id == "req-000001-abc"
+        assert back.functions[0].trace_id == "req-000001-abc"
+        # Anonymous runs stay anonymous.
+        anon = IPAllocator(
+            x86_target(), AllocatorConfig(collect_report=True)
+        ).allocate(fn)
+        assert anon.report.trace_id == ""
+
     def test_disabled_mode_still_reports_solver_stats(self, fn):
         """collect_report works without enable(): solver stats and the
         cost split come from the result, not the global registry."""
