@@ -29,6 +29,11 @@ and ``--cache [DIR]`` replays previously solved functions from a
 persistent on-disk result cache (default directory ``.repro-cache``,
 LRU-bounded via ``--cache-max-entries`` / ``REPRO_CACHE_MAX_ENTRIES``).
 
+IP models are shrunk by the presolve pipeline before any backend runs;
+``--no-presolve`` (or ``REPRO_PRESOLVE=0``) hands the solver the raw
+model instead.  The flag exists on ``alloc``, ``run``, ``exp``,
+``serve`` (service-wide default) and ``submit`` (per request).
+
 Observability flags (accepted before or after the subcommand):
 
     --stats             print the stats-registry snapshot on exit
@@ -61,6 +66,7 @@ from .engine import DEFAULT_CACHE_DIR, AllocationEngine, EngineConfig
 from .lang import compile_program
 from .obs import FunctionRunReport, RunReport
 from .sim import AllocatedFunction, Interpreter
+from .presolve import presolve_enabled_default
 from .solver import BACKENDS
 from .target import risc_target, x86_target
 
@@ -89,12 +95,20 @@ def _resolve_trace_id(args) -> str:
     return ""
 
 
+def _presolve_setting(args) -> bool:
+    """``--no-presolve`` wins; otherwise the REPRO_PRESOLVE default."""
+    if getattr(args, "no_presolve", False):
+        return False
+    return presolve_enabled_default()
+
+
 def _make_allocator(args, target):
     if args.allocator == "gc":
         return GraphColoringAllocator(target)
     config = AllocatorConfig(
         backend=getattr(args, "backend", "scipy"),
         time_limit=getattr(args, "time_limit", 64.0),
+        presolve=_presolve_setting(args),
         optimize_size_only=getattr(args, "size_only", False),
         collect_report=bool(getattr(args, "report_json", None)),
         trace_id=_resolve_trace_id(args),
@@ -253,6 +267,7 @@ def cmd_experiments(args) -> int:
     target = x86_target()
     config = AllocatorConfig(
         time_limit=args.time_limit,
+        presolve=_presolve_setting(args),
         trace_id=_resolve_trace_id(args),
     )
     if args.bench:
@@ -301,6 +316,7 @@ def cmd_serve(args) -> int:
         default_target=args.target,
         default_time_limit=args.time_limit,
         default_backend=args.backend,
+        default_presolve=_presolve_setting(args),
     )
     server = AllocationServer(config, targets=dict(TARGETS))
 
@@ -352,6 +368,8 @@ def cmd_submit(args) -> int:
                 config["time_limit"] = args.time_limit
             if args.size_only:
                 config["size_only"] = True
+            if args.no_presolve:
+                config["presolve"] = False
             response = client.allocate(
                 source=None if args.ir else text,
                 ir=text if args.ir else None,
@@ -435,6 +453,14 @@ def _add_engine_options(parser) -> None:
     )
 
 
+def _add_presolve_option(parser) -> None:
+    parser.add_argument(
+        "--no-presolve", action="store_true", dest="no_presolve",
+        help="skip the IP model-reduction pipeline (also: "
+             "REPRO_PRESOLVE=0)",
+    )
+
+
 def _add_obs_options(parser, top_level: bool) -> None:
     """Observability flags, valid before or after the subcommand.
 
@@ -484,6 +510,7 @@ def main(argv=None) -> int:
                          default="scipy")
     p_alloc.add_argument("--size-only", action="store_true")
     p_alloc.add_argument("--time-limit", type=float, default=64.0)
+    _add_presolve_option(p_alloc)
     _add_engine_options(p_alloc)
     _add_obs_options(p_alloc, top_level=False)
     p_alloc.set_defaults(func=cmd_alloc)
@@ -499,6 +526,7 @@ def main(argv=None) -> int:
     p_run.add_argument("--backend",
                        choices=sorted(BACKENDS),
                        default="scipy")
+    _add_presolve_option(p_run)
     _add_obs_options(p_run, top_level=False)
     p_run.set_defaults(func=cmd_run)
 
@@ -512,6 +540,7 @@ def main(argv=None) -> int:
         help="run only the named benchmark (repeatable)",
     )
     p_exp.add_argument("--time-limit", type=float, default=64.0)
+    _add_presolve_option(p_exp)
     _add_engine_options(p_exp)
     _add_obs_options(p_exp, top_level=False)
     p_exp.set_defaults(func=cmd_experiments)
@@ -539,6 +568,7 @@ def main(argv=None) -> int:
     p_serve.add_argument("--backend", choices=sorted(BACKENDS),
                          default="scipy")
     p_serve.add_argument("--time-limit", type=float, default=64.0)
+    _add_presolve_option(p_serve)
     _add_engine_options(p_serve)
     _add_obs_options(p_serve, top_level=False)
     p_serve.set_defaults(func=cmd_serve)
@@ -561,6 +591,7 @@ def main(argv=None) -> int:
                           help="(default: the server's)")
     p_submit.add_argument("--time-limit", type=float, default=None)
     p_submit.add_argument("--size-only", action="store_true")
+    _add_presolve_option(p_submit)
     p_submit.add_argument("--ir", action="store_true",
                           help="FILE is printed IR, not mini-C")
     p_submit.add_argument("--deadline", type=float, default=None,

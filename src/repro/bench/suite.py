@@ -68,12 +68,27 @@ class FunctionReport:
     optimal: bool = False
     n_variables: int = 0
     n_constraints: int = 0
+    #: model size after presolve (what the backend actually saw);
+    #: equal to the raw counts when presolve was off or did nothing
+    n_presolved_variables: int = 0
+    n_presolved_constraints: int = 0
     solve_seconds: float = 0.0
     objective: float = 0.0
     #: model-size breakdown by §5 feature class, when collected
     model: ModelStats | None = None
     #: solver statistics (nodes, LP relaxations, incumbents)
     solver: SolverStats | None = None
+
+    def apply_presolve_counts(self) -> None:
+        """Fill the presolved sizes from the solver stats (falling back
+        to the raw counts for direct solves)."""
+        p = self.solver.presolve if self.solver is not None else None
+        if p:
+            self.n_presolved_variables = p.get("post_variables", 0)
+            self.n_presolved_constraints = p.get("post_constraints", 0)
+        else:
+            self.n_presolved_variables = self.n_variables
+            self.n_presolved_constraints = self.n_constraints
 
     @classmethod
     def from_stats(
@@ -100,6 +115,7 @@ class FunctionReport:
             report.objective = solver.objective
             report.solved = solver.status in ("optimal", "feasible")
             report.optimal = solver.status == "optimal"
+        report.apply_presolve_counts()
         return report
 
 
@@ -209,6 +225,7 @@ def run_benchmark(
             a.report.benchmark = bench.name
             report.model = a.report.model
             report.solver = a.report.solver
+        report.apply_presolve_counts()
         if a.succeeded:
             if validate and not config.validate:
                 validate_allocation(a, target)

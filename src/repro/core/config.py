@@ -6,7 +6,9 @@ benchmarks use to measure each irregularity model's contribution.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+
+from ..presolve import presolve_enabled_default
 
 
 @dataclass(slots=True)
@@ -17,6 +19,10 @@ class AllocatorConfig:
     backend: str = "scipy"
     #: per-function solver time limit in seconds (paper: 1024 s)
     time_limit: float = 1024.0
+    #: run the model-reduction pipeline before the backend (semantic
+    #: for fingerprints: reductions change the model the solver sees,
+    #: even though objectives and allocations are equivalent)
+    presolve: bool = field(default_factory=presolve_enabled_default)
 
     #: eq. (1) weight of one byte of code growth (paper: 1000)
     code_size_weight: float = 1000.0

@@ -25,10 +25,18 @@ def solve_allocation(
     limit; the solution (if any) is recorded in the table."""
     with trace_phase("solve", backend=config.backend):
         result = solve(
-            model, backend=config.backend, time_limit=config.time_limit
+            model,
+            backend=config.backend,
+            time_limit=config.time_limit,
+            presolve=config.presolve,
         )
         annotate("status", result.status.value)
         annotate("nodes", result.nodes)
+        if result.presolve is not None:
+            annotate("presolved_vars", result.presolve.post_variables)
+            annotate(
+                "presolved_cons", result.presolve.post_constraints
+            )
     if result.status.has_solution:
         STAT_SOLVED.incr()
         table.set_solution(result)

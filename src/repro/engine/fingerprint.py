@@ -12,7 +12,10 @@ those inputs, so
   or the execution profile changes the key and invalidates the entry.
 
 Config fields that cannot affect the produced allocation (validation
-and report collection) are excluded from the digest.
+and report collection) are excluded from the digest.  The ``presolve``
+toggle *is* semantic and therefore included: presolve changes the model
+the backend sees (and can change which of several equal-cost optima it
+returns), so presolved and direct solves must never share a cache entry.
 """
 
 from __future__ import annotations

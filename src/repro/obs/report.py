@@ -144,6 +144,10 @@ class SolverStats:
     objective: float = 0.0
     #: the solve stopped on its time/node budget (engine TIME_LIMIT)
     timed_out: bool = False
+    #: presolve pre/post sizes and per-pass counts
+    #: (:meth:`repro.presolve.PresolveSummary.to_dict`); None when the
+    #: model went to the backend directly
+    presolve: dict | None = None
 
     @classmethod
     def from_result(cls, result) -> "SolverStats":
@@ -160,6 +164,10 @@ class SolverStats:
                 if result.objective != float("inf") else 0.0
             ),
             timed_out=result.timed_out,
+            presolve=(
+                result.presolve.to_dict()
+                if result.presolve is not None else None
+            ),
         )
 
     def to_dict(self) -> dict:
@@ -172,6 +180,7 @@ class SolverStats:
             "incumbents": [list(i) for i in self.incumbents],
             "objective": self.objective,
             "timed_out": self.timed_out,
+            "presolve": dict(self.presolve) if self.presolve else None,
         }
 
     @classmethod
@@ -185,6 +194,9 @@ class SolverStats:
             incumbents=[tuple(i) for i in d.get("incumbents", [])],
             objective=d.get("objective", 0.0),
             timed_out=bool(d.get("timed_out", False)),
+            presolve=(
+                dict(d["presolve"]) if d.get("presolve") else None
+            ),
         )
 
 
@@ -335,6 +347,13 @@ class RunReport:
             "solve_seconds": 0.0,
             "nodes": 0,
             "lp_relaxations": 0,
+            "n_presolved_variables": 0,
+            "n_presolved_constraints": 0,
+            "presolve_vars_fixed": 0,
+            "presolve_cols_merged": 0,
+            "presolve_cons_dropped": 0,
+            "presolve_components": 0,
+            "presolve_seconds": 0.0,
         }
         for f in self.functions:
             if f.model is not None:
@@ -344,6 +363,23 @@ class RunReport:
                 agg["solve_seconds"] += f.solver.solve_seconds
                 agg["nodes"] += f.solver.nodes
                 agg["lp_relaxations"] += f.solver.lp_relaxations
+                p = f.solver.presolve
+                if p:
+                    agg["n_presolved_variables"] += p.get(
+                        "post_variables", 0
+                    )
+                    agg["n_presolved_constraints"] += p.get(
+                        "post_constraints", 0
+                    )
+                    agg["presolve_vars_fixed"] += p.get("vars_fixed", 0)
+                    agg["presolve_cols_merged"] += p.get(
+                        "cols_merged", 0
+                    )
+                    agg["presolve_cons_dropped"] += p.get(
+                        "cons_dropped", 0
+                    )
+                    agg["presolve_components"] += p.get("components", 0)
+                    agg["presolve_seconds"] += p.get("seconds", 0.0)
         return agg
 
     # -- serialisation ----------------------------------------------------

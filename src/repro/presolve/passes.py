@@ -1,0 +1,333 @@
+"""The reduction passes, over a scratch row/column representation.
+
+The original :class:`~repro.solver.model.IPModel` is never mutated:
+:class:`Reducer` copies the constraints into mutable rows (``{var
+index: coefficient}`` dicts), applies the passes, and hands the
+surviving rows/columns to the pipeline for sub-model construction.
+
+Soundness notes (each pass preserves the optimal objective value and
+maps every reduced solution to a feasible original one):
+
+* **Implication fixing** is standard 0-1 activity propagation: a
+  variable whose 0 or 1 value would push a constraint past its bound
+  even with every other variable at its most favourable value is
+  forced; constraints no assignment can violate are vacuous and drop.
+* **Duplicate-column merge** only collapses variables with *identical*
+  columns that are also pairwise mutually exclusive (certified by a
+  ``<=``/``==`` constraint whose slack cannot absorb two of them).
+  Any solution using a non-representative can then be rewritten to use
+  the cheapest representative without changing any constraint's
+  left-hand side, so fixing the others to 0 keeps an optimal solution.
+* **Dominance** drops a constraint B when a surviving constraint A
+  bounds it term-wise: ``sup{b.x}`` (resp. ``inf``) subject to A and
+  the 0-1 box is within B's right-hand side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..solver.model import InfeasibleModel, IPModel, Sense
+from .config import PresolveConfig
+
+_TOL = 1e-9
+
+
+@dataclass(slots=True)
+class Row:
+    """One live constraint: ``terms`` keyed by original var index."""
+
+    name: str
+    sense: Sense
+    rhs: float
+    terms: dict[int, float]
+
+
+class Reducer:
+    """Mutable working state shared by the passes."""
+
+    def __init__(self, model: IPModel, config: PresolveConfig) -> None:
+        self.model = model
+        self.config = config
+        self.cost = {v.index: v.cost for v in model.variables}
+        self.free: set[int] = {
+            v.index for v in model.variables if v.fixed is None
+        }
+        #: presolve decisions, by original variable index
+        self.fixed: dict[int, int] = {}
+        self.rows: list[Row | None] = []
+        self.rows_of: dict[int, set[int]] = {i: set() for i in self.free}
+        self.vars_fixed = 0
+        self.cols_merged = 0
+        self.cons_dropped = 0
+        #: rows touched by substitution since the last propagation
+        self._dirty: set[int] = set()
+        for con in model.constraints:
+            rid = len(self.rows)
+            terms: dict[int, float] = {}
+            rhs = con.rhs
+            for coef, var in con.terms:
+                if var.fixed is not None:
+                    # Defensive: constraints normally hold only free
+                    # variables (model.fix enforces the ordering).
+                    rhs -= coef * var.fixed
+                    continue
+                terms[var.index] = terms.get(var.index, 0.0) + coef
+            row = Row(name=con.name, sense=con.sense, rhs=rhs,
+                      terms=terms)
+            self.rows.append(row)
+            for i in terms:
+                self.rows_of[i].add(rid)
+
+    # -- primitives ------------------------------------------------------
+
+    def fix(self, index: int, value: int, merged: bool = False) -> None:
+        """Decide an original variable; substitute it out of every row."""
+        prior = self.fixed.get(index)
+        if prior is not None:
+            if prior != value:
+                raise InfeasibleModel(
+                    f"presolve forces variable {index} to both values"
+                )
+            return
+        self.fixed[index] = value
+        self.free.discard(index)
+        if merged:
+            self.cols_merged += 1
+        else:
+            self.vars_fixed += 1
+        for rid in sorted(self.rows_of.pop(index, ())):
+            row = self.rows[rid]
+            if row is None:
+                continue
+            coef = row.terms.pop(index, 0.0)
+            row.rhs -= coef * value
+            self._dirty.add(rid)
+
+    def drop_row(self, rid: int) -> None:
+        row = self.rows[rid]
+        if row is None:
+            return
+        for i in row.terms:
+            self.rows_of[i].discard(rid)
+        self.rows[rid] = None
+        self.cons_dropped += 1
+
+    def live_rows(self):
+        return (
+            (rid, row) for rid, row in enumerate(self.rows)
+            if row is not None
+        )
+
+    # -- pass 1: bound/implication fixing --------------------------------
+
+    def fix_implied(self) -> bool:
+        """Activity propagation to a fixpoint; returns True if anything
+        changed (variables fixed or rows dropped)."""
+        changed = False
+        self._dirty = {rid for rid, _ in self.live_rows()}
+        while self._dirty:
+            rid = min(self._dirty)
+            self._dirty.discard(rid)
+            row = self.rows[rid]
+            if row is None:
+                continue
+            if not row.terms:
+                self._settle_empty(rid, row)
+                changed = True
+                continue
+            changed |= self._propagate_row(rid, row)
+        self._dirty = set()
+        return changed
+
+    def _settle_empty(self, rid: int, row: Row) -> None:
+        ok = {
+            Sense.LE: 0 <= row.rhs + _TOL,
+            Sense.GE: 0 >= row.rhs - _TOL,
+            Sense.EQ: abs(row.rhs) <= _TOL,
+        }[row.sense]
+        if not ok:
+            raise InfeasibleModel(
+                f"presolve: constraint {row.name} unsatisfiable"
+            )
+        self.drop_row(rid)
+
+    def _propagate_row(self, rid: int, row: Row) -> bool:
+        min_act = sum(min(0.0, c) for c in row.terms.values())
+        max_act = sum(max(0.0, c) for c in row.terms.values())
+        sense, rhs = row.sense, row.rhs
+        if sense in (Sense.LE, Sense.EQ) and min_act > rhs + _TOL:
+            raise InfeasibleModel(
+                f"presolve: constraint {row.name} unsatisfiable"
+            )
+        if sense in (Sense.GE, Sense.EQ) and max_act < rhs - _TOL:
+            raise InfeasibleModel(
+                f"presolve: constraint {row.name} unsatisfiable"
+            )
+        vacuous_le = max_act <= rhs + _TOL
+        vacuous_ge = min_act >= rhs - _TOL
+        if (sense is Sense.LE and vacuous_le) \
+                or (sense is Sense.GE and vacuous_ge) \
+                or (sense is Sense.EQ and vacuous_le and vacuous_ge):
+            self.drop_row(rid)
+            return True
+        forced: list[tuple[int, int]] = []
+        for i, c in row.terms.items():
+            if sense in (Sense.LE, Sense.EQ):
+                # With every other variable at its minimum activity,
+                # the unfavourable value of i still overshoots.
+                if c > 0 and min_act + c > rhs + _TOL:
+                    forced.append((i, 0))
+                elif c < 0 and min_act - c > rhs + _TOL:
+                    forced.append((i, 1))
+            if sense in (Sense.GE, Sense.EQ):
+                if c > 0 and max_act - c < rhs - _TOL:
+                    forced.append((i, 1))
+                elif c < 0 and max_act + c < rhs - _TOL:
+                    forced.append((i, 0))
+        for i, value in forced:
+            self.fix(i, value)
+        return bool(forced)
+
+    # -- pass 2: duplicate-column merge ----------------------------------
+
+    def merge_duplicate_columns(self) -> bool:
+        """Collapse identical, mutually-exclusive columns onto their
+        cheapest member; the rest are fixed to 0."""
+        groups: dict[tuple, list[int]] = {}
+        for i in sorted(self.free):
+            rids = self.rows_of.get(i)
+            if not rids:
+                continue  # orphan columns are settled at extraction
+            key = tuple(sorted(
+                (rid, self.rows[rid].terms[i]) for rid in rids
+            ))
+            groups.setdefault(key, []).append(i)
+        changed = False
+        for key, members in sorted(groups.items()):
+            if len(members) < 2:
+                continue
+            if not self._mutually_exclusive(key):
+                continue
+            rep = min(members, key=lambda i: (self.cost[i], i))
+            for i in members:
+                if i != rep:
+                    self.fix(i, 0, merged=True)
+                    changed = True
+        return changed
+
+    def _mutually_exclusive(self, column: tuple) -> bool:
+        """Can two variables sharing this exact column both be 1?  A
+        ``<=``/``==`` row whose slack cannot absorb twice the (shared)
+        coefficient even at minimum activity proves they cannot."""
+        for rid, coef in column:
+            row = self.rows[rid]
+            if row is None or coef <= 0:
+                continue
+            if row.sense is Sense.GE:
+                continue
+            min_act = sum(min(0.0, c) for c in row.terms.values())
+            # The two candidate columns contribute min(0, coef) = 0
+            # each to min_act, so min_act + 2*coef is the least
+            # activity with both set.
+            if min_act + 2 * coef > row.rhs + _TOL:
+                return True
+        return False
+
+    # -- pass 3: dominated/duplicate-constraint elimination ---------------
+
+    def drop_dominated(self) -> bool:
+        changed = False
+        for rid, row in list(self.live_rows()):
+            if self.rows[rid] is None or not row.terms:
+                continue
+            pivot = min(
+                row.terms,
+                key=lambda i: (len(self.rows_of[i]), i),
+            )
+            candidates = self.rows_of[pivot] - {rid}
+            if len(candidates) > self.config.dominance_candidate_limit:
+                continue
+            for other in sorted(candidates):
+                dominator = self.rows[other]
+                if dominator is None:
+                    continue
+                if self._implies(dominator, row):
+                    self.drop_row(rid)
+                    changed = True
+                    break
+        return changed
+
+    @staticmethod
+    def _implies(a: Row, b: Row) -> bool:
+        """Does every 0-1 point satisfying ``a`` satisfy ``b``?
+
+        Term-wise bound: over the 0-1 box, ``b.x - a.x`` is at most
+        ``sum(max(0, b_v - a_v))`` and at least ``sum(min(0, ...))``,
+        so ``a``'s right-hand side plus that slack bounds ``b.x``.
+        """
+        if b.sense is Sense.EQ:
+            return (
+                a.sense is Sense.EQ
+                and abs(a.rhs - b.rhs) <= _TOL
+                and a.terms.keys() == b.terms.keys()
+                and all(
+                    abs(a.terms[i] - b.terms[i]) <= _TOL
+                    for i in b.terms
+                )
+            )
+        support = a.terms.keys() | b.terms.keys()
+        if b.sense is Sense.LE and a.sense in (Sense.LE, Sense.EQ):
+            slack = sum(
+                max(0.0, b.terms.get(i, 0.0) - a.terms.get(i, 0.0))
+                for i in support
+            )
+            return a.rhs + slack <= b.rhs + _TOL
+        if b.sense is Sense.GE and a.sense in (Sense.GE, Sense.EQ):
+            slack = sum(
+                min(0.0, b.terms.get(i, 0.0) - a.terms.get(i, 0.0))
+                for i in support
+            )
+            return a.rhs + slack >= b.rhs - _TOL
+        return False
+
+    # -- extraction -------------------------------------------------------
+
+    def settle_orphans(self) -> None:
+        """Fix free variables that appear in no surviving constraint:
+        nothing restricts them, so their cost sign decides."""
+        for i in sorted(self.free):
+            if not self.rows_of.get(i):
+                self.fix(i, 1 if self.cost[i] < 0 else 0)
+
+    def components(self) -> list[tuple[list[int], list[int]]]:
+        """Connected components of the reduced incidence graph, as
+        (sorted free-variable indices, live row ids in input order)."""
+        parent: dict[int, int] = {i: i for i in self.free}
+
+        def find(i: int) -> int:
+            while parent[i] != i:
+                parent[i] = parent[parent[i]]
+                i = parent[i]
+            return i
+
+        def union(i: int, j: int) -> None:
+            ri, rj = find(i), find(j)
+            if ri != rj:
+                parent[max(ri, rj)] = min(ri, rj)
+
+        for _, row in self.live_rows():
+            ids = list(row.terms)
+            for other in ids[1:]:
+                union(ids[0], other)
+
+        vars_of: dict[int, list[int]] = {}
+        for i in sorted(self.free):
+            vars_of.setdefault(find(i), []).append(i)
+        rows_of: dict[int, list[int]] = {root: [] for root in vars_of}
+        for rid, row in self.live_rows():
+            if row.terms:
+                rows_of[find(next(iter(row.terms)))].append(rid)
+        return [
+            (vars_of[root], rows_of[root]) for root in sorted(vars_of)
+        ]

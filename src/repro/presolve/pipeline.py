@@ -1,0 +1,157 @@
+"""The fixpoint driver: passes iterate until the model stops shrinking.
+
+:func:`presolve_model` is the deterministic, fingerprint-stable entry
+point: given the same model and configuration it always produces the
+same :class:`~repro.presolve.reduction.PresolveReduction` (passes
+iterate rows and columns in index order; no randomness, no hashing of
+ids).  Per-pass work is surfaced through the ``presolve.*`` counters
+in the stats registry and the returned summary.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..obs import define_counter, trace_phase
+from ..solver.model import IPModel
+from .config import PresolveConfig
+from .passes import Reducer
+from .reduction import PresolveReduction, PresolveSummary, SubModel
+
+STAT_RUNS = define_counter(
+    "presolve.runs", "models run through the presolve pipeline"
+)
+STAT_VARS_FIXED = define_counter(
+    "presolve.vars_fixed", "variables fixed by implication/slack"
+)
+STAT_COLS_MERGED = define_counter(
+    "presolve.cols_merged", "duplicate columns merged away"
+)
+STAT_CONS_DROPPED = define_counter(
+    "presolve.cons_dropped", "vacuous/dominated constraints dropped"
+)
+STAT_COMPONENTS = define_counter(
+    "presolve.components", "independent components solved separately"
+)
+STAT_TIME = define_counter(
+    "presolve.time", "seconds spent reducing models"
+)
+STAT_INFEASIBLE = define_counter(
+    "presolve.infeasible", "models presolve proved infeasible"
+)
+
+
+def presolve_model(
+    model: IPModel, config: PresolveConfig | None = None
+) -> PresolveReduction:
+    """Reduce ``model``; never mutates it.
+
+    Raises nothing on infeasibility — the returned reduction carries
+    ``infeasible=True`` instead, so callers uniformly produce an
+    INFEASIBLE solve result.
+    """
+    from ..solver.model import InfeasibleModel
+
+    config = config or PresolveConfig()
+    start = time.perf_counter()
+    STAT_RUNS.incr()
+    reducer = Reducer(model, config)
+    summary = PresolveSummary(
+        pre_variables=len(reducer.free),
+        pre_constraints=sum(
+            1 for _ in reducer.live_rows()
+        ),
+    )
+    reduction = PresolveReduction(original=model, summary=summary)
+    with trace_phase("presolve", model=model.name):
+        try:
+            _run_passes(reducer, config)
+            reducer.settle_orphans()
+            _settle_leftover_empties(reducer)
+        except InfeasibleModel:
+            reduction.infeasible = True
+            STAT_INFEASIBLE.incr()
+    _finish(reducer, config, reduction, summary)
+    summary.seconds = time.perf_counter() - start
+    STAT_VARS_FIXED.add(summary.vars_fixed)
+    STAT_COLS_MERGED.add(summary.cols_merged)
+    STAT_CONS_DROPPED.add(summary.cons_dropped)
+    STAT_COMPONENTS.add(summary.components)
+    STAT_TIME.add(summary.seconds)
+    return reduction
+
+
+def _run_passes(reducer: Reducer, config: PresolveConfig) -> None:
+    for round_ in range(config.max_rounds):
+        changed = False
+        if config.fix_implied:
+            changed |= reducer.fix_implied()
+        if config.merge_duplicate_columns:
+            changed |= reducer.merge_duplicate_columns()
+        if config.drop_dominated:
+            changed |= reducer.drop_dominated()
+        reducer.rounds = round_ + 1
+        if not changed:
+            break
+
+
+def _settle_leftover_empties(reducer: Reducer) -> None:
+    """Rows emptied by substitution must be checked even when the
+    implication pass is disabled — an unsatisfiable empty row means
+    the model is infeasible, a satisfied one is vacuous."""
+    for rid, row in list(reducer.live_rows()):
+        if not row.terms:
+            reducer._settle_empty(rid, row)
+
+
+def _finish(
+    reducer: Reducer,
+    config: PresolveConfig,
+    reduction: PresolveReduction,
+    summary: PresolveSummary,
+) -> None:
+    summary.vars_fixed = reducer.vars_fixed
+    summary.cols_merged = reducer.cols_merged
+    summary.cons_dropped = reducer.cons_dropped
+    summary.rounds = getattr(reducer, "rounds", 0)
+    if reduction.infeasible:
+        return
+    reduction.fixed = dict(reducer.fixed)
+    if config.decompose:
+        components = reducer.components()
+    else:
+        all_vars = sorted(reducer.free)
+        all_rows = [rid for rid, _ in reducer.live_rows()]
+        components = [(all_vars, all_rows)] if all_vars else []
+    for var_ids, row_ids in components:
+        reduction.submodels.append(
+            _build_submodel(reducer, var_ids, row_ids,
+                            len(reduction.submodels))
+        )
+    summary.components = len(reduction.submodels)
+    summary.post_variables = sum(
+        len(sub.var_map) for sub in reduction.submodels
+    )
+    summary.post_constraints = sum(
+        sub.model.n_constraints for sub in reduction.submodels
+    )
+
+
+def _build_submodel(
+    reducer: Reducer, var_ids: list[int], row_ids: list[int], k: int
+) -> SubModel:
+    original = reducer.model
+    sub = IPModel(name=f"{original.name}/presolve{k}")
+    col_of = {}
+    for i in var_ids:
+        var = original.variables[i]
+        col_of[i] = sub.add_var(var.name, var.cost)
+    for rid in row_ids:
+        row = reducer.rows[rid]
+        sub.add_constraint(
+            [(coef, col_of[i]) for i, coef in row.terms.items()],
+            row.sense,
+            row.rhs,
+            name=row.name,
+        )
+    return SubModel(model=sub, var_map=list(var_ids))

@@ -17,7 +17,8 @@ Request shape::
      "deadline": <seconds, wall clock>,          # optional
      "report": true,                             # per-function reports
      "config": {"backend": ..., "time_limit": ...,
-                "size_only": ..., "code_size_weight": ...,
+                "size_only": ..., "presolve": ...,
+                "code_size_weight": ...,
                 "data_size_weight": ...}}        # optional
 
 Response shape::
@@ -70,6 +71,7 @@ CONFIG_FIELDS = {
     "backend": "backend",
     "time_limit": "time_limit",
     "size_only": "optimize_size_only",
+    "presolve": "presolve",
     "code_size_weight": "code_size_weight",
     "data_size_weight": "data_size_weight",
 }
@@ -158,7 +160,7 @@ def request_config(
                     E_BAD_REQUEST, f"config.{key} must be a string"
                 )
             kwargs[field_name] = value
-        elif field_name == "optimize_size_only":
+        elif field_name in ("optimize_size_only", "presolve"):
             kwargs[field_name] = bool(value)
         else:
             try:

@@ -94,6 +94,8 @@ class ServiceConfig:
     default_time_limit: float = 64.0
     #: default solver backend
     default_backend: str = "scipy"
+    #: run the IP presolve pipeline unless a request opts out
+    default_presolve: bool = True
     #: grace given to open connections to flush after drain, seconds
     stop_grace: float = 2.0
 
@@ -277,6 +279,7 @@ class AllocationServer:
         defaults = AllocatorConfig(
             backend=self.config.default_backend,
             time_limit=self.config.default_time_limit,
+            presolve=self.config.default_presolve,
         )
         request = parse_allocate(
             message,

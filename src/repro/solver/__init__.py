@@ -23,8 +23,19 @@ def solve(
     model: IPModel,
     backend: str = "scipy",
     time_limit: float | None = None,
+    presolve=None,
 ) -> SolveResult:
-    """Solve ``model`` with the named backend."""
+    """Solve ``model`` with the named backend.
+
+    ``presolve`` selects the model-reduction pipeline: ``None`` follows
+    the ``REPRO_PRESOLVE`` environment default (on unless set to "0"),
+    a bool forces it on/off, and a
+    :class:`repro.presolve.PresolveConfig` gives full pass control.
+    """
+    # Local import: presolve depends on .model/.result, so a top-level
+    # import here would be circular when repro.presolve loads first.
+    from ..presolve import resolve_presolve_config, solve_reduced
+
     try:
         fn = BACKENDS[backend]
     except KeyError:
@@ -32,6 +43,9 @@ def solve(
             f"unknown solver backend {backend!r}; "
             f"available: {sorted(BACKENDS)}"
         ) from None
+    config = resolve_presolve_config(presolve)
+    if config.enabled:
+        return solve_reduced(model, fn, backend, time_limit, config)
     return fn(model, time_limit=time_limit)
 
 

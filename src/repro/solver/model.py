@@ -75,6 +75,9 @@ class IPModel:
         self.constraints: list[Constraint] = []
         #: constant added to the objective (costs of unavoidable actions)
         self.objective_constant: float = 0.0
+        #: indices of variables that appear (live) in some constraint —
+        #: those can no longer be fixed at build time (see :meth:`fix`)
+        self._constrained: set[int] = set()
 
     # -- construction ---------------------------------------------------
 
@@ -124,6 +127,7 @@ class IPModel:
             rhs=rhs_eff,
         )
         self.constraints.append(constraint)
+        self._constrained.update(v.index for _, v in live)
         return constraint
 
     def fix(self, var: Variable, value: int) -> None:
@@ -131,7 +135,10 @@ class IPModel:
 
         Fixed variables do not reach the solver; their cost (if fixed to
         1) moves into the objective constant.  Must be called before the
-        variable appears in any constraint.
+        variable appears in any constraint: constraints fold fixed
+        variables into their right-hand side at construction, so a late
+        fix would leave stale terms behind and silently corrupt the
+        model.  That ordering is enforced here.
         """
         if value not in (0, 1):
             raise ValueError("0-1 variable can only be fixed to 0 or 1")
@@ -140,6 +147,12 @@ class IPModel:
                 f"variable {var.name} fixed to both values"
             )
         if var.fixed is None:
+            if var.index in self._constrained:
+                raise ValueError(
+                    f"cannot fix {var.name}: it already appears in a "
+                    f"constraint (fix variables before constraining "
+                    f"them)"
+                )
             var.fixed = value
             if value == 1:
                 self.objective_constant += var.cost
@@ -159,17 +172,40 @@ class IPModel:
         return [v for v in self.variables if v.fixed is None]
 
     def evaluate(self, values: dict[int, int]) -> float:
-        """Objective value of a full assignment {var index: 0/1}."""
+        """Objective value of an assignment {var index: 0/1}.
+
+        Indices of fixed variables may be omitted (their fixed value is
+        used) — presolve-reduced solutions naturally cover only the
+        free variables.  A missing *free* index is still an error.
+        """
         total = self.objective_constant
         for v in self.variables:
-            val = v.fixed if v.fixed is not None else values[v.index]
+            val = self._value_of(v, values)
             total += v.cost * val
         return total
 
+    @staticmethod
+    def _value_of(v: Variable, values: dict[int, int]) -> int:
+        val = values.get(v.index)
+        if val is None:
+            if v.fixed is None:
+                raise KeyError(
+                    f"assignment omits free variable {v.name} "
+                    f"(index {v.index})"
+                )
+            val = v.fixed
+        return val
+
     def check(self, values: dict[int, int], tol: float = 1e-6) -> bool:
-        """Is the assignment feasible for every constraint?"""
+        """Is the assignment feasible for every constraint?
+
+        Like :meth:`evaluate`, missing fixed-variable indices are read
+        as their fixed value.
+        """
         for con in self.constraints:
-            lhs = sum(c * values[v.index] for c, v in con.terms)
+            lhs = sum(
+                c * self._value_of(v, values) for c, v in con.terms
+            )
             if con.sense is Sense.LE and lhs > con.rhs + tol:
                 return False
             if con.sense is Sense.GE and lhs < con.rhs - tol:

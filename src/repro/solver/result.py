@@ -42,6 +42,10 @@ class SolveResult:
     #: proving optimality/infeasibility — a FEASIBLE result with this
     #: set is the paper's "accept the incumbent on TIME_LIMIT" case
     timed_out: bool = False
+    #: :class:`repro.presolve.PresolveSummary` when the model went
+    #: through the reduction pipeline; None for a direct backend solve.
+    #: (Typed loosely to keep the solver layer import-cycle free.)
+    presolve: object | None = None
 
     def value(self, var) -> int:
         return self.values[var.index]

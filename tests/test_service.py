@@ -210,6 +210,28 @@ class TestAllocate:
             )
         assert resp["result"]["functions"][0]["status"] == "optimal"
 
+    def test_per_request_presolve_toggle(self, make_server):
+        handle = make_server()
+        with client_for(handle) as client:
+            on = ServiceClient.check(
+                client.allocate(source=OTHER_SOURCE, report=True)
+            )
+            off = ServiceClient.check(
+                client.allocate(
+                    source=OTHER_SOURCE, report=True,
+                    config={"presolve": False},
+                )
+            )
+        on_fn = on["result"]["functions"][0]
+        off_fn = off["result"]["functions"][0]
+        assert on_fn["status"] == off_fn["status"] == "optimal"
+        assert on_fn["report"]["solver"]["presolve"] is not None
+        assert off_fn["report"]["solver"]["presolve"] is None
+        # presolve must not change what the service hands back
+        assert on_fn["report"]["solver"]["objective"] == pytest.approx(
+            off_fn["report"]["solver"]["objective"]
+        )
+
     def test_report_carries_trace_id(self, make_server):
         handle = make_server()
         with client_for(handle) as client:

@@ -77,6 +77,56 @@ class TestModel:
         values[xs[2].index] = 1
         assert not m.check(values)  # weight 9 > 5
 
+    def test_fix_after_constraining_raises(self):
+        # Regression: fixing a variable that already appears in a
+        # constraint used to silently leave the stale coefficient in
+        # place, corrupting the constraint.
+        m = IPModel()
+        x = m.add_var("x")
+        y = m.add_var("y")
+        con = m.add_constraint([(1, x), (1, y)], Sense.LE, 1, "c")
+        with pytest.raises(ValueError, match="already appears"):
+            m.fix(x, 1)
+        # the constraint is untouched by the failed fix
+        assert [(c, v.name) for c, v in con.terms] == \
+            [(1, "x"), (1, "y")]
+        assert con.rhs == 1
+
+    def test_refix_same_value_allowed_after_constraining(self):
+        # Re-fixing to the already-fixed value is a no-op, not an
+        # ordering violation.
+        m = IPModel()
+        x = m.add_var("x")
+        y = m.add_var("y")
+        m.fix(x, 1)
+        m.add_constraint([(1, x), (1, y)], Sense.LE, 1, "c")
+        m.fix(x, 1)
+        with pytest.raises(InfeasibleModel):
+            m.fix(x, 0)
+
+    def test_evaluate_and_check_tolerate_omitted_fixed_indices(self):
+        # Regression: assignments covering only the free variables
+        # used to raise KeyError on models with build-time fixings.
+        m = IPModel()
+        x = m.add_var("x", 3.0)
+        y = m.add_var("y", 5.0)
+        m.fix(x, 1)
+        m.add_constraint([(1, x), (1, y)], Sense.LE, 1, "c")
+        free_only = {y.index: 0}
+        assert m.check(free_only)
+        # an omitted fixed index behaves exactly like supplying the
+        # fixed value explicitly
+        full = {x.index: 1, y.index: 0}
+        assert m.evaluate(free_only) == m.evaluate(full)
+        assert m.check(free_only) == m.check(full)
+        assert not m.check({y.index: 1})
+
+    def test_evaluate_missing_free_variable_still_raises(self):
+        m = IPModel()
+        m.add_var("x", 1.0)
+        with pytest.raises(KeyError):
+            m.evaluate({})
+
 
 class TestBackends:
     @pytest.mark.parametrize("backend", ["scipy", "branch-bound"])

@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""CI gate: presolved and direct solves must agree exactly.
+
+Usage::
+
+    python tools/check_presolve_parity.py WITH.json WITHOUT.json
+
+``WITH.json`` / ``WITHOUT.json`` are run reports produced by
+``python -m repro exp ... --report-json`` with presolve on and off
+(``--no-presolve``).  The gate fails unless
+
+* every function appears in both reports with the same solve status,
+* objectives match to a relative tolerance (presolve must not change
+  what "optimal" means),
+* the presolved run actually reduced something (nonzero
+  ``presolve.cons_dropped``), and
+* every presolved function records pre/post model sizes.
+
+Exit code 0 on parity, 1 with a diagnostic on any mismatch.
+"""
+
+import json
+import sys
+
+REL_TOL = 1e-6
+
+
+def load(path):
+    with open(path) as handle:
+        report = json.load(handle)
+    out = {}
+    for fn in report.get("functions", []):
+        solver = fn.get("solver") or {}
+        key = (fn.get("benchmark", ""), fn["function"])
+        out[key] = {
+            "status": solver.get("status", fn.get("status", "")),
+            "objective": solver.get("objective"),
+            "presolve": solver.get("presolve"),
+        }
+    return report, out
+
+
+def close(a, b):
+    if a is None or b is None:
+        return a == b
+    return abs(a - b) <= REL_TOL * max(1.0, abs(a), abs(b))
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with_report, with_fns = load(argv[1])
+    _, without_fns = load(argv[2])
+    failures = []
+
+    if set(with_fns) != set(without_fns):
+        failures.append(
+            f"function sets differ: "
+            f"{sorted(set(with_fns) ^ set(without_fns))}"
+        )
+    for key in sorted(set(with_fns) & set(without_fns)):
+        w, wo = with_fns[key], without_fns[key]
+        name = "/".join(filter(None, key))
+        if w["status"] != wo["status"]:
+            failures.append(
+                f"{name}: status {wo['status']} -> {w['status']} "
+                f"with presolve"
+            )
+            continue
+        if not close(w["objective"], wo["objective"]):
+            failures.append(
+                f"{name}: objective {wo['objective']} -> "
+                f"{w['objective']} with presolve"
+            )
+        if wo["presolve"] is not None:
+            failures.append(
+                f"{name}: --no-presolve run still carries presolve "
+                f"stats"
+            )
+        p = w["presolve"]
+        if p is None:
+            failures.append(f"{name}: presolved run has no presolve "
+                            f"stats")
+        elif not all(
+            k in p for k in ("pre_variables", "pre_constraints",
+                             "post_variables", "post_constraints")
+        ):
+            failures.append(f"{name}: presolve stats miss pre/post "
+                            f"model sizes: {sorted(p)}")
+
+    totals = with_report.get("totals", {})
+    dropped = totals.get("presolve_cons_dropped", 0)
+    if not dropped:
+        failures.append(
+            "presolve dropped no constraints across the whole run "
+            f"(totals: {totals})"
+        )
+
+    if failures:
+        print("presolve parity check FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    n = len(with_fns)
+    print(
+        f"presolve parity OK: {n} functions, objectives identical, "
+        f"{dropped:.0f} constraints dropped, "
+        f"{totals.get('n_constraints', 0)} -> "
+        f"{totals.get('n_presolved_constraints', 0)} constraints, "
+        f"{totals.get('n_variables', 0)} -> "
+        f"{totals.get('n_presolved_variables', 0)} variables"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
