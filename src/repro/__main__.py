@@ -12,7 +12,9 @@
                           [--max-in-flight N] [--jobs N]
                           [--cache [DIR]]
     python -m repro submit FILE.c [--port P] [--deadline S]
-                                  [--verb allocate|status|stats|drain]
+                                  [--tenant NAME]
+                                  [--verb allocate|status|stats|ping
+                                         |health|cancel|drain]
 
 ``alloc`` compiles a mini-C file, allocates one or all functions, and
 prints the rewritten code with register assignments.  ``run`` executes
@@ -46,6 +48,12 @@ Observability flags (accepted before or after the subcommand):
 
 Setting ``REPRO_TRACE=1`` in the environment is equivalent to passing
 both ``--stats`` and ``--trace``.
+
+Fault injection: ``--faults SPEC`` (on ``alloc``, ``run``, ``exp`` and
+``serve``) installs a deterministic fault plan — equivalent to setting
+``REPRO_FAULTS`` — e.g. ``--faults 'seed=7;worker_crash=0.25'``.  See
+:mod:`repro.faults` for the spec grammar and the list of injection
+sites.
 """
 
 from __future__ import annotations
@@ -317,7 +325,10 @@ def cmd_serve(args) -> int:
         default_time_limit=args.time_limit,
         default_backend=args.backend,
         default_presolve=_presolve_setting(args),
+        faults=getattr(args, "faults", None),
     )
+    if args.max_request_bytes is not None:
+        config.max_request_bytes = args.max_request_bytes
     server = AllocationServer(config, targets=dict(TARGETS))
 
     async def _run() -> None:
@@ -379,7 +390,14 @@ def cmd_submit(args) -> int:
                 deadline=args.deadline,
                 report=bool(getattr(args, "report_json", None)),
                 trace_id=getattr(args, "trace_id", None),
+                tenant=args.tenant,
             )
+        elif args.verb == "cancel":
+            if not args.request:
+                print("error: cancel needs --request REF",
+                      file=sys.stderr)
+                return 2
+            response = client.cancel(args.request)
         else:
             response = getattr(client, args.verb)()
     if args.json:
@@ -461,6 +479,15 @@ def _add_presolve_option(parser) -> None:
     )
 
 
+def _add_faults_option(parser) -> None:
+    parser.add_argument(
+        "--faults", metavar="SPEC", default=None,
+        help="deterministic fault-injection plan, e.g. "
+             "'seed=7;worker_crash=0.25;cache_corrupt=1.0:2' "
+             "(also: REPRO_FAULTS)",
+    )
+
+
 def _add_obs_options(parser, top_level: bool) -> None:
     """Observability flags, valid before or after the subcommand.
 
@@ -511,6 +538,7 @@ def main(argv=None) -> int:
     p_alloc.add_argument("--size-only", action="store_true")
     p_alloc.add_argument("--time-limit", type=float, default=64.0)
     _add_presolve_option(p_alloc)
+    _add_faults_option(p_alloc)
     _add_engine_options(p_alloc)
     _add_obs_options(p_alloc, top_level=False)
     p_alloc.set_defaults(func=cmd_alloc)
@@ -527,6 +555,7 @@ def main(argv=None) -> int:
                        choices=sorted(BACKENDS),
                        default="scipy")
     _add_presolve_option(p_run)
+    _add_faults_option(p_run)
     _add_obs_options(p_run, top_level=False)
     p_run.set_defaults(func=cmd_run)
 
@@ -541,6 +570,7 @@ def main(argv=None) -> int:
     )
     p_exp.add_argument("--time-limit", type=float, default=64.0)
     _add_presolve_option(p_exp)
+    _add_faults_option(p_exp)
     _add_engine_options(p_exp)
     _add_obs_options(p_exp, top_level=False)
     p_exp.set_defaults(func=cmd_experiments)
@@ -561,6 +591,11 @@ def main(argv=None) -> int:
     p_serve.add_argument("--max-batch", type=int, default=8,
                          metavar="N",
                          help="most requests one solver batch carries")
+    p_serve.add_argument("--max-request-bytes", type=int, default=None,
+                         metavar="N",
+                         help="reject longer request lines with "
+                              "'too_large' (default: the protocol "
+                              "line limit)")
     p_serve.add_argument("--target", choices=sorted(TARGETS),
                          default="x86",
                          help="target assumed when a request names "
@@ -569,6 +604,7 @@ def main(argv=None) -> int:
                          default="scipy")
     p_serve.add_argument("--time-limit", type=float, default=64.0)
     _add_presolve_option(p_serve)
+    _add_faults_option(p_serve)
     _add_engine_options(p_serve)
     _add_obs_options(p_serve, top_level=False)
     p_serve.set_defaults(func=cmd_serve)
@@ -579,7 +615,8 @@ def main(argv=None) -> int:
     p_submit.add_argument("file", nargs="?", default=None)
     p_submit.add_argument("--verb", default="allocate",
                           choices=("allocate", "status", "stats",
-                                   "ping", "drain"))
+                                   "ping", "health", "cancel",
+                                   "drain"))
     p_submit.add_argument("--host", default="127.0.0.1")
     p_submit.add_argument("--port", type=int, default=8753)
     p_submit.add_argument("--function", default=None)
@@ -598,6 +635,12 @@ def main(argv=None) -> int:
                           metavar="S",
                           help="wall-clock budget; an expired request "
                                "degrades to the baseline")
+    p_submit.add_argument("--tenant", default=None,
+                          help="tenant tag for fair queueing and "
+                               "per-tenant size limits")
+    p_submit.add_argument("--request", default=None, metavar="REF",
+                          help="trace_id or id to cancel "
+                               "(with --verb cancel)")
     p_submit.add_argument("--timeout", type=float, default=300.0,
                           help="client socket timeout")
     p_submit.add_argument("--connect-retries", type=int, default=0,
@@ -609,6 +652,13 @@ def main(argv=None) -> int:
     p_submit.set_defaults(func=cmd_submit)
 
     args = parser.parse_args(argv)
+    if getattr(args, "faults", None):
+        from .faults import set_injector
+
+        try:
+            set_injector(args.faults)
+        except ValueError as exc:
+            parser.error(f"--faults: {exc}")
     # REPRO_TRACE=1 behaves like passing --stats --trace.
     env_on = os.environ.get("REPRO_TRACE", "0") not in ("", "0")
     show_stats = args.stats or env_on

@@ -136,9 +136,13 @@ def _apply_family_rules(fn, instr, rules, classes) -> list[Instr]:
         rule = rules.src_rules[k]
         if rule.families is not None:
             # Tied sources rewritten to dst in step 1 are handled through
-            # the dst rule; all family-constrained positions here are
-            # plain uses.
-            if src == instr.dst:
+            # the dst rule.  The skip only applies to real two-address
+            # ties: for DIV/MOD (not two-address) a source that merely
+            # coincides with dst (``p = p / q``) still needs its own
+            # family-constrained temporary, because the dst rule below
+            # rewrites dst to a fresh vreg and would leave this use
+            # unconstrained.
+            if rules.two_address and src == instr.dst:
                 continue
             tmp = fn.new_vreg(f"{src.name}.cc", src.type)
             classes.require(tmp.name, rule.families)

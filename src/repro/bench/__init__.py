@@ -38,6 +38,7 @@ from .tables import (
     table1_rows,
     table2_rows,
     table3,
+    table_summaries,
 )
 from .workloads import (
     ALL_BENCHMARKS,
@@ -81,4 +82,5 @@ __all__ = [
     "table1_rows",
     "table2_rows",
     "table3",
+    "table_summaries",
 ]

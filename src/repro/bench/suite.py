@@ -305,12 +305,16 @@ def suite_report(
     per-function reports; the rest contribute rows rebuilt from their
     flat measurements, so the report is always complete.
     """
+    # Lazy import: tables.py imports from this module.
+    from .tables import table_summaries
+
     report = RunReport(
         target=getattr(target, "name", "") if target else "",
         backend=config.backend if config else "",
         command="run_suite",
         trace_id=getattr(config, "trace_id", "") if config else "",
         counters=snapshot(),
+        tables=table_summaries(suite),
     )
     for bench_result in suite.results:
         for f in bench_result.functions:

@@ -130,3 +130,52 @@ def render_table3(suite: SuiteResult) -> str:
         f"(paper: 551M vs 1410M -> 61%)"
     )
     return "\n".join(lines)
+
+
+# -- machine-readable summaries -------------------------------------------
+
+def table_summaries(suite: SuiteResult) -> dict:
+    """Table 2/3 as plain data, for run reports and regression gating.
+
+    The result lands in :attr:`repro.obs.RunReport.tables` when a
+    suite runs with ``--report-json``;
+    ``tools/check_table_regression.py`` compares it against recorded
+    tolerances so a change that quietly stops solving functions (or
+    inflates spill overhead) fails CI instead of shipping.
+    """
+    t2 = table2_rows(suite)
+    body = t2[:-1]  # drop the synthetic "Total" row from the ratios
+    attempted = sum(r.attempted for r in body)
+    solved = sum(r.solved for r in body)
+    optimal = sum(r.optimal for r in body)
+    t3 = table3(suite)
+    total = t3.total_row
+    return {
+        "table2": {
+            "rows": [
+                {
+                    "benchmark": r.benchmark,
+                    "total": r.total,
+                    "attempted": r.attempted,
+                    "solved": r.solved,
+                    "optimal": r.optimal,
+                }
+                for r in t2
+            ],
+            "solved_pct": (
+                100.0 * solved / attempted if attempted else 0.0
+            ),
+            "optimal_pct": (
+                100.0 * optimal / attempted if attempted else 0.0
+            ),
+        },
+        "table3": {
+            "rows": [
+                {"name": row.name, "ip": row.ip, "gc": row.gc}
+                for row in t3.rows
+            ] + [{"name": total.name, "ip": total.ip, "gc": total.gc}],
+            "ip_cycle_overhead": t3.ip_cycle_overhead,
+            "gc_cycle_overhead": t3.gc_cycle_overhead,
+            "overhead_reduction": t3.overhead_reduction,
+        },
+    }

@@ -29,6 +29,7 @@ thread-safe; cross-process safety comes from the atomic writes.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import tempfile
@@ -37,10 +38,16 @@ import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from ..faults import SITE_CACHE_CORRUPT, SITE_CACHE_IO, should_fire
 from ..obs import define_counter, define_gauge
 
 #: cache record schema version; bump to invalidate all existing records
-CACHE_VERSION = 1
+#: (2: added the ``sha256`` payload checksum to the envelope)
+CACHE_VERSION = 2
+
+#: corrupt records are moved here (with a ``.bad`` suffix, so the
+#: record globs never see them) instead of being re-parsed forever
+QUARANTINE_DIR = "quarantine"
 
 #: environment variable supplying the default ``max_entries``
 CACHE_MAX_ENTRIES_ENV = "REPRO_CACHE_MAX_ENTRIES"
@@ -51,6 +58,17 @@ STAT_EVICTIONS = define_counter(
 STAT_ENTRIES = define_gauge(
     "engine.cache_entries", "records currently in the result cache"
 )
+STAT_CORRUPT = define_counter(
+    "engine.cache_corrupt",
+    "corrupt cache records quarantined on load",
+)
+
+
+def _payload_checksum(d: dict) -> str:
+    """sha256 over the canonical JSON of everything but the checksum."""
+    payload = {k: v for k, v in d.items() if k != "sha256"}
+    canon = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canon.encode()).hexdigest()
 
 
 def default_max_entries() -> int | None:
@@ -85,7 +103,7 @@ class CacheRecord:
     created: float = 0.0
 
     def to_dict(self) -> dict:
-        return {
+        d = {
             "version": CACHE_VERSION,
             "fingerprint": self.fingerprint,
             "function": self.function,
@@ -100,6 +118,8 @@ class CacheRecord:
             "timed_out": self.timed_out,
             "created": self.created,
         }
+        d["sha256"] = _payload_checksum(d)
+        return d
 
     @classmethod
     def from_dict(cls, d: dict) -> "CacheRecord | None":
@@ -158,16 +178,36 @@ class ResultCache:
         """Load a record, or ``None`` on miss/corruption/version skew.
 
         A hit touches the record file (LRU touch-on-hit), so recently
-        replayed entries outlive cold ones under pruning.
+        replayed entries outlive cold ones under pruning.  Undecodable
+        or checksum-failing records are quarantined (moved aside and
+        counted in ``engine.cache_corrupt``) so a persistently corrupt
+        file is never re-parsed on every lookup.
         """
         path = self.path_for(fingerprint)
         try:
+            if should_fire(SITE_CACHE_IO, fingerprint):
+                raise OSError("injected cache I/O error")
             text = path.read_text()
         except OSError:
             return None
+        if should_fire(SITE_CACHE_CORRUPT, fingerprint):
+            # Garble the on-disk bytes we just read so the *real*
+            # corruption handling below runs against this record.
+            text = text[: len(text) // 2] + "\x00#corrupt#"
         try:
             data = json.loads(text)
         except json.JSONDecodeError:
+            self._quarantine(path)
+            return None
+        if not isinstance(data, dict):
+            self._quarantine(path)
+            return None
+        if data.get("version") != CACHE_VERSION:
+            # Old schema, not corruption: a plain miss (the following
+            # put overwrites it with a current record).
+            return None
+        if data.get("sha256") != _payload_checksum(data):
+            self._quarantine(path)
             return None
         record = CacheRecord.from_dict(data)
         if record is None or record.fingerprint != fingerprint:
@@ -177,6 +217,22 @@ class ResultCache:
         except OSError:
             pass
         return record
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt record out of the cache tree."""
+        STAT_CORRUPT.incr()
+        qdir = self.root / QUARANTINE_DIR
+        try:
+            qdir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, qdir / (path.name + ".bad"))
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                return
+        with self._lock:
+            if self._count is not None and self._count > 0:
+                self._count -= 1
 
     def put(self, record: CacheRecord) -> None:
         """Atomically persist a record (best-effort: IO errors are
@@ -188,6 +244,8 @@ class ResultCache:
         with self._lock:
             fresh = not path.exists()
             try:
+                if should_fire(SITE_CACHE_IO, record.fingerprint):
+                    raise OSError("injected cache I/O error")
                 path.parent.mkdir(parents=True, exist_ok=True)
                 fd, tmp = tempfile.mkstemp(
                     dir=path.parent, prefix=".tmp-", suffix=".json"

@@ -34,19 +34,38 @@ from __future__ import annotations
 import math
 import os
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass, field
 
-from ..allocation import Allocation
+from ..allocation import Allocation, AllocationError
 from ..analysis import ExecutionFrequencies, static_frequencies
 from ..core import AllocatorConfig, IPAllocator
+from ..core.rewrite_module import RewriteError
 from ..core.solver_module import solve_allocation
+from ..faults import (
+    SITE_WORKER_CRASH,
+    SITE_WORKER_HANG,
+    CircuitOpenError,
+    InjectedFault,
+    RetryPolicy,
+    current_spec,
+    get_injector,
+    set_injector,
+    should_fire,
+    strict_enabled,
+)
 from ..ir import Function, clone_function, format_function
 from ..lowering import lower_for_target
 from ..obs import (
     REGISTRY,
     Span,
     capture,
+    counter,
     define_counter,
     set_stats_enabled,
     snapshot,
@@ -54,6 +73,7 @@ from ..obs import (
     trace_phase,
 )
 from ..solver import SolveResult, SolveStatus
+from ..solver.model import InfeasibleModel
 from ..target import TargetMachine
 from .cache import CacheRecord, ResultCache
 from .fingerprint import allocation_fingerprint
@@ -83,8 +103,33 @@ STAT_SERIAL = define_counter(
     "engine.serial_solves", "solves run in the engine's own process"
 )
 STAT_RETRIES = define_counter(
-    "engine.retries", "in-process retries after a worker failure"
+    "engine.retries", "solve resubmissions after a worker failure"
 )
+
+#: Failure classes that may legitimately degrade to the baseline even
+#: under ``REPRO_STRICT=1``.  Anything outside this set reaching a
+#: degrade path is a bug being hidden, which strict mode surfaces.
+DEGRADABLE_FAILURES = (
+    AllocationError,
+    RewriteError,
+    InfeasibleModel,
+    CircuitOpenError,
+    InjectedFault,
+    BrokenExecutor,
+    TimeoutError,
+    OSError,
+    MemoryError,
+)
+
+#: How a worker crash surfaces on ``future.result()`` / ``submit()``:
+#: the pool breaks (``BrokenProcessPool``) or the OS refuses resources.
+_POOL_FAILURES = (BrokenExecutor, OSError)
+
+
+def _note_degradation(exc: BaseException) -> None:
+    """Record which exception class forced a degrade path."""
+    counter(f"engine.degradations.{type(exc).__name__}").incr()
+    counter("resilience.degradations").incr()
 
 
 @dataclass(slots=True)
@@ -100,8 +145,11 @@ class EngineConfig:
     deadline_grace: float = 30.0
     #: degrade failed functions to the graph-coloring baseline
     fallback: bool = True
-    #: in-process retries when a worker process dies mid-solve
-    retries: int = 1
+    #: in-process retries when a worker process dies mid-solve.  One
+    #: crash breaks the whole pool, so every in-flight job becomes a
+    #: casualty of it; three attempts keep innocent-bystander jobs
+    #: from degrading under modest fault rates.
+    retries: int = 3
     #: LRU bound on the persistent result cache (None: the
     #: ``REPRO_CACHE_MAX_ENTRIES`` environment default, else unbounded)
     cache_max_entries: int | None = None
@@ -186,6 +234,12 @@ class _WorkerPayload:
     config: AllocatorConfig
     fingerprint: str
     capture_spans: bool
+    #: fault-plan spec the worker installs (workers don't share the
+    #: parent's injector object, only its configuration)
+    faults: str = ""
+    #: which resubmission this is — part of the fault-decision key, so
+    #: an injected crash doesn't deterministically re-fire on retry
+    attempt: int = 0
 
 
 @dataclass(slots=True)
@@ -255,6 +309,16 @@ def _worker_solve(payload: _WorkerPayload) -> _WorkerReturn:
     # parent's flag; the parent merges them (gated on its own flag).
     set_stats_enabled(True)
     before = snapshot()
+    inj = get_injector()
+    if inj.spec != payload.faults:
+        # Install the parent's plan (budgets stay per worker process).
+        inj = set_injector(payload.faults)
+    if inj.should_fire(SITE_WORKER_CRASH, payload.fingerprint,
+                       payload.attempt):
+        os._exit(3)  # hard crash: the parent sees a broken pool
+    if inj.should_fire(SITE_WORKER_HANG, payload.fingerprint,
+                       payload.attempt):
+        time.sleep(inj.plan.hang_seconds)
     alloc = model = result = None
     spans: list[Span] = []
     error = ""
@@ -270,7 +334,13 @@ def _worker_solve(payload: _WorkerPayload) -> _WorkerReturn:
             alloc, model, result = _run_pipeline(
                 payload.target, payload.config, payload.fn, payload.freq
             )
-    except Exception as exc:  # degrade, never abort the run
+    except DEGRADABLE_FAILURES as exc:  # expected: degrade, count it
+        _note_degradation(exc)
+        error = f"{type(exc).__name__}: {exc}"
+    except Exception as exc:  # unexpected: hide only in lax mode
+        _note_degradation(exc)
+        if strict_enabled():
+            raise
         error = f"{type(exc).__name__}: {exc}"
     after = snapshot()
     counters = {
@@ -307,11 +377,16 @@ class AllocationEngine:
         *,
         cache: ResultCache | None = None,
         executor: ProcessPoolExecutor | None = None,
+        executor_respawn=None,
     ) -> None:
         """``cache`` and ``executor``, when given, are externally owned
         and shared: the engine uses them but never shuts them down.
         The allocation service passes both so every request of a server
-        lifetime reuses one process pool and one result cache."""
+        lifetime reuses one process pool and one result cache.
+        ``executor_respawn``, for shared pools, is a callable the owner
+        provides to replace a broken pool: it receives the executor
+        that broke and returns the replacement (or None if replacement
+        is impossible)."""
         self.target = target
         self.config = config or AllocatorConfig()
         self.engine_config = engine_config or EngineConfig()
@@ -326,6 +401,7 @@ class AllocationEngine:
                 if self.engine_config.cache_dir else None
             )
         self._shared_executor = executor
+        self._executor_respawn = executor_respawn
 
     # -- public API ------------------------------------------------------
 
@@ -498,7 +574,13 @@ class AllocationEngine:
             attempt, model, result = _run_pipeline(
                 self.target, self.config, job.fn, job.freq
             )
-        except Exception:  # degrade, never abort the run
+        except DEGRADABLE_FAILURES as exc:  # expected: degrade, count it
+            _note_degradation(exc)
+            attempt = None
+        except Exception as exc:  # unexpected: hide only in lax mode
+            _note_degradation(exc)
+            if strict_enabled():
+                raise
             attempt = None
         timed_out = bool(result is not None and result.timed_out)
         if timed_out:
@@ -521,13 +603,24 @@ class AllocationEngine:
         baseline,
         engine_span,
     ) -> None:
-        """Fan the pending solves across a process pool."""
+        """Fan the pending solves across a process pool.
+
+        Worker crashes break the whole pool, so retries run in waves:
+        submit everything, drain, collect the crash casualties, back
+        off, respawn the pool, resubmit the casualties with a bumped
+        ``attempt`` (part of the fault-decision key).  After
+        ``retries`` resubmissions a casualty gets one in-process
+        attempt (:meth:`_final_attempt`); only a solve that still
+        fails there degrades to the baseline, counted — never an
+        unhandled exception.
+        """
         ec = self.engine_config
         workers = min(ec.jobs, len(jobs))
         collect = self.config.collect_report
         capture_spans = trace_enabled() and not collect
-        shared = self._shared_executor is not None
-        if shared:
+        faults_spec = current_spec()
+        retry = RetryPolicy(max_retries=ec.retries)
+        if self._shared_executor is not None:
             executor = self._shared_executor
         else:
             try:
@@ -541,30 +634,107 @@ class AllocationEngine:
                     )
                 return
         try:
-            future_of = {}
-            for job in jobs:
-                payload = _WorkerPayload(
-                    fn=job.fn,
-                    freq=job.freq,
-                    target=self.target,
-                    config=self.config,
-                    fingerprint=job.fingerprint,
-                    capture_spans=capture_spans or collect,
-                )
-                try:
-                    future = executor.submit(_worker_solve, payload)
-                except (RuntimeError, OSError):
-                    # Pool broken or shut down under us: finish the
-                    # remaining functions in this process.
-                    outcomes[job.fn.name] = self._solve_local(
-                        job, baseline
+            wave = [(job, 0) for job in jobs]
+            while wave:
+                future_of = {}
+                crashed: list[tuple[_Job, int, BaseException]] = []
+                for job, attempt in wave:
+                    payload = _WorkerPayload(
+                        fn=job.fn,
+                        freq=job.freq,
+                        target=self.target,
+                        config=self.config,
+                        fingerprint=job.fingerprint,
+                        capture_spans=capture_spans or collect,
+                        faults=faults_spec,
+                        attempt=attempt,
                     )
-                    continue
-                future_of[future] = job
-            self._drain(future_of, outcomes, baseline, engine_span)
+                    try:
+                        future = executor.submit(_worker_solve, payload)
+                    except (RuntimeError, OSError) as exc:
+                        # Pool broken or shut down under us.
+                        crashed.append((job, attempt, exc))
+                        continue
+                    future_of[future] = (job, attempt)
+                crashed.extend(
+                    self._drain(future_of, outcomes, baseline,
+                                engine_span)
+                )
+                wave = []
+                for job, attempt, exc in crashed:
+                    counter("resilience.worker_crashes").incr()
+                    if attempt < ec.retries:
+                        STAT_RETRIES.incr()
+                        wave.append((job, attempt + 1))
+                        continue
+                    counter("resilience.gave_up").incr()
+                    if strict_enabled() and \
+                            not isinstance(exc, DEGRADABLE_FAILURES):
+                        raise exc
+                    outcomes[job.fn.name] = self._final_attempt(
+                        job, attempt, baseline
+                    )
+                if wave:
+                    retry.sleep(
+                        wave[0][1] - 1, salt=wave[0][0].fingerprint
+                    )
+                    executor = self._respawn_executor(executor, workers)
+                    if executor is None:
+                        # No pool to retry in: finish the casualties in
+                        # this process instead.
+                        for job, attempt in wave:
+                            outcomes[job.fn.name] = self._solve_local(
+                                job, baseline
+                            )
+                        wave = []
         finally:
-            if not shared:
+            if self._shared_executor is None and executor is not None:
                 executor.shutdown(wait=False, cancel_futures=True)
+
+    def _final_attempt(
+        self, job: _Job, attempt: int, baseline
+    ) -> EngineOutcome:
+        """Last resort for a job whose pool retries are exhausted: one
+        in-process solve.  A pool crash takes every in-flight job down
+        with it, so most jobs that reach here only ever died as
+        casualties of a neighbour's crash — they recover to the exact
+        allocation a clean run produces.  A job whose own solve keeps
+        killing workers fires the same injected decision here (as a
+        catchable fault now, not a process death) and degrades to the
+        baseline with a counted degradation.
+        """
+        if should_fire(SITE_WORKER_CRASH, job.fingerprint, attempt + 1):
+            _note_degradation(
+                InjectedFault(SITE_WORKER_CRASH, job.fingerprint)
+            )
+            return self._finish(
+                job, self._failed_allocation(job), False, 0, baseline
+            )
+        return self._solve_local(job, baseline)
+
+    def _respawn_executor(
+        self, executor: ProcessPoolExecutor, workers: int
+    ) -> ProcessPoolExecutor | None:
+        """Replace a broken pool (or hand back a healthy shared one)."""
+        if self._shared_executor is None:
+            executor.shutdown(wait=False, cancel_futures=True)
+            try:
+                fresh = ProcessPoolExecutor(max_workers=workers)
+            except (OSError, ValueError):
+                return None
+            counter("resilience.pool_respawns").incr()
+            return fresh
+        # Shared pool: only the owner may replace it.
+        if self._executor_respawn is None:
+            return None
+        try:
+            fresh = self._executor_respawn(executor)
+        except Exception:
+            return None
+        if fresh is not None and fresh is not self._shared_executor:
+            counter("resilience.pool_respawns").incr()
+            self._shared_executor = fresh
+        return fresh
 
     def _deadline(self, n_jobs: int, workers: int) -> float | None:
         """Wall-clock budget for the whole pool drain."""
@@ -577,7 +747,11 @@ class AllocationEngine:
 
     def _drain(
         self, future_of, outcomes, baseline, engine_span
-    ) -> None:
+    ) -> list[tuple[_Job, int, BaseException]]:
+        """Wait out one submission wave; return the crash casualties."""
+        crashed: list[tuple[_Job, int, BaseException]] = []
+        if not future_of:
+            return crashed
         ec = self.engine_config
         deadline = self._deadline(
             len(future_of), min(ec.jobs, len(future_of))
@@ -594,41 +768,57 @@ class AllocationEngine:
                 pending, timeout=timeout, return_when=FIRST_COMPLETED
             )
             if not done:
-                # Blown deadline: everything still running falls back.
+                # Blown deadline: everything still running falls back
+                # (hung workers are not retried — a second attempt
+                # would blow the budget just as surely).
                 for future in pending:
                     future.cancel()
-                    job = future_of[future]
+                    job, _ = future_of[future]
                     STAT_TIMEOUTS.incr()
                     outcomes[job.fn.name] = self._finish(
                         job, self._failed_allocation(job), True, 0,
                         baseline,
                     )
-                return
+                return crashed
             for future in done:
-                job = future_of[future]
+                job, attempt = future_of[future]
                 try:
                     ret = future.result()
-                except Exception:  # worker died / pool broke
-                    ret = None
+                except _POOL_FAILURES as exc:  # worker died / pool broke
+                    crashed.append((job, attempt, exc))
+                    continue
+                except Exception as exc:
+                    # The worker re-raised (strict mode) or returned
+                    # something unpicklable: degrade this function.
+                    _note_degradation(exc)
+                    if strict_enabled() and \
+                            not isinstance(exc, DEGRADABLE_FAILURES):
+                        raise
+                    outcomes[job.fn.name] = self._finish(
+                        job, self._failed_allocation(job), False, 0,
+                        baseline,
+                    )
+                    continue
                 outcomes[job.fn.name] = self._absorb(
                     job, ret, baseline, engine_span
                 )
+        return crashed
 
     def _absorb(
-        self, job: _Job, ret: _WorkerReturn | None, baseline, engine_span
+        self, job: _Job, ret: _WorkerReturn, baseline, engine_span
     ) -> EngineOutcome:
         """Fold one worker's result back into the parent process."""
-        if ret is None or ret.error:
-            # Worker crash or in-worker exception: optionally retry the
-            # solve in this process before giving up on the function.
-            if self.engine_config.retries > 0:
-                STAT_RETRIES.incr()
-                return self._solve_local(job, baseline)
-            return self._finish(
-                job, self._failed_allocation(job), False, 0, baseline
-            )
         STAT_PARALLEL.incr()
         self._merge_counters(ret.counters)
+        if ret.error:
+            # In-worker pipeline failure: the worker already counted
+            # the degradation (merged just above); degrade to the
+            # baseline without burning a pool retry on a failure that
+            # would deterministically recur.
+            return self._finish(
+                job, self._failed_allocation(job), False, ret.pid,
+                baseline,
+            )
         if ret.timed_out:
             STAT_TIMEOUTS.incr()
         attempt = ret.alloc
@@ -685,7 +875,15 @@ class AllocationEngine:
             return GraphColoringAllocator(self.target).allocate(
                 job.fn, job.freq
             )
-        except Exception:
+        except DEGRADABLE_FAILURES as exc:
+            _note_degradation(exc)
+            return None
+        except Exception as exc:
+            # The baseline is the last resort — a failure here means
+            # the function keeps its failed IP attempt.
+            _note_degradation(exc)
+            if strict_enabled():
+                raise
             return None
 
     def _failed_allocation(self, job: _Job) -> Allocation:

@@ -1,0 +1,76 @@
+"""Deterministic fault injection and the recovery machinery it tests.
+
+The package has two halves that mirror each other:
+
+* *injection* — :class:`FaultPlan` / :class:`FaultInjector` fire named
+  faults at sites threaded through the engine, cache, solver, and
+  service layers (``repro.faults.plan`` lists the sites);
+* *recovery* — :class:`RetryPolicy` (bounded exponential backoff for
+  crashed pool workers) and :class:`CircuitBreaker` (per-backend trip /
+  half-open-probe / recover for the solver dispatch).
+
+Everything is seeded and replayable; every firing and every recovery
+action lands in the ``faults.*`` / ``resilience.*`` stats.
+"""
+
+from .breaker import (
+    CircuitBreaker,
+    CircuitOpenError,
+    breaker_for,
+    breaker_snapshots,
+    reset_breakers,
+)
+from .injector import (
+    ENV_FAULTS,
+    ENV_STRICT,
+    FaultInjector,
+    InjectedFault,
+    current_spec,
+    get_injector,
+    set_injector,
+    should_fire,
+    strict_enabled,
+)
+from .plan import (
+    SITE_CACHE_CORRUPT,
+    SITE_CACHE_IO,
+    SITE_SERVICE_MALFORMED,
+    SITE_SERVICE_OVERSIZED,
+    SITE_SOLVER_ERROR,
+    SITE_SOLVER_TIMEOUT,
+    SITE_WORKER_CRASH,
+    SITE_WORKER_HANG,
+    SITES,
+    FaultPlan,
+    SiteRule,
+)
+from .retry import RetryPolicy
+
+__all__ = [
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "ENV_FAULTS",
+    "ENV_STRICT",
+    "FaultInjector",
+    "FaultPlan",
+    "InjectedFault",
+    "RetryPolicy",
+    "SITES",
+    "SITE_CACHE_CORRUPT",
+    "SITE_CACHE_IO",
+    "SITE_SERVICE_MALFORMED",
+    "SITE_SERVICE_OVERSIZED",
+    "SITE_SOLVER_ERROR",
+    "SITE_SOLVER_TIMEOUT",
+    "SITE_WORKER_CRASH",
+    "SITE_WORKER_HANG",
+    "SiteRule",
+    "breaker_for",
+    "breaker_snapshots",
+    "current_spec",
+    "get_injector",
+    "reset_breakers",
+    "set_injector",
+    "should_fire",
+    "strict_enabled",
+]

@@ -1,0 +1,160 @@
+"""Per-backend circuit breakers for the solver dispatch.
+
+A breaker guards one solver backend.  After ``failure_threshold``
+*consecutive* failures it opens: calls short-circuit to the fallback
+path without touching the (presumably broken) backend.  After
+``reset_timeout`` seconds the breaker lets a single half-open probe
+through; a success closes it again, another failure re-opens it and
+restarts the clock.
+
+State is per process — engine pool workers each carry their own
+breakers, which is the behavior we want: a backend broken only in one
+worker (say, a corrupted scipy install is impossible, but an injected
+fault plan is not) should not poison the parent.
+
+Knobs: ``REPRO_BREAKER_THRESHOLD`` (default 5 consecutive failures) and
+``REPRO_BREAKER_RESET`` (default 30 seconds).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+from ..obs import counter
+
+ENV_THRESHOLD = "REPRO_BREAKER_THRESHOLD"
+ENV_RESET = "REPRO_BREAKER_RESET"
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitOpenError(RuntimeError):
+    """Raised instead of calling through an open breaker."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        super().__init__(f"circuit breaker for {name!r} is open")
+
+
+def _default_threshold() -> int:
+    try:
+        return max(1, int(os.environ.get(ENV_THRESHOLD, "5")))
+    except ValueError:
+        return 5
+
+
+def _default_reset() -> float:
+    try:
+        return max(0.0, float(os.environ.get(ENV_RESET, "30")))
+    except ValueError:
+        return 30.0
+
+
+class CircuitBreaker:
+    """closed -> open -> half-open -> closed, thread-safe."""
+
+    def __init__(self, name: str, failure_threshold: int | None = None,
+                 reset_timeout: float | None = None,
+                 clock=time.monotonic) -> None:
+        self.name = name
+        self.failure_threshold = (
+            failure_threshold if failure_threshold is not None
+            else _default_threshold()
+        )
+        self.reset_timeout = (
+            reset_timeout if reset_timeout is not None else _default_reset()
+        )
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probing = False
+
+    # -- queries ---------------------------------------------------------
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._effective_state()
+
+    def _effective_state(self) -> str:
+        if self._state == OPEN and \
+                self._clock() - self._opened_at >= self.reset_timeout:
+            return HALF_OPEN
+        return self._state
+
+    def allow(self) -> bool:
+        """May a call proceed?  In half-open state only one probe may."""
+        with self._lock:
+            state = self._effective_state()
+            if state == CLOSED:
+                return True
+            if state == HALF_OPEN and not self._probing:
+                self._probing = True
+                return True
+            return False
+
+    # -- outcome reporting ----------------------------------------------
+    def record_success(self) -> None:
+        with self._lock:
+            if self._state != CLOSED:
+                counter("resilience.breaker_closes").incr()
+            self._state = CLOSED
+            self._consecutive_failures = 0
+            self._probing = False
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._probing = False
+            self._consecutive_failures += 1
+            was_open = self._state == OPEN
+            if self._effective_state() == HALF_OPEN or (
+                self._state == CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._state = OPEN
+                self._opened_at = self._clock()
+                if not was_open:
+                    counter("resilience.breaker_trips").incr()
+            elif self._state == OPEN:
+                # failure reported while open (racing caller): restart
+                # the reset clock.
+                self._opened_at = self._clock()
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "state": self._effective_state(),
+                "consecutive_failures": self._consecutive_failures,
+                "failure_threshold": self.failure_threshold,
+                "reset_timeout": self.reset_timeout,
+            }
+
+
+_registry: dict[str, CircuitBreaker] = {}
+_registry_lock = threading.Lock()
+
+
+def breaker_for(name: str) -> CircuitBreaker:
+    """Get-or-create the process-wide breaker for a backend."""
+    with _registry_lock:
+        brk = _registry.get(name)
+        if brk is None:
+            brk = _registry[name] = CircuitBreaker(name)
+        return brk
+
+
+def breaker_snapshots() -> dict[str, dict]:
+    with _registry_lock:
+        breakers = list(_registry.items())
+    return {name: brk.snapshot() for name, brk in breakers}
+
+
+def reset_breakers() -> None:
+    """Drop all breakers (test isolation)."""
+    with _registry_lock:
+        _registry.clear()

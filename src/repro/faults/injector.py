@@ -1,0 +1,121 @@
+"""The stateful side of fault injection.
+
+:class:`FaultInjector` wraps a :class:`~repro.faults.plan.FaultPlan`
+with the per-process state a plan deliberately does not have: the
+``max_fires`` budgets and the ``faults.*`` counters.  Production code
+consults the process-wide injector through :func:`get_injector` and the
+convenience :func:`should_fire`; injection call sites therefore cost a
+dict lookup and a truthiness check when no plan is configured.
+
+The default plan comes from the ``REPRO_FAULTS`` environment variable
+(read lazily on first use); the CLI ``--faults`` flag and the service
+configuration override it via :func:`set_injector`.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+from ..obs import counter
+from .plan import FaultPlan
+
+ENV_FAULTS = "REPRO_FAULTS"
+ENV_STRICT = "REPRO_STRICT"
+
+
+class InjectedFault(RuntimeError):
+    """Raised (or simulated) by an injection site that fired."""
+
+    def __init__(self, site: str, key: str = "") -> None:
+        self.site = site
+        self.key = key
+        super().__init__(f"injected fault at {site!r}" +
+                         (f" for {key!r}" if key else ""))
+
+
+class FaultInjector:
+    """A fault plan plus per-process firing budgets and counters."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._lock = threading.Lock()
+        self._fired: dict[str, int] = {}
+
+    @property
+    def spec(self) -> str:
+        return self.plan.spec
+
+    def __bool__(self) -> bool:
+        return bool(self.plan)
+
+    def should_fire(self, site: str, key: str = "",
+                    attempt: int = 0) -> bool:
+        """Decide-and-count: True iff ``site`` fires for this call.
+
+        Deterministic given the plan seed and ``(site, key, attempt)``,
+        except that a site with a ``max_fires`` budget stops firing once
+        the budget is spent (the budget is per process, counted in call
+        order, which is itself deterministic in single-threaded tests).
+        """
+        if not self.plan.decide(site, key, attempt):
+            return False
+        rule = self.plan.rule(site)
+        with self._lock:
+            fired = self._fired.get(site, 0)
+            if rule is not None and rule.max_fires is not None \
+                    and fired >= rule.max_fires:
+                return False
+            self._fired[site] = fired + 1
+        counter(f"faults.{site}").incr()
+        return True
+
+    def fired(self, site: str) -> int:
+        with self._lock:
+            return self._fired.get(site, 0)
+
+
+_INERT = FaultInjector(FaultPlan())
+_current: FaultInjector | None = None
+_lock = threading.Lock()
+
+
+def get_injector() -> FaultInjector:
+    """The process-wide injector (lazily built from ``REPRO_FAULTS``)."""
+    global _current
+    inj = _current
+    if inj is None:
+        with _lock:
+            if _current is None:
+                _current = FaultInjector(
+                    FaultPlan.parse(os.environ.get(ENV_FAULTS))
+                )
+            inj = _current
+    return inj
+
+
+def set_injector(spec: str | None) -> FaultInjector:
+    """Install a new injector from ``spec`` (None/empty = inert)."""
+    global _current
+    with _lock:
+        _current = FaultInjector(FaultPlan.parse(spec))
+        return _current
+
+
+def current_spec() -> str:
+    """Spec of the active plan — for handing to pool workers."""
+    return get_injector().spec
+
+
+def should_fire(site: str, key: str = "", attempt: int = 0) -> bool:
+    """Shorthand: does the process-wide injector fire here?"""
+    inj = get_injector()
+    if not inj:
+        return False
+    return inj.should_fire(site, key, attempt)
+
+
+def strict_enabled() -> bool:
+    """``REPRO_STRICT=1``: unexpected errors re-raise instead of
+    degrading (so bugs can't hide as silent fallbacks)."""
+    return os.environ.get(ENV_STRICT, "").strip() in ("1", "true", "yes")

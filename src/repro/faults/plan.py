@@ -1,0 +1,151 @@
+"""Deterministic, seedable fault plans.
+
+A :class:`FaultPlan` says *which* injection sites fire and *how often*.
+Decisions are pure functions of ``(seed, site, key, attempt)`` — no
+global RNG state — so a plan replays identically across runs, across
+processes (engine pool workers receive the same spec), and regardless
+of the order in which sites are consulted.  That determinism is the
+whole point: a chaos run that found a bug can be re-run bit-identically
+to debug it.
+
+Spec syntax (the ``REPRO_FAULTS`` environment variable, the ``--faults``
+CLI flag, and the service configuration all use it)::
+
+    seed=7;worker_crash=0.25;cache_corrupt=1.0:2;hang_seconds=0.5
+
+* ``site=rate`` — the site fires with probability ``rate`` (0..1),
+  decided deterministically per ``(site, key, attempt)``;
+* ``site=rate:max`` — additionally stop firing after ``max`` shots
+  (per process), for "break exactly twice then recover" scenarios;
+* ``seed=N`` — the plan seed (default 0);
+* ``hang_seconds=S`` — how long a ``worker_hang`` injection sleeps.
+
+Entries are separated by ``;`` or ``,``.  Unknown site names are a
+``ValueError`` so typos fail loudly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+#: Named injection sites, each exercised by one failure surface of the
+#: stack (see DESIGN.md for the site -> layer map).
+SITE_WORKER_CRASH = "worker_crash"        # pool worker dies (os._exit)
+SITE_WORKER_HANG = "worker_hang"          # pool worker stalls
+SITE_CACHE_CORRUPT = "cache_corrupt"      # cache record bytes garbled
+SITE_CACHE_IO = "cache_io"                # cache-dir I/O error
+SITE_SOLVER_TIMEOUT = "solver_timeout"    # backend returns no incumbent
+SITE_SOLVER_ERROR = "solver_error"        # backend raises
+SITE_SERVICE_MALFORMED = "service_malformed"  # request line garbled
+SITE_SERVICE_OVERSIZED = "service_oversized"  # request treated too large
+
+SITES = (
+    SITE_WORKER_CRASH,
+    SITE_WORKER_HANG,
+    SITE_CACHE_CORRUPT,
+    SITE_CACHE_IO,
+    SITE_SOLVER_TIMEOUT,
+    SITE_SOLVER_ERROR,
+    SITE_SERVICE_MALFORMED,
+    SITE_SERVICE_OVERSIZED,
+)
+
+#: spec options that are plan-wide, not per-site
+_OPTIONS = ("seed", "hang_seconds")
+
+
+@dataclass(slots=True, frozen=True)
+class SiteRule:
+    """Firing rule for one site."""
+
+    rate: float
+    #: most firings allowed per process (None = unlimited)
+    max_fires: int | None = None
+
+
+@dataclass(slots=True, frozen=True)
+class FaultPlan:
+    """An immutable, seedable set of site rules."""
+
+    rules: dict[str, SiteRule] = field(default_factory=dict)
+    seed: int = 0
+    #: seconds a worker_hang injection sleeps
+    hang_seconds: float = 30.0
+    #: the spec text this plan was parsed from (for worker handoff)
+    spec: str = ""
+
+    def __bool__(self) -> bool:
+        return bool(self.rules)
+
+    def rule(self, site: str) -> SiteRule | None:
+        return self.rules.get(site)
+
+    def decide(self, site: str, key: str = "", attempt: int = 0) -> bool:
+        """Would ``site`` fire for ``key`` on this ``attempt``?
+
+        Pure and deterministic: hashes ``(seed, site, key, attempt)``
+        into [0, 1) and compares against the site rate.  Ignores
+        ``max_fires`` — the stateful budget lives in the injector.
+        """
+        rule = self.rules.get(site)
+        if rule is None or rule.rate <= 0.0:
+            return False
+        if rule.rate >= 1.0:
+            return True
+        digest = hashlib.sha256(
+            f"{self.seed}:{site}:{key}:{attempt}".encode()
+        ).digest()
+        draw = int.from_bytes(digest[:8], "big") / float(1 << 64)
+        return draw < rule.rate
+
+    @classmethod
+    def parse(cls, spec: str | None) -> "FaultPlan":
+        """Parse a fault spec; empty/None yields the inert plan."""
+        text = (spec or "").strip()
+        if not text:
+            return cls()
+        rules: dict[str, SiteRule] = {}
+        seed = 0
+        hang_seconds = 30.0
+        for raw in text.replace(",", ";").split(";"):
+            entry = raw.strip()
+            if not entry:
+                continue
+            if "=" not in entry:
+                raise ValueError(
+                    f"bad fault entry {entry!r} (want site=rate[:max])"
+                )
+            name, _, value = entry.partition("=")
+            name = name.strip()
+            value = value.strip()
+            if name == "seed":
+                seed = int(value)
+                continue
+            if name == "hang_seconds":
+                hang_seconds = float(value)
+                continue
+            if name not in SITES:
+                raise ValueError(
+                    f"unknown fault site {name!r} "
+                    f"(known: {', '.join(SITES)}; "
+                    f"options: {', '.join(_OPTIONS)})"
+                )
+            max_fires: int | None = None
+            rate_text = value
+            if ":" in value:
+                rate_text, _, max_text = value.partition(":")
+                max_fires = int(max_text)
+                if max_fires < 0:
+                    raise ValueError(
+                        f"fault site {name!r}: max must be >= 0"
+                    )
+            rate = float(rate_text)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(
+                    f"fault site {name!r}: rate {rate} outside [0, 1]"
+                )
+            rules[name] = SiteRule(rate=rate, max_fires=max_fires)
+        return cls(
+            rules=rules, seed=seed, hang_seconds=hang_seconds, spec=text
+        )

@@ -1,0 +1,45 @@
+"""Bounded retry with exponential backoff and deterministic jitter.
+
+Used by the engine when process-pool workers crash: respawn the pool,
+wait ``base * 2**attempt`` seconds (± jitter, capped), resubmit.  The
+jitter is a hash of ``(salt, attempt)`` rather than a random draw so a
+chaos run replays with identical timing decisions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass
+
+from ..obs import counter
+
+
+@dataclass(slots=True, frozen=True)
+class RetryPolicy:
+    """How many times to retry and how long to wait between tries."""
+
+    max_retries: int = 2
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    #: fraction of the delay to spread jitter over (0 disables)
+    jitter: float = 0.5
+
+    def delay(self, attempt: int, salt: str = "") -> float:
+        """Backoff delay before retry number ``attempt`` (0-based)."""
+        raw = min(self.max_delay, self.base_delay * (2.0 ** attempt))
+        if self.jitter <= 0.0:
+            return raw
+        digest = hashlib.sha256(f"{salt}:{attempt}".encode()).digest()
+        frac = int.from_bytes(digest[:8], "big") / float(1 << 64)
+        # jitter in [-j/2, +j/2] of the raw delay, never below zero
+        return max(0.0, raw * (1.0 + self.jitter * (frac - 0.5)))
+
+    def sleep(self, attempt: int, salt: str = "") -> float:
+        """Sleep the backoff delay; returns the seconds slept."""
+        d = self.delay(attempt, salt)
+        if d > 0.0:
+            time.sleep(d)
+        counter("resilience.retries").incr()
+        counter("resilience.backoff_seconds").add(d)
+        return d

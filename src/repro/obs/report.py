@@ -337,6 +337,9 @@ class RunReport:
     functions: list[FunctionRunReport] = field(default_factory=list)
     #: final stats-registry snapshot for the whole run
     counters: dict[str, float] = field(default_factory=dict)
+    #: paper-table summaries (Table 2/3), attached by bench-suite runs
+    #: and consumed by ``tools/check_table_regression.py``
+    tables: dict = field(default_factory=dict)
 
     # -- aggregates -------------------------------------------------------
     def totals(self) -> dict:
@@ -391,6 +394,7 @@ class RunReport:
             "trace_id": self.trace_id,
             "functions": [f.to_dict() for f in self.functions],
             "counters": dict(self.counters),
+            "tables": dict(self.tables),
             "totals": self.totals(),
         }
 
@@ -406,6 +410,7 @@ class RunReport:
                 for f in d.get("functions", [])
             ],
             counters=dict(d.get("counters", {})),
+            tables=dict(d.get("tables", {})),
         )
 
     def to_json(self, indent: int | None = 2) -> str:

@@ -23,10 +23,12 @@ Start one with ``python -m repro serve``, talk to it with
 from .client import ServiceClient, ServiceError
 from .protocol import (
     E_BAD_REQUEST,
+    E_CANCELLED,
     E_DRAINING,
     E_INTERNAL,
     E_OVERLOADED,
     E_PARSE,
+    E_TOO_LARGE,
     E_UNKNOWN_VERB,
     ERROR_CODES,
     MAX_LINE_BYTES,
@@ -45,10 +47,12 @@ __all__ = [
     "AllocationServer",
     "BatchScheduler",
     "E_BAD_REQUEST",
+    "E_CANCELLED",
     "E_DRAINING",
     "E_INTERNAL",
     "E_OVERLOADED",
     "E_PARSE",
+    "E_TOO_LARGE",
     "E_UNKNOWN_VERB",
     "ERROR_CODES",
     "MAX_LINE_BYTES",

@@ -118,6 +118,7 @@ class ServiceClient:
         report: bool = False,
         trace_id: str | None = None,
         request_id=None,
+        tenant: str | None = None,
     ) -> dict:
         message: dict = {"verb": "allocate"}
         if source is not None:
@@ -138,6 +139,8 @@ class ServiceClient:
             message["trace_id"] = trace_id
         if request_id is not None:
             message["id"] = request_id
+        if tenant is not None:
+            message["tenant"] = tenant
         return self.request(message)
 
     def status(self) -> dict:
@@ -145,6 +148,14 @@ class ServiceClient:
 
     def stats(self) -> dict:
         return self.request({"verb": "stats"})
+
+    def health(self) -> dict:
+        """Resilience vitals: breakers, degradations, queue depths."""
+        return self.request({"verb": "health"})
+
+    def cancel(self, request_ref) -> dict:
+        """Cancel a queued allocate by its trace_id or id."""
+        return self.request({"verb": "cancel", "request": request_ref})
 
     def ping(self) -> dict:
         return self.request({"verb": "ping"})

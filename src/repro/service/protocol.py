@@ -6,7 +6,8 @@ request order per connection.
 
 Request shape::
 
-    {"verb": "allocate" | "status" | "stats" | "drain" | "ping",
+    {"verb": "allocate" | "status" | "stats" | "drain" | "ping"
+             | "cancel" | "health",
      "id": <any JSON value, echoed back>,        # optional
      "trace_id": "client-chosen-id",             # optional
      # allocate only:
@@ -15,11 +16,14 @@ Request shape::
      "target": "x86" | "x86+ebp" | "risc",       # optional
      "function": "name",                         # optional filter
      "deadline": <seconds, wall clock>,          # optional
+     "tenant": "client-name",                    # optional fair-queue key
      "report": true,                             # per-function reports
      "config": {"backend": ..., "time_limit": ...,
                 "size_only": ..., "presolve": ...,
                 "code_size_weight": ...,
-                "data_size_weight": ...}}        # optional
+                "data_size_weight": ...},        # optional
+     # cancel only:
+     "request": <trace_id or id of a queued allocate>}
 
 Response shape::
 
@@ -31,7 +35,10 @@ Error codes (:data:`ERROR_CODES`): ``overloaded`` (admission queue
 full — resubmit later), ``draining`` (server is shutting down),
 ``bad_request`` (malformed fields, unknown target/backend/function,
 failed compile), ``parse_error`` (request line is not valid JSON),
-``unknown_verb``, and ``internal``.
+``unknown_verb``, ``internal``, ``too_large`` (request exceeds the
+global or per-tenant size limit), and ``cancelled`` (a queued request
+removed by the ``cancel`` verb — the waiting allocate gets this as its
+terminal response).
 
 Every `allocate` admission gets a terminal response: a result (solver,
 cache replay, or baseline fallback), or an explicit error — the
@@ -52,7 +59,12 @@ VERB_STATUS = "status"
 VERB_STATS = "stats"
 VERB_DRAIN = "drain"
 VERB_PING = "ping"
-VERBS = (VERB_ALLOCATE, VERB_STATUS, VERB_STATS, VERB_DRAIN, VERB_PING)
+VERB_CANCEL = "cancel"
+VERB_HEALTH = "health"
+VERBS = (
+    VERB_ALLOCATE, VERB_STATUS, VERB_STATS, VERB_DRAIN, VERB_PING,
+    VERB_CANCEL, VERB_HEALTH,
+)
 
 E_OVERLOADED = "overloaded"
 E_DRAINING = "draining"
@@ -60,9 +72,11 @@ E_BAD_REQUEST = "bad_request"
 E_PARSE = "parse_error"
 E_UNKNOWN_VERB = "unknown_verb"
 E_INTERNAL = "internal"
+E_TOO_LARGE = "too_large"
+E_CANCELLED = "cancelled"
 ERROR_CODES = (
     E_OVERLOADED, E_DRAINING, E_BAD_REQUEST, E_PARSE, E_UNKNOWN_VERB,
-    E_INTERNAL,
+    E_INTERNAL, E_TOO_LARGE, E_CANCELLED,
 )
 
 #: request ``config`` keys -> AllocatorConfig field (whitelist: the
@@ -187,6 +201,9 @@ class AllocateRequest:
     functions: list = field(default_factory=list)
     #: wall-clock budget in seconds from admission (None: unbounded)
     deadline: float | None = None
+    #: client-declared tenant — the fair-queueing key (falls back to
+    #: the connection when empty) and the per-tenant size-limit key
+    tenant: str = ""
 
     @property
     def wants_report(self) -> bool:
@@ -274,4 +291,5 @@ def parse_allocate(
         config=config,
         functions=functions,
         deadline=deadline,
+        tenant=str(message.get("tenant") or ""),
     )

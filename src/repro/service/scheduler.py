@@ -35,6 +35,7 @@ import asyncio
 import json
 import threading
 import time
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, replace
 
@@ -48,6 +49,7 @@ from ..engine import (
 from ..ir import format_function
 from ..obs import define_counter, define_gauge, trace_phase
 from .protocol import (
+    E_CANCELLED,
     E_DRAINING,
     E_INTERNAL,
     E_OVERLOADED,
@@ -89,6 +91,12 @@ GAUGE_QUEUE_DEPTH = define_gauge(
 GAUGE_IN_FLIGHT = define_gauge(
     "service.in_flight", "admitted requests currently being solved"
 )
+STAT_CANCELLED = define_counter(
+    "service.cancelled", "queued requests removed by the cancel verb"
+)
+STAT_POOL_RESPAWNS = define_counter(
+    "service.pool_respawns", "shared process pools replaced after a break"
+)
 
 
 @dataclass(slots=True)
@@ -102,6 +110,8 @@ class _Pending:
     expires: float | None = None
     #: monotonic instant the batch containing it started solving
     started: float = 0.0
+    #: fair-queueing key (tenant, or the connection when anonymous)
+    client: str = ""
 
     def remaining(self) -> float | None:
         if self.expires is None:
@@ -132,7 +142,14 @@ class BatchScheduler:
         self._solver: ThreadPoolExecutor | None = None
         self._engines: dict[tuple, AllocationEngine] = {}
         self._engine_lock = threading.Lock()
-        self._queue: asyncio.Queue | None = None
+        #: per-client FIFO queues + the round-robin rotation of client
+        #: keys with work waiting (a key appears in ``_rr`` iff its
+        #: queue is non-empty) — one chatty client can no longer starve
+        #: the others the way a single FIFO did
+        self._queues: dict[str, deque[_Pending]] = {}
+        self._rr: deque[str] = deque()
+        self._queued = 0
+        self._wake: asyncio.Event | None = None
         self._room: asyncio.Event | None = None
         self._drained = asyncio.Event()
         self._task: asyncio.Task | None = None
@@ -144,11 +161,12 @@ class BatchScheduler:
         self.admitted = 0
         self.completed = 0
         self.rejected = 0
+        self.cancelled = 0
 
     # -- lifecycle -------------------------------------------------------
 
     async def start(self) -> None:
-        self._queue = asyncio.Queue()
+        self._wake = asyncio.Event()
         self._room = asyncio.Event()
         self._room.set()
         if self.jobs > 1:
@@ -195,16 +213,24 @@ class BatchScheduler:
 
     @property
     def queue_depth(self) -> int:
-        return self._queue.qsize() if self._queue is not None else 0
+        return self._queued
+
+    def client_depths(self) -> dict[str, int]:
+        """Waiting requests per fair-queueing key (for ``health``)."""
+        return {key: len(q) for key, q in self._queues.items()}
 
     @property
     def in_flight(self) -> int:
         return self._in_flight
 
-    def submit(self, request: AllocateRequest) -> asyncio.Future:
+    def submit(
+        self, request: AllocateRequest, client: str = ""
+    ) -> asyncio.Future:
         """Admit one request, or raise a ProtocolError rejection.
 
-        Must be called from the event loop; the capacity check and the
+        ``client`` identifies the connection; the fair-queueing key is
+        the request's tenant when declared, else the connection.  Must
+        be called from the event loop; the capacity check and the
         enqueue are atomic because nothing here awaits.
         """
         STAT_REQUESTS.incr()
@@ -214,9 +240,9 @@ class BatchScheduler:
             raise ProtocolError(
                 E_DRAINING, "server is draining; not accepting work"
             )
-        if self._queue is None:
+        if self._wake is None:
             raise ProtocolError(E_INTERNAL, "scheduler not started")
-        if self._queue.qsize() >= self.config.queue_capacity:
+        if self._queued >= self.config.queue_capacity:
             STAT_REJECTED.incr()
             self.rejected += 1
             raise ProtocolError(
@@ -225,6 +251,7 @@ class BatchScheduler:
                 f"({self.config.queue_capacity} waiting); retry later",
             )
         now = time.monotonic()
+        key = request.tenant or client or "anon"
         pending = _Pending(
             request=request,
             future=asyncio.get_running_loop().create_future(),
@@ -233,14 +260,67 @@ class BatchScheduler:
                 now + request.deadline
                 if request.deadline is not None else None
             ),
+            client=key,
         )
-        self._queue.put_nowait(pending)
+        queue = self._queues.get(key)
+        if queue is None:
+            queue = self._queues[key] = deque()
+        if not queue:
+            self._rr.append(key)
+        queue.append(pending)
+        self._queued += 1
         self.admitted += 1
         STAT_ADMITTED.incr()
-        GAUGE_QUEUE_DEPTH.set(self._queue.qsize())
+        GAUGE_QUEUE_DEPTH.set(self._queued)
+        self._wake.set()
         return pending.future
 
+    def cancel(self, ref) -> bool:
+        """Remove a *queued* request whose trace_id or id equals ``ref``.
+
+        The waiting allocate gets a terminal ``cancelled`` error as its
+        response.  Requests already in flight are not interrupted (their
+        solve finishes and responds normally).  Event-loop thread only.
+        Returns whether a request was found.
+        """
+        for key, queue in self._queues.items():
+            for pending in queue:
+                req = pending.request
+                if ref != req.trace_id and ref != req.message.get("id"):
+                    continue
+                queue.remove(pending)
+                self._queued -= 1
+                if not queue:
+                    self._rr.remove(key)
+                    del self._queues[key]
+                self.cancelled += 1
+                STAT_CANCELLED.incr()
+                GAUGE_QUEUE_DEPTH.set(self._queued)
+                if not pending.future.done():
+                    pending.future.set_result({
+                        "ok": False,
+                        "error": {
+                            "code": E_CANCELLED,
+                            "message": "cancelled while queued",
+                        },
+                    })
+                self._check_drained()
+                return True
+        return False
+
     # -- scheduling (event-loop thread) ----------------------------------
+
+    def _take_next(self) -> _Pending:
+        """Round-robin dequeue: one request from the next client."""
+        key = self._rr.popleft()
+        queue = self._queues[key]
+        pending = queue.popleft()
+        self._queued -= 1
+        if queue:
+            self._rr.append(key)
+        else:
+            del self._queues[key]
+        return pending
 
     async def _schedule(self) -> None:
         cfg = self.config
@@ -248,13 +328,15 @@ class BatchScheduler:
             while self._in_flight >= cfg.max_in_flight:
                 self._room.clear()
                 await self._room.wait()
-            pending = await self._queue.get()
-            batch = [pending]
+            while self._queued == 0:
+                self._wake.clear()
+                await self._wake.wait()
             room = min(cfg.max_batch, cfg.max_in_flight - self._in_flight)
-            while len(batch) < room and not self._queue.empty():
-                batch.append(self._queue.get_nowait())
+            batch = []
+            while len(batch) < room and self._queued:
+                batch.append(self._take_next())
             self._in_flight += len(batch)
-            GAUGE_QUEUE_DEPTH.set(self._queue.qsize())
+            GAUGE_QUEUE_DEPTH.set(self._queued)
             GAUGE_IN_FLIGHT.set(self._in_flight)
             task = asyncio.create_task(self._run_batch(batch))
             self._batch_tasks.add(task)
@@ -301,7 +383,7 @@ class BatchScheduler:
         if (
             self.draining
             and self._in_flight == 0
-            and (self._queue is None or self._queue.empty())
+            and self._queued == 0
         ):
             self._drained.set()
 
@@ -365,7 +447,29 @@ class BatchScheduler:
             EngineConfig(jobs=self.jobs, fallback=True),
             cache=self.cache,
             executor=self._pool,
+            executor_respawn=self._respawn_pool,
         )
+
+    def _respawn_pool(self, broken) -> ProcessPoolExecutor | None:
+        """Engine callback: replace the shared pool after it broke.
+
+        ``broken`` is the pool the calling engine saw fail; if another
+        engine already replaced it, hand back the current one instead
+        of churning pools.  Cached engines hold the dead pool, so they
+        are dropped and rebuilt lazily.
+        """
+        with self._engine_lock:
+            if self._pool is not None and self._pool is not broken:
+                return self._pool
+            if self._pool is not None:
+                self._pool.shutdown(wait=False, cancel_futures=True)
+            try:
+                self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+                STAT_POOL_RESPAWNS.incr()
+            except (OSError, ValueError):
+                self._pool = None
+            self._engines.clear()
+            return self._pool
 
     def _engine_for(self, pending: _Pending) -> AllocationEngine:
         req = pending.request

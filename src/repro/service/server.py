@@ -38,14 +38,27 @@ from dataclasses import dataclass
 from .. import obs
 from ..core import AllocatorConfig
 from ..engine import DEFAULT_CACHE_DIR  # noqa: F401  (re-export)
+from ..faults import (
+    SITE_SERVICE_MALFORMED,
+    SITE_SERVICE_OVERSIZED,
+    breaker_snapshots,
+    current_spec,
+    set_injector,
+    should_fire,
+)
+from ..obs import define_counter
 from ..solver import BACKENDS
 from .protocol import (
+    E_BAD_REQUEST,
     E_INTERNAL,
+    E_TOO_LARGE,
     E_UNKNOWN_VERB,
     MAX_LINE_BYTES,
     PROTOCOL_VERSION,
     VERB_ALLOCATE,
+    VERB_CANCEL,
     VERB_DRAIN,
+    VERB_HEALTH,
     VERB_PING,
     VERB_STATS,
     VERB_STATUS,
@@ -56,6 +69,10 @@ from .protocol import (
     parse_allocate,
 )
 from .scheduler import BatchScheduler
+
+STAT_TOO_LARGE = define_counter(
+    "service.too_large", "requests rejected over a size limit"
+)
 
 
 def _default_targets() -> dict:
@@ -98,6 +115,13 @@ class ServiceConfig:
     default_presolve: bool = True
     #: grace given to open connections to flush after drain, seconds
     stop_grace: float = 2.0
+    #: largest accepted request line in bytes (over it: ``too_large``;
+    #: must be <= MAX_LINE_BYTES, the stream's hard framing cap)
+    max_request_bytes: int = MAX_LINE_BYTES
+    #: per-tenant request-size overrides, ``{tenant: bytes}``
+    tenant_limits: dict | None = None
+    #: fault-plan spec installed at start (None: REPRO_FAULTS env)
+    faults: str | None = None
 
 
 class AllocationServer:
@@ -118,6 +142,7 @@ class AllocationServer:
         self._connections: set[asyncio.Task] = set()
         self._started = 0.0
         self._trace_seq = itertools.count(1)
+        self._conn_seq = itertools.count(1)
         self._signals_installed: list[int] = []
 
     # -- lifecycle -------------------------------------------------------
@@ -132,6 +157,8 @@ class AllocationServer:
         # The stats verb serves the registry snapshot, so counting is
         # always on for a serving process.
         obs.enable(stats=True, trace=False)
+        if self.config.faults is not None:
+            set_injector(self.config.faults)
         self._started = time.monotonic()
         await self.scheduler.start()
         self._server = await asyncio.start_server(
@@ -197,6 +224,7 @@ class AllocationServer:
     async def _on_connection(self, reader, writer) -> None:
         task = asyncio.current_task()
         self._connections.add(task)
+        client = f"conn-{next(self._conn_seq)}"
         try:
             while True:
                 try:
@@ -209,7 +237,7 @@ class AllocationServer:
                     break
                 if not line.strip():
                     continue
-                response = await self._serve_line(line)
+                response = await self._serve_line(line, client)
                 writer.write(encode(response))
                 try:
                     await writer.drain()
@@ -221,14 +249,36 @@ class AllocationServer:
                 writer.close()
                 await writer.wait_closed()
 
-    async def _serve_line(self, line: bytes) -> dict:
+    async def _serve_line(self, line: bytes, client: str = "") -> dict:
+        if should_fire(SITE_SERVICE_MALFORMED, client):
+            # Garble the frame so the real parse_error path answers it.
+            line = b'{"malformed' + line[:64]
+        oversized = len(line) > self.config.max_request_bytes
+        if should_fire(SITE_SERVICE_OVERSIZED, client):
+            oversized = True
+        if oversized:
+            STAT_TOO_LARGE.incr()
+            return error_response(
+                {}, "", E_TOO_LARGE,
+                f"request of {len(line)} bytes exceeds the "
+                f"{self.config.max_request_bytes}-byte limit",
+            )
         try:
             message = decode_line(line)
         except ProtocolError as exc:
             return error_response({}, "", exc.code, exc.message)
         verb = message.get("verb", VERB_ALLOCATE)
+        tenant = str(message.get("tenant") or "")
+        limit = (self.config.tenant_limits or {}).get(tenant)
+        if limit is not None and len(line) > limit:
+            STAT_TOO_LARGE.incr()
+            return error_response(
+                message, verb, E_TOO_LARGE,
+                f"request of {len(line)} bytes exceeds tenant "
+                f"{tenant!r}'s {limit}-byte limit",
+            )
         try:
-            return await self._dispatch(verb, message)
+            return await self._dispatch(verb, message, client)
         except ProtocolError as exc:
             return error_response(message, verb, exc.code, exc.message)
         except Exception as exc:  # never kill the connection loop
@@ -237,16 +287,32 @@ class AllocationServer:
                 f"{type(exc).__name__}: {exc}",
             )
 
-    async def _dispatch(self, verb: str, message: dict) -> dict:
+    async def _dispatch(
+        self, verb: str, message: dict, client: str = ""
+    ) -> dict:
         if verb == VERB_ALLOCATE:
-            return await self._handle_allocate(message)
+            return await self._handle_allocate(message, client)
         if verb == VERB_STATUS:
             return self._wrap(message, verb, self.status())
         if verb == VERB_STATS:
             return self._wrap(message, verb, self.stats())
+        if verb == VERB_HEALTH:
+            return self._wrap(message, verb, self.health())
         if verb == VERB_PING:
             return self._wrap(
                 message, verb, {"protocol": PROTOCOL_VERSION}
+            )
+        if verb == VERB_CANCEL:
+            ref = message.get("request")
+            if ref is None:
+                raise ProtocolError(
+                    E_BAD_REQUEST,
+                    "cancel needs 'request': the trace_id or id of a "
+                    "queued allocate",
+                )
+            found = self.scheduler.cancel(ref)
+            return self._wrap(
+                message, verb, {"cancelled": bool(found)}
             )
         if verb == VERB_DRAIN:
             await self.drain()
@@ -261,7 +327,7 @@ class AllocationServer:
             E_UNKNOWN_VERB,
             f"unknown verb {verb!r} (known: "
             f"{VERB_ALLOCATE}, {VERB_STATUS}, {VERB_STATS}, "
-            f"{VERB_DRAIN}, {VERB_PING})",
+            f"{VERB_HEALTH}, {VERB_CANCEL}, {VERB_DRAIN}, {VERB_PING})",
         )
 
     def _wrap(self, message: dict, verb: str, result: dict) -> dict:
@@ -273,7 +339,9 @@ class AllocationServer:
             "result": result,
         }
 
-    async def _handle_allocate(self, message: dict) -> dict:
+    async def _handle_allocate(
+        self, message: dict, client: str = ""
+    ) -> dict:
         trace_id = str(message.get("trace_id") or "") or \
             f"req-{next(self._trace_seq):06d}-{uuid.uuid4().hex[:6]}"
         defaults = AllocatorConfig(
@@ -291,7 +359,7 @@ class AllocationServer:
         )
         # Admission happens after validation so rejections are cheap
         # and a malformed request never occupies a queue slot.
-        future = self.scheduler.submit(request)
+        future = self.scheduler.submit(request, client=client)
         payload = await future
         response = {
             "id": message.get("id"),
@@ -319,6 +387,45 @@ class AllocationServer:
                 "admitted": sched.admitted,
                 "completed": sched.completed,
                 "rejected": sched.rejected,
+                "cancelled": sched.cancelled,
+            },
+        }
+
+    def health(self) -> dict:
+        """Resilience vitals: breaker states, degradation counts,
+        queue depths — the "is this instance coping" verb."""
+        sched = self.scheduler
+        counters = obs.snapshot()
+        resilience = {
+            name: value
+            for name, value in sorted(counters.items())
+            if value and name.startswith(
+                ("faults.", "resilience.", "engine.degradations.")
+            )
+        }
+        return {
+            "state": "draining" if sched.draining else "serving",
+            "uptime_seconds": time.monotonic() - self._started,
+            "fault_plan": current_spec(),
+            "breakers": breaker_snapshots(),
+            "resilience": resilience,
+            "degraded": {
+                "fallbacks": counters.get("engine.fallbacks", 0.0),
+                "timeouts": counters.get("engine.timeouts", 0.0),
+                "cache_corrupt": counters.get(
+                    "engine.cache_corrupt", 0.0
+                ),
+                "deadline_expired": counters.get(
+                    "service.deadline_expired", 0.0
+                ),
+                "too_large": counters.get("service.too_large", 0.0),
+                "cancelled": counters.get("service.cancelled", 0.0),
+            },
+            "queue": {
+                "depth": sched.queue_depth,
+                "per_client": sched.client_depths(),
+                "in_flight": sched.in_flight,
+                "capacity": self.config.queue_capacity,
             },
         }
 

@@ -5,6 +5,14 @@
 * ``brute-force`` — exhaustive enumeration, the test oracle.
 """
 
+from ..faults import (
+    SITE_SOLVER_ERROR,
+    SITE_SOLVER_TIMEOUT,
+    InjectedFault,
+    breaker_for,
+    should_fire,
+)
+from ..obs import counter
 from .branch_bound import solve_with_branch_bound
 from .brute_force import MAX_BRUTE_VARS, solve_brute_force
 from .model import Constraint, InfeasibleModel, IPModel, Sense, Variable
@@ -31,6 +39,13 @@ def solve(
     the ``REPRO_PRESOLVE`` environment default (on unless set to "0"),
     a bool forces it on/off, and a
     :class:`repro.presolve.PresolveConfig` gives full pass control.
+
+    Every call goes through the backend's circuit breaker: after a run
+    of consecutive backend failures the breaker opens and calls raise
+    :class:`~repro.faults.CircuitOpenError` immediately (callers treat
+    that like any solve failure and fall back), until a half-open probe
+    succeeds.  Breaker state is per process — engine pool workers each
+    keep their own.
     """
     # Local import: presolve depends on .model/.result, so a top-level
     # import here would be circular when repro.presolve loads first.
@@ -43,10 +58,37 @@ def solve(
             f"unknown solver backend {backend!r}; "
             f"available: {sorted(BACKENDS)}"
         ) from None
+    breaker = breaker_for(backend)
+    if not breaker.allow():
+        counter("resilience.breaker_short_circuits").incr()
+        from ..faults import CircuitOpenError
+
+        raise CircuitOpenError(backend)
     config = resolve_presolve_config(presolve)
-    if config.enabled:
-        return solve_reduced(model, fn, backend, time_limit, config)
-    return fn(model, time_limit=time_limit)
+    key = f"{backend}:{len(model.variables)}x{len(model.constraints)}"
+    try:
+        if should_fire(SITE_SOLVER_ERROR, key):
+            raise InjectedFault(SITE_SOLVER_ERROR, key)
+        if should_fire(SITE_SOLVER_TIMEOUT, key):
+            result = SolveResult(
+                status=SolveStatus.UNSOLVED,
+                solve_seconds=float(time_limit or 0.0),
+                backend=backend,
+                timed_out=True,
+            )
+        elif config.enabled:
+            result = solve_reduced(model, fn, backend, time_limit, config)
+        else:
+            result = fn(model, time_limit=time_limit)
+    except InfeasibleModel:
+        # Proven infeasibility is a valid answer, not a backend fault.
+        breaker.record_success()
+        raise
+    except Exception:
+        breaker.record_failure()
+        raise
+    breaker.record_success()
+    return result
 
 
 __all__ = [

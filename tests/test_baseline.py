@@ -89,6 +89,33 @@ class TestTwoAddressFixup:
             fams == frozenset({"A"}) for fams in classes.required.values()
         )
 
+    def test_div_with_dst_equal_to_src_constrains_both(self, x86):
+        # p = p / q: DIV is NOT two-address, so the coincidental
+        # src0 == dst must not skip the family-A rewrite of src0
+        # (regression: the dst rule rewrote dst to a fresh temp and
+        # left the source use completely unconstrained).
+        from repro.ir import Instr
+
+        b = IRBuilder("f")
+        pn = b.slot("n", kind=SlotKind.PARAM)
+        b.block("entry")
+        p = b.load(pn)
+        q = b.li(3, hint="q")
+        b.emit(Instr(Opcode.DIV, dst=p, srcs=(p, q)))
+        b.ret(p)
+        fn = b.done()
+        m = Module("t")
+        m.add_function(fn)
+        alloc = alloc_and_check(m, "f", [12], x86)
+        # Every DIV in the rewritten function has src0 and dst in A.
+        for block in alloc.function.blocks:
+            for instr in block.instrs:
+                if instr.opcode is Opcode.DIV:
+                    src0 = alloc.assignment[instr.srcs[0].name]
+                    dst = alloc.assignment[instr.dst.name]
+                    assert src0.family == "A", src0
+                    assert dst.family == "A", dst
+
 
 class TestSpillEverywhere:
     def test_spill_load_store_counts(self, x86):

@@ -283,7 +283,7 @@ class TestResultCache:
         )
         cache.put(record)
         data = cache.path_for(record.fingerprint)
-        text = data.read_text().replace('"version": 1', '"version": 0')
+        text = data.read_text().replace('"version": 2', '"version": 0')
         data.write_text(text)
         assert cache.get(record.fingerprint) is None
 
