@@ -8,13 +8,16 @@
                                [--allocator ip|gc|none]
     python -m repro experiments [--fast] [--bench NAME]
                                 [--jobs N] [--cache [DIR]]
+                                [--bench-json PATH]
     python -m repro serve [--port P] [--queue-capacity N]
                           [--max-in-flight N] [--jobs N]
-                          [--cache [DIR]]
+                          [--cache [DIR]] [--metrics-port P]
+                          [--metrics-jsonl PATH]
     python -m repro submit FILE.c [--port P] [--deadline S]
-                                  [--tenant NAME]
+                                  [--tenant NAME] [--show-trace]
                                   [--verb allocate|status|stats|ping
-                                         |health|cancel|drain]
+                                         |health|cancel|drain
+                                         |metrics|trace]
 
 ``alloc`` compiles a mini-C file, allocates one or all functions, and
 prints the rewritten code with register assignments.  ``run`` executes
@@ -48,6 +51,15 @@ Observability flags (accepted before or after the subcommand):
 
 Setting ``REPRO_TRACE=1`` in the environment is equivalent to passing
 both ``--stats`` and ``--trace``.
+
+Telemetry: ``exp`` records its perf trajectory (wall-clock, solve-time
+percentiles, presolve reductions, cache hit rate) to ``--bench-json``
+(default ``BENCH_suite.json``; CI gates it with
+``tools/check_bench_regression.py``).  ``serve --metrics-port P``
+exposes Prometheus text on an HTTP sidecar and ``--metrics-jsonl``
+appends periodic snapshots; ``submit --show-trace`` makes the server
+record the request's full lifecycle (admission, queue, batch assembly,
+solve, reply) and renders the stitched span tree after the reply.
 
 Fault injection: ``--faults SPEC`` (on ``alloc``, ``run``, ``exp`` and
 ``serve``) installs a deterministic fault plan — equivalent to setting
@@ -260,6 +272,8 @@ def cmd_run(args) -> int:
 
 
 def cmd_experiments(args) -> int:
+    import time
+
     from .bench import (
         load_all,
         load_benchmark,
@@ -270,6 +284,8 @@ def cmd_experiments(args) -> int:
         run_suite,
         suite_fig9,
         suite_fig10,
+        suite_perf_summary,
+        write_bench_json,
     )
 
     target = x86_target()
@@ -284,11 +300,19 @@ def cmd_experiments(args) -> int:
         benchmarks = [load_benchmark("compress"), load_benchmark("cc1")]
     else:
         benchmarks = load_all()
+    t0 = time.perf_counter()
     suite = run_suite(
         target, config, benchmarks,
         report_path=getattr(args, "report_json", None),
         engine=_engine_config(args),
     )
+    wall = time.perf_counter() - t0
+    if args.bench_json:
+        write_bench_json(
+            args.bench_json, suite_perf_summary(suite, wall)
+        )
+        print(f"perf trajectory written to {args.bench_json}",
+              file=sys.stderr)
     print(render_table1())
     print()
     print(render_table2(suite, config.time_limit))
@@ -326,6 +350,9 @@ def cmd_serve(args) -> int:
         default_backend=args.backend,
         default_presolve=_presolve_setting(args),
         faults=getattr(args, "faults", None),
+        metrics_port=args.metrics_port,
+        metrics_jsonl=args.metrics_jsonl,
+        metrics_interval=args.metrics_interval,
     )
     if args.max_request_bytes is not None:
         config.max_request_bytes = args.max_request_bytes
@@ -333,13 +360,17 @@ def cmd_serve(args) -> int:
 
     async def _run() -> None:
         await server.start()
+        metrics = (
+            f" metrics=:{server.metrics_port}"
+            if server.metrics_port is not None else ""
+        )
         print(
             f"repro allocation service listening on "
             f"{config.host}:{server.port} "
             f"(queue={config.queue_capacity} "
             f"in-flight={config.max_in_flight} "
             f"jobs={server.scheduler.jobs} "
-            f"cache={config.cache_dir or 'off'})",
+            f"cache={config.cache_dir or 'off'}{metrics})",
             flush=True,
         )
         try:
@@ -391,6 +422,7 @@ def cmd_submit(args) -> int:
                 report=bool(getattr(args, "report_json", None)),
                 trace_id=getattr(args, "trace_id", None),
                 tenant=args.tenant,
+                trace=args.show_trace,
             )
         elif args.verb == "cancel":
             if not args.request:
@@ -398,8 +430,16 @@ def cmd_submit(args) -> int:
                       file=sys.stderr)
                 return 2
             response = client.cancel(args.request)
+        elif args.verb == "trace":
+            response = client.trace(args.request)
         else:
             response = getattr(client, args.verb)()
+        lifecycle = None
+        if (args.verb == "allocate" and args.show_trace
+                and response.get("ok")):
+            lifecycle = client.trace(
+                response.get("trace_id")
+            ).get("result", {}).get("trace")
     if args.json:
         print(json.dumps(response, indent=2))
     try:
@@ -438,6 +478,19 @@ def cmd_submit(args) -> int:
                 )
             print(f"run report written to {args.report_json}",
                   file=sys.stderr)
+        if lifecycle is not None:
+            print("\n-- request lifecycle " + "-" * 43,
+                  file=sys.stderr)
+            print(obs.render_trace([obs.Span.from_dict(lifecycle)]),
+                  file=sys.stderr)
+    elif args.verb == "metrics":
+        print(result.get("text", ""), end="")
+    elif args.verb == "trace":
+        tree = result.get("trace")
+        if tree is None:
+            print("(no finished trace recorded)", file=sys.stderr)
+            return 1
+        print(obs.render_trace([obs.Span.from_dict(tree)]))
     else:
         print(json.dumps(result, indent=2))
     return 0
@@ -569,6 +622,14 @@ def main(argv=None) -> int:
         help="run only the named benchmark (repeatable)",
     )
     p_exp.add_argument("--time-limit", type=float, default=64.0)
+    p_exp.add_argument(
+        "--bench-json", metavar="PATH", dest="bench_json",
+        default="BENCH_suite.json",
+        help="write the suite's perf trajectory (wall-clock, solve "
+             "percentiles, presolve reductions, cache/degradation "
+             "counters) as JSON (default: BENCH_suite.json; pass an "
+             "empty string to skip)",
+    )
     _add_presolve_option(p_exp)
     _add_faults_option(p_exp)
     _add_engine_options(p_exp)
@@ -603,6 +664,18 @@ def main(argv=None) -> int:
     p_serve.add_argument("--backend", choices=sorted(BACKENDS),
                          default="scipy")
     p_serve.add_argument("--time-limit", type=float, default=64.0)
+    p_serve.add_argument("--metrics-port", type=int, default=None,
+                         metavar="P",
+                         help="serve Prometheus text on an HTTP "
+                              "sidecar at this port (0 = ephemeral)")
+    p_serve.add_argument("--metrics-jsonl", metavar="PATH",
+                         default=None,
+                         help="append periodic metric snapshots to "
+                              "PATH as JSON lines")
+    p_serve.add_argument("--metrics-interval", type=float,
+                         default=30.0, metavar="S",
+                         help="seconds between --metrics-jsonl "
+                              "snapshots")
     _add_presolve_option(p_serve)
     _add_faults_option(p_serve)
     _add_engine_options(p_serve)
@@ -616,7 +689,7 @@ def main(argv=None) -> int:
     p_submit.add_argument("--verb", default="allocate",
                           choices=("allocate", "status", "stats",
                                    "ping", "health", "cancel",
-                                   "drain"))
+                                   "drain", "metrics", "trace"))
     p_submit.add_argument("--host", default="127.0.0.1")
     p_submit.add_argument("--port", type=int, default=8753)
     p_submit.add_argument("--function", default=None)
@@ -639,8 +712,13 @@ def main(argv=None) -> int:
                           help="tenant tag for fair queueing and "
                                "per-tenant size limits")
     p_submit.add_argument("--request", default=None, metavar="REF",
-                          help="trace_id or id to cancel "
-                               "(with --verb cancel)")
+                          help="trace_id or id to cancel or fetch "
+                               "(with --verb cancel/trace)")
+    p_submit.add_argument("--show-trace", action="store_true",
+                          dest="show_trace",
+                          help="record a request-lifecycle trace "
+                               "server-side and render the stitched "
+                               "span tree after the reply")
     p_submit.add_argument("--timeout", type=float, default=300.0,
                           help="client socket timeout")
     p_submit.add_argument("--connect-retries", type=int, default=0,
@@ -663,9 +741,11 @@ def main(argv=None) -> int:
     env_on = os.environ.get("REPRO_TRACE", "0") not in ("", "0")
     show_stats = args.stats or env_on
     show_trace = args.trace or env_on
-    # --report-json needs live counters for the per-function deltas.
+    # --report-json needs live counters for the per-function deltas;
+    # --bench-json needs them for the cache/degradation sections.
     obs.enable(
-        stats=show_stats or bool(args.report_json),
+        stats=(show_stats or bool(args.report_json)
+               or bool(getattr(args, "bench_json", None))),
         trace=show_trace,
     )
     try:

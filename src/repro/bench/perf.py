@@ -1,0 +1,134 @@
+"""Perf trajectory of the experiment suite: the BENCH_*.json artifact.
+
+Tables 2/3 and Figures 9/10 track *what* the allocator produced; this
+module tracks *how fast it got there*, as one machine-readable JSON
+record per suite run:
+
+* suite wall-clock and per-benchmark solve-time percentiles — exact
+  (:func:`repro.telemetry.percentile_of` over the raw per-function
+  solve times, not the bucketed estimator: the suite keeps every
+  sample);
+* presolve reduction ratios (variables and constraints removed before
+  the backend ran, the §5 model-size story);
+* cache hit rate and degradation counts from the engine counters.
+
+CI runs ``python -m repro exp --bench-json BENCH_suite.json`` and
+gates the result with ``tools/check_bench_regression.py`` against
+``tools/bench_tolerances.json`` — the perf trajectory of the repo is
+the git history of those numbers.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..obs import snapshot
+from ..telemetry import percentile_of
+from .suite import SuiteResult
+
+#: bump when the JSON layout changes incompatibly
+BENCH_SCHEMA = "repro-bench/1"
+
+PERCENTILES = (50, 90, 95, 99)
+
+
+def _solve_stats(reports) -> dict:
+    """Percentiles/total of the raw per-function solve times."""
+    times = [f.solve_seconds for f in reports if f.attempted]
+    out = {
+        f"p{q}": round(percentile_of(times, q), 6)
+        for q in PERCENTILES
+    }
+    out["max"] = round(max(times), 6) if times else 0.0
+    out["total"] = round(sum(times), 6)
+    out["samples"] = len(times)
+    return out
+
+
+def _presolve_stats(reports, counters=None) -> dict:
+    """How much of the raw model presolve removed, 0..1 per axis.
+
+    The per-function post-presolve sizes are only recorded when the
+    suite ran with report collection; without them (the plain ``repro
+    exp`` path) the suite-level call falls back to the merged
+    ``presolve.*`` counters, which the engine ships back from worker
+    processes on every run.
+    """
+    pre_v = sum(f.n_variables for f in reports)
+    pre_c = sum(f.n_constraints for f in reports)
+    post_v = sum(f.n_presolved_variables for f in reports)
+    post_c = sum(f.n_presolved_constraints for f in reports)
+    if counters and post_v == pre_v and post_c == pre_c:
+        removed_v = int(counters.get("presolve.vars_fixed", 0.0)
+                        + counters.get("presolve.cols_merged", 0.0))
+        removed_c = int(counters.get("presolve.cons_dropped", 0.0))
+        if removed_v or removed_c:
+            post_v = max(0, pre_v - removed_v)
+            post_c = max(0, pre_c - removed_c)
+    return {
+        "pre_variables": pre_v,
+        "post_variables": post_v,
+        "pre_constraints": pre_c,
+        "post_constraints": post_c,
+        "var_reduction": round(1.0 - post_v / pre_v, 4) if pre_v else 0.0,
+        "cons_reduction": round(1.0 - post_c / pre_c, 4) if pre_c else 0.0,
+    }
+
+
+def suite_perf_summary(
+    suite: SuiteResult,
+    wall_seconds: float,
+    counters: dict[str, float] | None = None,
+) -> dict:
+    """The perf record of one suite run (the BENCH_suite.json body).
+
+    ``counters`` defaults to the live stats snapshot — run the suite
+    with stats enabled (``repro exp`` does) or the cache/degradation
+    sections read as zero.
+    """
+    counters = snapshot() if counters is None else counters
+    reports = suite.function_reports
+    hits = counters.get("engine.cache_hits", 0.0)
+    misses = counters.get("engine.cache_misses", 0.0)
+    lookups = hits + misses
+    summary = {
+        "schema": BENCH_SCHEMA,
+        "suite": {
+            "wall_seconds": round(wall_seconds, 3),
+            "n_benchmarks": len(suite.results),
+            "n_functions": len(reports),
+            "solved": sum(1 for f in reports if f.solved),
+            "optimal": sum(1 for f in reports if f.optimal),
+            "solve": _solve_stats(reports),
+            "presolve": _presolve_stats(reports, counters),
+            "cache": {
+                "hits": int(hits),
+                "misses": int(misses),
+                "hit_rate": round(hits / lookups, 4) if lookups else 0.0,
+            },
+            "degradations": {
+                "fallbacks": int(counters.get("engine.fallbacks", 0.0)),
+                "timeouts": int(counters.get("engine.timeouts", 0.0)),
+                "degraded_total": int(
+                    counters.get("resilience.degradations", 0.0)
+                ),
+            },
+        },
+        "benchmarks": {},
+    }
+    for result in suite.results:
+        fns = result.functions
+        summary["benchmarks"][result.benchmark.name] = {
+            "n_functions": len(fns),
+            "solved": sum(1 for f in fns if f.solved),
+            "optimal": sum(1 for f in fns if f.optimal),
+            "solve": _solve_stats(fns),
+            "presolve": _presolve_stats(fns),
+        }
+    return summary
+
+
+def write_bench_json(path: str, summary: dict) -> None:
+    with open(path, "w") as handle:
+        json.dump(summary, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -17,6 +17,7 @@ solver statistics, and the solved objective split into the §4
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from ..allocation import Allocation, validate_allocation
@@ -36,6 +37,7 @@ from ..obs import (
 from ..postpass import merge_noop_copies
 from ..solver import InfeasibleModel, SolveStatus
 from ..target import TargetMachine
+from ..telemetry import define_histogram
 from .analysis_module import ORAAnalysis
 from .config import AllocatorConfig
 from .costmodel import CostModel
@@ -53,6 +55,9 @@ STAT_FAILED = define_counter(
 )
 STAT_REWRITES = define_counter(
     "ip.rewrites", "solutions rewritten into code"
+)
+HIST_REWRITE = define_histogram(
+    "ip.rewrite_time", "per-function solution rewrite seconds"
 )
 
 
@@ -139,6 +144,7 @@ class IPAllocator:
             alloc.solve_seconds = result.solve_seconds
             return alloc, model, table, result
 
+        t_rewrite = time.perf_counter()
         with trace_phase("rewrite"):
             rewrite = ORARewrite(
                 work, self.target, table, index, self.config
@@ -148,6 +154,7 @@ class IPAllocator:
             except RewriteError:
                 STAT_FAILED.incr()
                 return self._failed(fn, "failed"), model, table, result
+        HIST_REWRITE.observe(time.perf_counter() - t_rewrite)
         STAT_REWRITES.incr()
 
         with trace_phase("postpass"):

@@ -5,6 +5,7 @@ from __future__ import annotations
 
 from ..obs import annotate, define_counter, trace_phase
 from ..solver import IPModel, SolveResult, SolveStatus, solve
+from ..telemetry import define_histogram
 from .config import AllocatorConfig
 from .table import DecisionVariableTable
 
@@ -13,6 +14,9 @@ STAT_SOLVED = define_counter(
 )
 STAT_UNSOLVED = define_counter(
     "ip.unsolved", "allocation IPs with no solution within limits"
+)
+HIST_SOLVE = define_histogram(
+    "ip.solve_time", "per-function IP solve seconds (Fig. 10 axis)"
 )
 
 
@@ -37,6 +41,7 @@ def solve_allocation(
             annotate(
                 "presolved_cons", result.presolve.post_constraints
             )
+    HIST_SOLVE.observe(result.solve_seconds)
     if result.status.has_solution:
         STAT_SOLVED.incr()
         table.set_solution(result)

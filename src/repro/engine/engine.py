@@ -65,6 +65,7 @@ from ..obs import (
     REGISTRY,
     Span,
     capture,
+    capture_active,
     counter,
     define_counter,
     set_stats_enabled,
@@ -75,6 +76,11 @@ from ..obs import (
 from ..solver import SolveResult, SolveStatus
 from ..solver.model import InfeasibleModel
 from ..target import TargetMachine
+from ..telemetry import (
+    histogram_delta,
+    histogram_snapshot,
+    merge_histograms,
+)
 from .cache import CacheRecord, ResultCache
 from .fingerprint import allocation_fingerprint
 
@@ -171,6 +177,9 @@ class EngineOutcome:
     timed_out: bool = False
     #: pid of the worker process that solved it (0 = this process)
     worker_pid: int = 0
+    #: canonical allocation fingerprint (cache key); lets callers —
+    #: the service's per-tenant accounting — attribute cache occupancy
+    fingerprint: str = ""
 
     @property
     def fell_back(self) -> bool:
@@ -252,6 +261,8 @@ class _WorkerReturn:
     pid: int
     timed_out: bool
     error: str = ""
+    #: histogram snapshot deltas, merged back like ``counters``
+    histograms: dict[str, dict] = field(default_factory=dict)
 
 
 def _record_from(
@@ -309,6 +320,7 @@ def _worker_solve(payload: _WorkerPayload) -> _WorkerReturn:
     # parent's flag; the parent merges them (gated on its own flag).
     set_stats_enabled(True)
     before = snapshot()
+    hist_before = histogram_snapshot(skip_empty=False)
     inj = get_injector()
     if inj.spec != payload.faults:
         # Install the parent's plan (budgets stay per worker process).
@@ -348,6 +360,9 @@ def _worker_solve(payload: _WorkerPayload) -> _WorkerReturn:
         for name in after
         if after[name] != before.get(name, 0.0)
     }
+    histograms = histogram_delta(
+        hist_before, histogram_snapshot(skip_empty=False)
+    )
     record = (
         _record_from(
             payload.fingerprint, payload.fn.name, model, result
@@ -363,6 +378,7 @@ def _worker_solve(payload: _WorkerPayload) -> _WorkerReturn:
         pid=os.getpid(),
         timed_out=bool(result is not None and result.timed_out),
         error=error,
+        histograms=histograms,
     )
 
 
@@ -506,7 +522,11 @@ class AllocationEngine:
     def _try_cache(self, job: _Job, baseline) -> EngineOutcome | None:
         if self.cache is None:
             return None
-        record = self.cache.get(job.fingerprint)
+        with trace_phase(
+            "cache-probe", function=job.fn.name
+        ) as probe:
+            record = self.cache.get(job.fingerprint)
+            probe.annotate("hit", record is not None)
         if record is None:
             STAT_CACHE_MISSES.incr()
             return None
@@ -530,6 +550,7 @@ class AllocationEngine:
             final=attempt,
             source="cache",
             cache_hit=True,
+            fingerprint=job.fingerprint,
         )
 
     def _replay(self, job: _Job, record: CacheRecord) -> Allocation:
@@ -617,9 +638,17 @@ class AllocationEngine:
         ec = self.engine_config
         workers = min(ec.jobs, len(jobs))
         collect = self.config.collect_report
-        capture_spans = trace_enabled() and not collect
+        # A per-request capture (lifecycle-traced service request) wants
+        # worker spans even when global tracing is off.
+        capture_spans = (
+            trace_enabled() or capture_active()
+        ) and not collect
         faults_spec = current_spec()
         retry = RetryPolicy(max_retries=ec.retries)
+        # Merge-back is idempotent per (job, attempt): a result that
+        # somehow surfaces twice across crash-retry waves must not
+        # double-count its counter/histogram deltas.
+        merged_tokens: set[str] = set()
         if self._shared_executor is not None:
             executor = self._shared_executor
         else:
@@ -635,31 +664,38 @@ class AllocationEngine:
                 return
         try:
             wave = [(job, 0) for job in jobs]
+            wave_no = 0
             while wave:
                 future_of = {}
                 crashed: list[tuple[_Job, int, BaseException]] = []
-                for job, attempt in wave:
-                    payload = _WorkerPayload(
-                        fn=job.fn,
-                        freq=job.freq,
-                        target=self.target,
-                        config=self.config,
-                        fingerprint=job.fingerprint,
-                        capture_spans=capture_spans or collect,
-                        faults=faults_spec,
-                        attempt=attempt,
+                with trace_phase(
+                    "solve-wave", wave=wave_no, jobs=len(wave)
+                ):
+                    for job, attempt in wave:
+                        payload = _WorkerPayload(
+                            fn=job.fn,
+                            freq=job.freq,
+                            target=self.target,
+                            config=self.config,
+                            fingerprint=job.fingerprint,
+                            capture_spans=capture_spans or collect,
+                            faults=faults_spec,
+                            attempt=attempt,
+                        )
+                        try:
+                            future = executor.submit(
+                                _worker_solve, payload
+                            )
+                        except (RuntimeError, OSError) as exc:
+                            # Pool broken or shut down under us.
+                            crashed.append((job, attempt, exc))
+                            continue
+                        future_of[future] = (job, attempt)
+                    crashed.extend(
+                        self._drain(future_of, outcomes, baseline,
+                                    engine_span, merged_tokens)
                     )
-                    try:
-                        future = executor.submit(_worker_solve, payload)
-                    except (RuntimeError, OSError) as exc:
-                        # Pool broken or shut down under us.
-                        crashed.append((job, attempt, exc))
-                        continue
-                    future_of[future] = (job, attempt)
-                crashed.extend(
-                    self._drain(future_of, outcomes, baseline,
-                                engine_span)
-                )
+                wave_no += 1
                 wave = []
                 for job, attempt, exc in crashed:
                     counter("resilience.worker_crashes").incr()
@@ -746,7 +782,8 @@ class AllocationEngine:
         return waves * (limit + grace) + grace
 
     def _drain(
-        self, future_of, outcomes, baseline, engine_span
+        self, future_of, outcomes, baseline, engine_span,
+        merged_tokens: set[str],
     ) -> list[tuple[_Job, int, BaseException]]:
         """Wait out one submission wave; return the crash casualties."""
         crashed: list[tuple[_Job, int, BaseException]] = []
@@ -800,16 +837,22 @@ class AllocationEngine:
                     )
                     continue
                 outcomes[job.fn.name] = self._absorb(
-                    job, ret, baseline, engine_span
+                    job, attempt, ret, baseline, engine_span,
+                    merged_tokens,
                 )
         return crashed
 
     def _absorb(
-        self, job: _Job, ret: _WorkerReturn, baseline, engine_span
+        self, job: _Job, attempt_no: int, ret: _WorkerReturn,
+        baseline, engine_span, merged_tokens: set[str],
     ) -> EngineOutcome:
         """Fold one worker's result back into the parent process."""
         STAT_PARALLEL.incr()
-        self._merge_counters(ret.counters)
+        token = f"{job.fingerprint}#{attempt_no}"
+        if token not in merged_tokens:
+            merged_tokens.add(token)
+            self._merge_counters(ret.counters)
+            merge_histograms(ret.histograms)
         if ret.error:
             # In-worker pipeline failure: the worker already counted
             # the degradation (merged just above); degrade to the
@@ -846,6 +889,7 @@ class AllocationEngine:
                 source="solver",
                 timed_out=timed_out,
                 worker_pid=pid,
+                fingerprint=job.fingerprint,
             )
         STAT_FALLBACKS.incr()
         final = attempt
@@ -860,6 +904,7 @@ class AllocationEngine:
             source="fallback",
             timed_out=timed_out,
             worker_pid=pid,
+            fingerprint=job.fingerprint,
         )
 
     def _baseline_allocation(

@@ -50,6 +50,7 @@ from .trace import (
     SpanCapture,
     annotate,
     capture,
+    capture_active,
     current_span,
     render_trace,
     set_trace_enabled,
@@ -99,6 +100,7 @@ __all__ = [
     "VARIABLE_CLASS_BY_KIND",
     "annotate",
     "capture",
+    "capture_active",
     "constraint_class",
     "counter",
     "current_span",

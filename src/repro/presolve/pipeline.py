@@ -14,6 +14,7 @@ import time
 
 from ..obs import define_counter, trace_phase
 from ..solver.model import IPModel
+from ..telemetry import define_histogram
 from .config import PresolveConfig
 from .passes import Reducer
 from .reduction import PresolveReduction, PresolveSummary, SubModel
@@ -38,6 +39,9 @@ STAT_TIME = define_counter(
 )
 STAT_INFEASIBLE = define_counter(
     "presolve.infeasible", "models presolve proved infeasible"
+)
+HIST_PRESOLVE = define_histogram(
+    "ip.presolve_time", "per-model presolve pipeline seconds"
 )
 
 
@@ -78,6 +82,7 @@ def presolve_model(
     STAT_CONS_DROPPED.add(summary.cons_dropped)
     STAT_COMPONENTS.add(summary.components)
     STAT_TIME.add(summary.seconds)
+    HIST_PRESOLVE.observe(summary.seconds)
     return reduction
 
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import time
 
-from ..obs import define_counter
+from ..obs import define_counter, trace_phase
 from ..solver.model import IPModel
 from ..solver.result import SolveResult, SolveStatus
 from .config import PresolveConfig
@@ -88,8 +88,10 @@ def solve_reduced(
             all_optimal = False
         sub_values[k] = res.values
 
-    values = reduction.expand(sub_values)
-    if not model.check(values):
+    with trace_phase("expand", components=len(reduction.submodels)):
+        values = reduction.expand(sub_values)
+        sound = model.check(values)
+    if not sound:
         # A reduction produced an infeasible expansion: presolve bug.
         # Fall back to solving the original model untouched.
         STAT_BAILOUTS.incr()

@@ -119,6 +119,7 @@ class ServiceClient:
         trace_id: str | None = None,
         request_id=None,
         tenant: str | None = None,
+        trace: bool = False,
     ) -> dict:
         message: dict = {"verb": "allocate"}
         if source is not None:
@@ -141,6 +142,8 @@ class ServiceClient:
             message["id"] = request_id
         if tenant is not None:
             message["tenant"] = tenant
+        if trace:
+            message["trace"] = True
         return self.request(message)
 
     def status(self) -> dict:
@@ -152,6 +155,18 @@ class ServiceClient:
     def health(self) -> dict:
         """Resilience vitals: breakers, degradations, queue depths."""
         return self.request({"verb": "health"})
+
+    def metrics(self) -> dict:
+        """Prometheus text exposition of the server's telemetry."""
+        return self.request({"verb": "metrics"})
+
+    def trace(self, request_ref=None) -> dict:
+        """Fetch a finished lifecycle trace by trace_id (or the most
+        recent one when ``request_ref`` is None)."""
+        message: dict = {"verb": "trace"}
+        if request_ref is not None:
+            message["request"] = request_ref
+        return self.request(message)
 
     def cancel(self, request_ref) -> dict:
         """Cancel a queued allocate by its trace_id or id."""

@@ -7,9 +7,10 @@ request order per connection.
 Request shape::
 
     {"verb": "allocate" | "status" | "stats" | "drain" | "ping"
-             | "cancel" | "health",
+             | "cancel" | "health" | "metrics" | "trace",
      "id": <any JSON value, echoed back>,        # optional
      "trace_id": "client-chosen-id",             # optional
+     "trace": true,                              # lifecycle trace
      # allocate only:
      "source": "<mini-C program text>",          # exactly one of
      "ir": "<printed IR module text>",           # source / ir
@@ -22,8 +23,12 @@ Request shape::
                 "size_only": ..., "presolve": ...,
                 "code_size_weight": ...,
                 "data_size_weight": ...},        # optional
-     # cancel only:
-     "request": <trace_id or id of a queued allocate>}
+     # cancel / trace only:
+     "request": <trace_id or id of a queued/traced allocate>}
+
+The ``metrics`` verb returns the Prometheus text exposition of the
+telemetry registries; ``trace`` returns a finished request-lifecycle
+span tree by trace_id (or the most recent one).
 
 Response shape::
 
@@ -61,9 +66,11 @@ VERB_DRAIN = "drain"
 VERB_PING = "ping"
 VERB_CANCEL = "cancel"
 VERB_HEALTH = "health"
+VERB_METRICS = "metrics"
+VERB_TRACE = "trace"
 VERBS = (
     VERB_ALLOCATE, VERB_STATUS, VERB_STATS, VERB_DRAIN, VERB_PING,
-    VERB_CANCEL, VERB_HEALTH,
+    VERB_CANCEL, VERB_HEALTH, VERB_METRICS, VERB_TRACE,
 )
 
 E_OVERLOADED = "overloaded"
@@ -204,6 +211,11 @@ class AllocateRequest:
     #: client-declared tenant — the fair-queueing key (falls back to
     #: the connection when empty) and the per-tenant size-limit key
     tenant: str = ""
+    #: the client asked for a request-lifecycle trace (a client
+    #: supplied ``trace_id`` or ``"trace": true``); server-generated
+    #: trace IDs deliberately do not trigger tracing, so the hot path
+    #: allocates no span objects when nobody is looking
+    wants_trace: bool = False
 
     @property
     def wants_report(self) -> bool:
@@ -292,4 +304,7 @@ def parse_allocate(
         functions=functions,
         deadline=deadline,
         tenant=str(message.get("tenant") or ""),
+        wants_trace=bool(
+            message.get("trace") or message.get("trace_id")
+        ),
     )

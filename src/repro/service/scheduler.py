@@ -46,8 +46,10 @@ from ..engine import (
     ResultCache,
     config_signature,
 )
+from ..faults import breaker_snapshots
 from ..ir import format_function
-from ..obs import define_counter, define_gauge, trace_phase
+from ..obs import capture, define_counter, define_gauge, trace_phase
+from ..telemetry import RequestTrace, TraceStore, define_histogram
 from .protocol import (
     E_CANCELLED,
     E_DRAINING,
@@ -97,6 +99,20 @@ STAT_CANCELLED = define_counter(
 STAT_POOL_RESPAWNS = define_counter(
     "service.pool_respawns", "shared process pools replaced after a break"
 )
+HIST_QUEUE_WAIT = define_histogram(
+    "service.queue_wait", "seconds a request waited for a solver slot"
+)
+HIST_ASSEMBLY = define_histogram(
+    "service.batch_assembly",
+    "seconds spent grouping a dequeued batch into engine calls",
+)
+HIST_BATCH_SOLVE = define_histogram(
+    "service.batch_solve", "wall seconds one solver batch took"
+)
+HIST_REQUEST = define_histogram(
+    "service.request_latency",
+    "end-to-end seconds from admission to reply",
+)
 
 
 @dataclass(slots=True)
@@ -112,6 +128,8 @@ class _Pending:
     started: float = 0.0
     #: fair-queueing key (tenant, or the connection when anonymous)
     client: str = ""
+    #: lifecycle trace, only when the client asked for one
+    trace: RequestTrace | None = None
 
     def remaining(self) -> float | None:
         if self.expires is None:
@@ -162,6 +180,15 @@ class BatchScheduler:
         self.completed = 0
         self.rejected = 0
         self.cancelled = 0
+        #: finished lifecycle traces, served by the ``trace`` verb
+        self.traces = TraceStore(
+            keep=getattr(config, "trace_keep", 64)
+        )
+        # per-tenant accounting for the stats verb (solver threads and
+        # the event loop both write — hence the lock)
+        self._tenants: dict[str, dict] = {}
+        self._tenant_fps: dict[str, set[str]] = {}
+        self._tenant_lock = threading.Lock()
 
     # -- lifecycle -------------------------------------------------------
 
@@ -216,27 +243,92 @@ class BatchScheduler:
         return self._queued
 
     def client_depths(self) -> dict[str, int]:
-        """Waiting requests per fair-queueing key (for ``health``)."""
-        return {key: len(q) for key, q in self._queues.items()}
+        """Waiting requests per fair-queueing key (``health`` and the
+        metrics sidecar — ``dict()`` snapshots atomically, so reading
+        from a non-loop thread is safe)."""
+        return {key: len(q) for key, q in dict(self._queues).items()}
+
+    # -- per-tenant accounting (event loop + solver threads) -------------
+
+    def _note_tenant(self, key: str, event: str, n: int = 1) -> None:
+        with self._tenant_lock:
+            t = self._tenants.setdefault(
+                key,
+                {
+                    "admitted": 0, "completed": 0, "rejected": 0,
+                    "cancelled": 0, "cache_hits": 0, "functions": 0,
+                },
+            )
+            t[event] += n
+
+    def _note_tenant_cache(self, key: str, outcomes) -> None:
+        """Attribute one request's cache traffic to its tenant."""
+        hits = sum(1 for o in outcomes if o.cache_hit)
+        fps = {o.fingerprint for o in outcomes if o.fingerprint}
+        with self._tenant_lock:
+            t = self._tenants.setdefault(
+                key,
+                {
+                    "admitted": 0, "completed": 0, "rejected": 0,
+                    "cancelled": 0, "cache_hits": 0, "functions": 0,
+                },
+            )
+            t["cache_hits"] += hits
+            t["functions"] += len(outcomes)
+            self._tenant_fps.setdefault(key, set()).update(fps)
+
+    def tenant_stats(self) -> dict[str, dict]:
+        """Per-tenant queue depth, request counts, cache occupancy."""
+        depths = self.client_depths()
+        with self._tenant_lock:
+            keys = sorted(set(self._tenants) | set(depths))
+            out = {}
+            for key in keys:
+                t = dict(self._tenants.get(key, {}))
+                t["queue_depth"] = depths.get(key, 0)
+                t["cache_occupancy"] = len(
+                    self._tenant_fps.get(key, ())
+                )
+                out[key] = t
+        return out
+
+    def _finish_rejected(
+        self, trace: RequestTrace | None, code: str
+    ) -> None:
+        """A traced request bounced at admission still gets a trace."""
+        if trace is None:
+            return
+        trace.stage("rejected", code=code)
+        self.traces.put(
+            trace.trace_id, trace.finish(code).to_dict()
+        )
 
     @property
     def in_flight(self) -> int:
         return self._in_flight
 
     def submit(
-        self, request: AllocateRequest, client: str = ""
+        self,
+        request: AllocateRequest,
+        client: str = "",
+        trace: RequestTrace | None = None,
     ) -> asyncio.Future:
         """Admit one request, or raise a ProtocolError rejection.
 
         ``client`` identifies the connection; the fair-queueing key is
         the request's tenant when declared, else the connection.  Must
         be called from the event loop; the capacity check and the
-        enqueue are atomic because nothing here awaits.
+        enqueue are atomic because nothing here awaits.  ``trace``,
+        when given, is the request's lifecycle trace; the scheduler
+        appends queue/solve/reply stages to it and stores it finished.
         """
         STAT_REQUESTS.incr()
+        key = request.tenant or client or "anon"
         if self.draining:
             STAT_REJECTED_DRAIN.incr()
             self.rejected += 1
+            self._note_tenant(key, "rejected")
+            self._finish_rejected(trace, E_DRAINING)
             raise ProtocolError(
                 E_DRAINING, "server is draining; not accepting work"
             )
@@ -245,13 +337,14 @@ class BatchScheduler:
         if self._queued >= self.config.queue_capacity:
             STAT_REJECTED.incr()
             self.rejected += 1
+            self._note_tenant(key, "rejected")
+            self._finish_rejected(trace, E_OVERLOADED)
             raise ProtocolError(
                 E_OVERLOADED,
                 f"admission queue full "
                 f"({self.config.queue_capacity} waiting); retry later",
             )
         now = time.monotonic()
-        key = request.tenant or client or "anon"
         pending = _Pending(
             request=request,
             future=asyncio.get_running_loop().create_future(),
@@ -261,6 +354,7 @@ class BatchScheduler:
                 if request.deadline is not None else None
             ),
             client=key,
+            trace=trace,
         )
         queue = self._queues.get(key)
         if queue is None:
@@ -271,7 +365,12 @@ class BatchScheduler:
         self._queued += 1
         self.admitted += 1
         STAT_ADMITTED.incr()
+        self._note_tenant(key, "admitted")
         GAUGE_QUEUE_DEPTH.set(self._queued)
+        if trace is not None:
+            trace.stage(
+                "admission", queue_depth=self._queued, client=key
+            )
         self._wake.set()
         return pending.future
 
@@ -295,7 +394,14 @@ class BatchScheduler:
                     del self._queues[key]
                 self.cancelled += 1
                 STAT_CANCELLED.incr()
+                self._note_tenant(pending.client, "cancelled")
                 GAUGE_QUEUE_DEPTH.set(self._queued)
+                if pending.trace is not None:
+                    pending.trace.stage("cancelled")
+                    self.traces.put(
+                        pending.trace.trace_id,
+                        pending.trace.finish("cancelled").to_dict(),
+                    )
                 if not pending.future.done():
                     pending.future.set_result({
                         "ok": False,
@@ -359,21 +465,33 @@ class BatchScheduler:
                 for p in batch
             }
         for pending in batch:
+            payload = responses.get(
+                id(pending),
+                {
+                    "ok": False,
+                    "error": {
+                        "code": E_INTERNAL,
+                        "message": "request lost by scheduler",
+                    },
+                },
+            )
             if not pending.future.done():
-                pending.future.set_result(
-                    responses.get(
-                        id(pending),
-                        {
-                            "ok": False,
-                            "error": {
-                                "code": E_INTERNAL,
-                                "message": "request lost by scheduler",
-                            },
-                        },
-                    )
-                )
+                pending.future.set_result(payload)
             self.completed += 1
             STAT_COMPLETED.incr()
+            self._note_tenant(pending.client, "completed")
+            HIST_REQUEST.observe(
+                time.monotonic() - pending.admitted
+            )
+            if pending.trace is not None:
+                pending.trace.stage("reply")
+                status = "ok" if payload.get("ok") else (
+                    (payload.get("error") or {}).get("code", "error")
+                )
+                self.traces.put(
+                    pending.trace.trace_id,
+                    pending.trace.finish(status).to_dict(),
+                )
         self._in_flight -= len(batch)
         GAUGE_IN_FLIGHT.set(self._in_flight)
         self._room.set()
@@ -396,7 +514,13 @@ class BatchScheduler:
         t0 = time.monotonic()
         for pending in batch:
             pending.started = t0
-            STAT_QUEUE_WAIT.add(t0 - pending.admitted)
+            wait = t0 - pending.admitted
+            STAT_QUEUE_WAIT.add(wait)
+            HIST_QUEUE_WAIT.observe(wait)
+            if pending.trace is not None:
+                pending.trace.stage(
+                    "queue", seconds=wait, batch=len(batch)
+                )
         responses: dict[int, dict] = {}
         groups: list[list[_Pending]] = []
         shared: dict[tuple, list[_Pending]] = {}
@@ -418,9 +542,21 @@ class BatchScheduler:
                     key = self._engine_key(req)
                     shared.setdefault(key, []).append(pending)
             groups.extend(shared.values())
+            assembly = time.monotonic() - t0
+            HIST_ASSEMBLY.observe(assembly)
             for group in groups:
+                for pending in group:
+                    if pending.trace is not None:
+                        pending.trace.stage(
+                            "batch-assembly",
+                            seconds=assembly,
+                            groups=len(groups),
+                            group_size=len(group),
+                        )
                 self._solve_group(group, responses)
-        STAT_SOLVE.add(time.monotonic() - t0)
+        elapsed = time.monotonic() - t0
+        STAT_SOLVE.add(elapsed)
+        HIST_BATCH_SOLVE.observe(elapsed)
         return responses
 
     def _engine_key(self, req: AllocateRequest) -> tuple:
@@ -500,16 +636,38 @@ class BatchScheduler:
                 fn for p in sub for fn in p.request.functions
             ]
             trace_ids = ",".join(p.request.trace_id for p in sub)
+            traced = [p for p in sub if p.trace is not None]
+            t1 = time.monotonic()
             try:
                 with trace_phase(
                     "service-solve",
                     functions=len(functions),
                     trace_ids=trace_ids,
                 ):
-                    module_alloc = engine.allocate_module(functions)
+                    if traced:
+                        # Capture the engine's span subtree (cache
+                        # probes, presolve, solve waves, workers) for
+                        # the lifecycle trace even when global tracing
+                        # is off.
+                        with capture() as cap:
+                            module_alloc = engine.allocate_module(
+                                functions
+                            )
+                        engine_spans = cap.spans
+                    else:
+                        module_alloc = engine.allocate_module(
+                            functions
+                        )
+                        engine_spans = []
             except Exception as exc:
                 detail = f"{type(exc).__name__}: {exc}"
                 for p in sub:
+                    if p.trace is not None:
+                        p.trace.stage(
+                            "solve",
+                            seconds=time.monotonic() - t1,
+                            error=detail,
+                        )
                     responses[id(p)] = {
                         "ok": False,
                         "error": {
@@ -517,12 +675,37 @@ class BatchScheduler:
                         },
                     }
                 continue
+            solve_seconds = time.monotonic() - t1
             for p in sub:
                 outcomes = [
                     module_alloc.outcome(fn.name)
                     for fn in p.request.functions
                 ]
+                if p.trace is not None:
+                    self._trace_solve(
+                        p, outcomes, engine_spans, solve_seconds
+                    )
                 responses[id(p)] = self._result(p, outcomes)
+
+    def _trace_solve(
+        self, pending: _Pending, outcomes, engine_spans, seconds: float
+    ) -> None:
+        """Append the solve stage (plus engine spans) to a trace."""
+        trace = pending.trace
+        breakers = {
+            site: snap.get("state", "")
+            for site, snap in breaker_snapshots().items()
+        }
+        span = trace.stage(
+            "solve",
+            seconds=seconds,
+            functions=len(outcomes),
+            cache_hits=sum(1 for o in outcomes if o.cache_hit),
+            fallbacks=sum(1 for o in outcomes if o.fell_back),
+            timed_out=sum(1 for o in outcomes if o.timed_out),
+            breakers=breakers or None,
+        )
+        trace.attach(span, engine_spans)
 
     def _respond_expired(
         self, pending: _Pending, responses: dict[int, dict]
@@ -535,6 +718,10 @@ class BatchScheduler:
             "service-fallback", trace_id=req.trace_id
         ):
             module_alloc = engine.fallback_module(req.functions)
+        if pending.trace is not None:
+            pending.trace.stage(
+                "deadline-expired", functions=len(req.functions)
+            )
         result = self._result(pending, list(module_alloc))
         result["result"]["deadline_expired"] = True
         responses[id(pending)] = result
@@ -543,6 +730,7 @@ class BatchScheduler:
         self, pending: _Pending, outcomes
     ) -> dict:
         req = pending.request
+        self._note_tenant_cache(pending.client, outcomes)
         target = self._target(req.target_name)
         functions = []
         for outcome in outcomes:

@@ -29,6 +29,7 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import itertools
+import re
 import signal
 import threading
 import time
@@ -48,6 +49,13 @@ from ..faults import (
 )
 from ..obs import define_counter
 from ..solver import BACKENDS
+from ..telemetry import (
+    PROM_CONTENT_TYPE,
+    MetricsHTTPServer,
+    RequestTrace,
+    SnapshotWriter,
+    render_prometheus,
+)
 from .protocol import (
     E_BAD_REQUEST,
     E_INTERNAL,
@@ -59,9 +67,11 @@ from .protocol import (
     VERB_CANCEL,
     VERB_DRAIN,
     VERB_HEALTH,
+    VERB_METRICS,
     VERB_PING,
     VERB_STATS,
     VERB_STATUS,
+    VERB_TRACE,
     ProtocolError,
     decode_line,
     encode,
@@ -73,6 +83,18 @@ from .scheduler import BatchScheduler
 STAT_TOO_LARGE = define_counter(
     "service.too_large", "requests rejected over a size limit"
 )
+
+#: best-effort trace_id recovery from a frame we refuse to parse
+#: (oversized or malformed) — the reject reply should still correlate
+_TRACE_ID_RE = re.compile(rb'"trace_id"\s*:\s*"([^"\\]{1,128})"')
+
+
+def _salvage_trace_id(line: bytes) -> str:
+    """Pull a trace_id out of a rejected frame without parsing it."""
+    match = _TRACE_ID_RE.search(line[:65536])
+    if match is None:
+        return ""
+    return match.group(1).decode("utf-8", "replace")
 
 
 def _default_targets() -> dict:
@@ -122,6 +144,15 @@ class ServiceConfig:
     tenant_limits: dict | None = None
     #: fault-plan spec installed at start (None: REPRO_FAULTS env)
     faults: str | None = None
+    #: bind an HTTP /metrics sidecar on this port (None = off;
+    #: 0 = ephemeral, read it back from ``server.metrics_port``)
+    metrics_port: int | None = None
+    #: append periodic telemetry snapshots to this JSONL file
+    metrics_jsonl: str | None = None
+    #: seconds between JSONL snapshots
+    metrics_interval: float = 30.0
+    #: finished request-lifecycle traces kept for the ``trace`` verb
+    trace_keep: int = 64
 
 
 class AllocationServer:
@@ -144,6 +175,8 @@ class AllocationServer:
         self._trace_seq = itertools.count(1)
         self._conn_seq = itertools.count(1)
         self._signals_installed: list[int] = []
+        self._metrics_http: MetricsHTTPServer | None = None
+        self._snapshots: SnapshotWriter | None = None
 
     # -- lifecycle -------------------------------------------------------
 
@@ -167,6 +200,20 @@ class AllocationServer:
             self.config.port,
             limit=MAX_LINE_BYTES,
         )
+        if self.config.metrics_port is not None:
+            self._metrics_http = MetricsHTTPServer(
+                self.config.host,
+                self.config.metrics_port,
+                render=self.render_metrics,
+            )
+            self._metrics_http.start()
+        if self.config.metrics_jsonl:
+            self._snapshots = SnapshotWriter(
+                self.config.metrics_jsonl,
+                interval=self.config.metrics_interval,
+                extra=lambda: {"status": self.status()},
+            )
+            self._snapshots.start()
         self._install_signal_handlers()
 
     async def run(self) -> None:
@@ -183,6 +230,12 @@ class AllocationServer:
 
     async def stop(self) -> None:
         self._remove_signal_handlers()
+        if self._metrics_http is not None:
+            self._metrics_http.stop()
+            self._metrics_http = None
+        if self._snapshots is not None:
+            self._snapshots.stop()
+            self._snapshots = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -259,14 +312,18 @@ class AllocationServer:
         if oversized:
             STAT_TOO_LARGE.incr()
             return error_response(
-                {}, "", E_TOO_LARGE,
+                {"trace_id": _salvage_trace_id(line)}, "",
+                E_TOO_LARGE,
                 f"request of {len(line)} bytes exceeds the "
                 f"{self.config.max_request_bytes}-byte limit",
             )
         try:
             message = decode_line(line)
         except ProtocolError as exc:
-            return error_response({}, "", exc.code, exc.message)
+            return error_response(
+                {"trace_id": _salvage_trace_id(line)}, "",
+                exc.code, exc.message,
+            )
         verb = message.get("verb", VERB_ALLOCATE)
         tenant = str(message.get("tenant") or "")
         limit = (self.config.tenant_limits or {}).get(tenant)
@@ -298,6 +355,18 @@ class AllocationServer:
             return self._wrap(message, verb, self.stats())
         if verb == VERB_HEALTH:
             return self._wrap(message, verb, self.health())
+        if verb == VERB_METRICS:
+            return self._wrap(
+                message, verb,
+                {
+                    "content_type": PROM_CONTENT_TYPE,
+                    "text": self.render_metrics(),
+                },
+            )
+        if verb == VERB_TRACE:
+            return self._wrap(
+                message, verb, self.trace(message.get("request"))
+            )
         if verb == VERB_PING:
             return self._wrap(
                 message, verb, {"protocol": PROTOCOL_VERSION}
@@ -327,7 +396,8 @@ class AllocationServer:
             E_UNKNOWN_VERB,
             f"unknown verb {verb!r} (known: "
             f"{VERB_ALLOCATE}, {VERB_STATUS}, {VERB_STATS}, "
-            f"{VERB_HEALTH}, {VERB_CANCEL}, {VERB_DRAIN}, {VERB_PING})",
+            f"{VERB_HEALTH}, {VERB_METRICS}, {VERB_TRACE}, "
+            f"{VERB_CANCEL}, {VERB_DRAIN}, {VERB_PING})",
         )
 
     def _wrap(self, message: dict, verb: str, result: dict) -> dict:
@@ -349,17 +419,40 @@ class AllocationServer:
             time_limit=self.config.default_time_limit,
             presolve=self.config.default_presolve,
         )
-        request = parse_allocate(
-            message,
-            self.config.default_target,
-            defaults,
-            trace_id,
-            self.targets,
-            BACKENDS,
-        )
-        # Admission happens after validation so rejections are cheap
-        # and a malformed request never occupies a queue slot.
-        future = self.scheduler.submit(request, client=client)
+        try:
+            request = parse_allocate(
+                message,
+                self.config.default_target,
+                defaults,
+                trace_id,
+                self.targets,
+                BACKENDS,
+            )
+            # A lifecycle trace exists only when the client asked for
+            # one (its own trace_id or "trace": true) — untraced
+            # requests allocate no span objects on the hot path.
+            trace = None
+            if request.wants_trace:
+                trace = RequestTrace(
+                    trace_id,
+                    tenant=request.tenant,
+                    client=client,
+                    target=request.target_name,
+                )
+            # Admission happens after validation so rejections are
+            # cheap and a malformed request never occupies a queue
+            # slot.
+            future = self.scheduler.submit(
+                request, client=client, trace=trace
+            )
+        except ProtocolError as exc:
+            # Rejections (bad_request / overloaded / draining) still
+            # echo the request's trace_id, generated or not.
+            response = error_response(
+                message, VERB_ALLOCATE, exc.code, exc.message
+            )
+            response["trace_id"] = trace_id
+            return response
         payload = await future
         response = {
             "id": message.get("id"),
@@ -435,6 +528,7 @@ class AllocationServer:
         completed = max(1.0, counters.get("service.completed", 0.0))
         return {
             "counters": counters,
+            "tenants": sched.tenant_stats(),
             "queue": {
                 "depth": sched.queue_depth,
                 "capacity": self.config.queue_capacity,
@@ -462,6 +556,52 @@ class AllocationServer:
             },
             "uptime_seconds": time.monotonic() - self._started,
         }
+
+    def trace(self, ref=None) -> dict:
+        """Body of the ``trace`` verb: one stored lifecycle trace."""
+        store = self.scheduler.traces
+        tree = store.get(str(ref)) if ref else store.last()
+        return {"trace": tree, "ids": store.ids()}
+
+    @property
+    def metrics_port(self) -> int | None:
+        """Bound port of the /metrics sidecar (None when off)."""
+        if self._metrics_http is None:
+            return None
+        return self._metrics_http.port
+
+    def render_metrics(self) -> str:
+        """Prometheus text: registries plus the service's live
+        labelled gauges (breaker states, per-tenant queue depth and
+        cache occupancy, cache entries)."""
+        sched = self.scheduler
+        state_code = {"closed": 0, "half_open": 1, "open": 2}
+        labelled: dict[str, dict] = {}
+        breakers = {
+            (("site", site),): float(
+                state_code.get(snap.get("state", ""), -1)
+            )
+            for site, snap in breaker_snapshots().items()
+        }
+        if breakers:
+            labelled["breaker.state"] = breakers
+        tenants = sched.tenant_stats()
+        if tenants:
+            labelled["tenant.queue_depth"] = {
+                (("tenant", key),): float(t.get("queue_depth", 0))
+                for key, t in tenants.items()
+            }
+            labelled["tenant.cache_occupancy"] = {
+                (("tenant", key),): float(
+                    t.get("cache_occupancy", 0)
+                )
+                for key, t in tenants.items()
+            }
+        if sched.cache is not None:
+            labelled["cache.entries"] = {
+                (): float(len(sched.cache))
+            }
+        return render_prometheus(labelled=labelled)
 
 
 class ServerThread:

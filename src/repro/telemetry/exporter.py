@@ -1,0 +1,158 @@
+"""Metrics exposition sidecars: HTTP endpoint and JSONL snapshots.
+
+Two optional, stdlib-only exporters the allocation service (or any
+embedder) can run alongside its main protocol:
+
+* :class:`MetricsHTTPServer` — a ``http.server`` thread answering
+  ``GET /metrics`` with Prometheus text (what a scraper pulls) and
+  ``GET /healthz`` with a one-line liveness answer; deliberately not
+  the NDJSON port, so scraping never competes with request framing;
+* :class:`SnapshotWriter` — a thread appending one JSON object per
+  interval (wall timestamp, counters, histograms) to a JSONL file,
+  the offline form: two snapshots diff into a rate without any
+  scraper infrastructure.
+
+Both are daemon threads with idempotent ``start``/``stop``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from ..obs import snapshot
+from .histogram import histogram_snapshot
+from .prom import PROM_CONTENT_TYPE, render_prometheus
+
+
+class MetricsHTTPServer:
+    """``GET /metrics`` in Prometheus text format, on its own port.
+
+    ``render`` is a zero-argument callable returning the exposition
+    text — the service passes one that folds in its gauges (queue
+    depth, breaker states) before rendering.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        render=None,
+    ) -> None:
+        self._render = render or (lambda: render_prometheus())
+        outer = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 (stdlib API)
+                if self.path.split("?", 1)[0] == "/metrics":
+                    body = outer._render().encode("utf-8")
+                    self.send_response(200)
+                    self.send_header("Content-Type", PROM_CONTENT_TYPE)
+                elif self.path == "/healthz":
+                    body = b"ok\n"
+                    self.send_response(200)
+                    self.send_header("Content-Type", "text/plain")
+                else:
+                    body = b"try /metrics\n"
+                    self.send_response(404)
+                    self.send_header("Content-Type", "text/plain")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args) -> None:
+                pass  # a scrape every few seconds is not log-worthy
+
+        self._httpd = ThreadingHTTPServer((host, port), Handler)
+        self._httpd.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    def start(self) -> "MetricsHTTPServer":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="repro-metrics-http",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is not None:
+            self._httpd.shutdown()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._httpd.server_close()
+
+
+class SnapshotWriter:
+    """Append ``{ts, counters, histograms}`` JSONL every interval.
+
+    The offline exposition path: records diff cleanly (counters and
+    histogram state are monotone within a process lifetime), and a
+    final snapshot is always written on :meth:`stop` so short-lived
+    servers still leave a complete record.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        interval: float = 30.0,
+        extra=None,
+    ) -> None:
+        """``extra``, when given, is a zero-argument callable whose
+        dict result is merged into every record (the service adds its
+        queue/tenant state)."""
+        self.path = path
+        self.interval = max(0.1, float(interval))
+        self._extra = extra
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def write_snapshot(self) -> dict:
+        record = {
+            "ts": time.time(),
+            "counters": snapshot(),
+            "histograms": histogram_snapshot(),
+        }
+        if self._extra is not None:
+            try:
+                record.update(self._extra() or {})
+            except Exception:
+                pass  # telemetry must never take the service down
+        with open(self.path, "a") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+        return record
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            try:
+                self.write_snapshot()
+            except OSError:
+                pass
+
+    def start(self) -> "SnapshotWriter":
+        if self._thread is None:
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._run, name="repro-metrics-jsonl",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is not None:
+            self._stop.set()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+            try:
+                self.write_snapshot()
+            except OSError:
+                pass

@@ -1,0 +1,305 @@
+"""Fixed-bucket streaming latency histograms.
+
+The stats registry (:mod:`repro.obs.stats`) answers "how many" and
+"how much total"; it cannot answer "what does the tail look like".
+This module adds the missing distribution type: a histogram with a
+fixed set of log-spaced upper bounds, recording observations into
+buckets in O(log buckets) with no per-sample allocation.
+
+Design constraints, in order:
+
+* **zero-overhead when disabled** — :meth:`Histogram.observe` shares
+  the stats registry's enabled flag; the disabled path is one
+  attribute check and a return, exactly like ``Stat.add``;
+* **mergeable across processes** — a histogram's state (bucket
+  counts, sum, count) is purely additive, so worker processes ship
+  snapshot *deltas* back to the parent the same way counters do
+  (:func:`histogram_delta` / :func:`merge_histograms`), and merging
+  is associative and commutative;
+* **deterministic percentiles** — :meth:`Histogram.percentile` does
+  linear interpolation inside the bucket containing the requested
+  rank (the classic ``histogram_quantile`` estimator), bounded by the
+  bucket width; :func:`percentile_of` is the exact sorted-list
+  estimator used where raw samples are available (bench summaries)
+  and as the oracle in tests.
+
+Declare histograms at import time like counters::
+
+    from ..telemetry import define_histogram
+
+    HIST_SOLVE = define_histogram("ip.solve_time",
+                                  "per-function IP solve seconds")
+
+and record from the hot path with ``HIST_SOLVE.observe(seconds)``.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass, field
+
+from ..obs.stats import _STATE
+
+#: default bucket layout: log-spaced from 0.1 ms to ~1024 s, three
+#: buckets per decade — wide enough for queue waits and the paper's
+#: 1024-second solve budget alike (Fig. 10 spans five decades)
+DEFAULT_LO = 1e-4
+DEFAULT_HI = 1024.0
+DEFAULT_PER_DECADE = 3
+
+
+def log_bounds(
+    lo: float = DEFAULT_LO,
+    hi: float = DEFAULT_HI,
+    per_decade: int = DEFAULT_PER_DECADE,
+) -> tuple[float, ...]:
+    """Log-spaced bucket upper bounds from ``lo`` up to ``hi``."""
+    if lo <= 0 or hi <= lo or per_decade < 1:
+        raise ValueError("need 0 < lo < hi and per_decade >= 1")
+    bounds = []
+    i = 0
+    while True:
+        b = lo * 10.0 ** (i / per_decade)
+        if b > hi * (1 + 1e-9):
+            break
+        bounds.append(float(f"{b:.6g}"))  # stable, readable bounds
+        i += 1
+    return tuple(bounds)
+
+
+DEFAULT_BOUNDS = log_bounds()
+
+
+def percentile_of(values, q: float) -> float:
+    """Exact percentile of raw samples (sorted-list interpolation).
+
+    The standard linear estimator: rank ``q/100 * (n-1)`` interpolated
+    between the two nearest order statistics.  Used by the bench
+    summaries (which keep raw solve times) and as the oracle the
+    bucketed estimator is tested against.
+    """
+    xs = sorted(values)
+    if not xs:
+        return 0.0
+    if len(xs) == 1:
+        return float(xs[0])
+    rank = (max(0.0, min(100.0, q)) / 100.0) * (len(xs) - 1)
+    lo = int(rank)
+    frac = rank - lo
+    if lo + 1 >= len(xs):
+        return float(xs[-1])
+    return float(xs[lo] + (xs[lo + 1] - xs[lo]) * frac)
+
+
+@dataclass(slots=True)
+class Histogram:
+    """One named latency distribution with fixed bucket bounds.
+
+    ``counts[i]`` counts observations ``<= bounds[i]``; the final
+    element counts the overflow (``> bounds[-1]``).  All state is
+    additive, which is what makes cross-process merge exact.
+    """
+
+    name: str
+    description: str = ""
+    bounds: tuple[float, ...] = DEFAULT_BOUNDS
+    counts: list[int] = field(default_factory=list)
+    sum: float = 0.0
+    count: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.counts:
+            self.counts = [0] * (len(self.bounds) + 1)
+
+    # -- recording -------------------------------------------------------
+
+    def observe(self, value: float) -> None:
+        if not _STATE.enabled:
+            return
+        self._observe(value)
+
+    def _observe(self, value: float) -> None:
+        """Unconditional record (the merge/test path)."""
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def reset(self) -> None:
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    # -- reading ---------------------------------------------------------
+
+    def cumulative(self) -> list[int]:
+        """Cumulative bucket counts (the Prometheus ``le`` series,
+        including the implicit ``+Inf`` bucket == ``count``)."""
+        out, running = [], 0
+        for c in self.counts:
+            running += c
+            out.append(running)
+        return out
+
+    def percentile(self, q: float) -> float:
+        """Estimate the q-th percentile from the buckets.
+
+        Linear interpolation inside the bucket holding the requested
+        rank; the first bucket interpolates down to 0 and the overflow
+        bucket reports its lower bound (there is no upper edge).  The
+        estimate is exact up to the width of that one bucket.
+        """
+        if self.count == 0:
+            return 0.0
+        target = (max(0.0, min(100.0, q)) / 100.0) * self.count
+        running = 0
+        for i, c in enumerate(self.counts):
+            if c == 0:
+                continue
+            if running + c >= target:
+                if i == len(self.bounds):  # overflow bucket
+                    return self.bounds[-1]
+                lo = self.bounds[i - 1] if i > 0 else 0.0
+                hi = self.bounds[i]
+                frac = (target - running) / c if c else 1.0
+                return lo + (hi - lo) * max(0.0, min(1.0, frac))
+            running += c
+        return self.bounds[-1]
+
+    def percentiles(self, qs=(50, 90, 95, 99)) -> dict[str, float]:
+        return {f"p{q:g}": self.percentile(q) for q in qs}
+
+    # -- snapshot & merge ------------------------------------------------
+
+    def snapshot(self) -> dict:
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "sum": self.sum,
+            "count": self.count,
+        }
+
+    def merge(self, snap: dict) -> None:
+        """Add another histogram's (delta) snapshot into this one."""
+        if list(snap.get("bounds", self.bounds)) != list(self.bounds):
+            raise ValueError(
+                f"histogram {self.name!r}: bucket bounds mismatch"
+            )
+        counts = snap.get("counts", [])
+        if len(counts) != len(self.counts):
+            raise ValueError(
+                f"histogram {self.name!r}: bucket count mismatch"
+            )
+        for i, c in enumerate(counts):
+            self.counts[i] += int(c)
+        self.sum += float(snap.get("sum", 0.0))
+        self.count += int(snap.get("count", 0))
+
+
+@dataclass(slots=True)
+class HistogramRegistry:
+    """All histograms of one process (module-level singleton below)."""
+
+    histograms: dict[str, Histogram] = field(default_factory=dict)
+
+    def define(
+        self,
+        name: str,
+        description: str = "",
+        bounds: tuple[float, ...] | None = None,
+    ) -> Histogram:
+        """Get-or-create; re-declaring a name returns the same object."""
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = Histogram(
+                name=name,
+                description=description,
+                bounds=tuple(bounds) if bounds else DEFAULT_BOUNDS,
+            )
+            self.histograms[name] = hist
+        elif description and not hist.description:
+            hist.description = description
+        return hist
+
+    def snapshot(self, skip_empty: bool = True) -> dict[str, dict]:
+        return {
+            name: h.snapshot()
+            for name, h in sorted(self.histograms.items())
+            if h.count or not skip_empty
+        }
+
+    def merge(self, snaps: dict[str, dict]) -> None:
+        for name, snap in snaps.items():
+            hist = self.define(
+                name, bounds=tuple(snap.get("bounds") or DEFAULT_BOUNDS)
+            )
+            hist.merge(snap)
+
+    def reset(self) -> None:
+        for h in self.histograms.values():
+            h.reset()
+
+
+HISTOGRAMS = HistogramRegistry()
+
+
+def define_histogram(
+    name: str,
+    description: str = "",
+    bounds: tuple[float, ...] | None = None,
+) -> Histogram:
+    return HISTOGRAMS.define(name, description, bounds)
+
+
+def histogram(name: str) -> Histogram:
+    """Get-or-create a histogram by name (ad-hoc form)."""
+    return HISTOGRAMS.define(name)
+
+
+def histogram_snapshot(skip_empty: bool = True) -> dict[str, dict]:
+    return HISTOGRAMS.snapshot(skip_empty)
+
+
+def merge_histograms(snaps: dict[str, dict]) -> None:
+    """Fold (delta) snapshots into this process's registry.
+
+    Gated on the stats enabled flag, mirroring ``Stat.add`` — a
+    disabled parent ignores worker telemetry the way it ignores its
+    own.
+    """
+    if not _STATE.enabled or not snaps:
+        return
+    HISTOGRAMS.merge(snaps)
+
+
+def histogram_delta(
+    before: dict[str, dict], after: dict[str, dict]
+) -> dict[str, dict]:
+    """Per-histogram difference of two snapshots (for merge-back).
+
+    Only histograms whose count advanced appear; every field of the
+    result is the additive delta, so ``merge_histograms(delta)`` in
+    the parent reproduces exactly the observations made in between.
+    """
+    out: dict[str, dict] = {}
+    for name, snap in after.items():
+        prev = before.get(name)
+        if prev is None:
+            if snap["count"]:
+                out[name] = snap
+            continue
+        dcount = snap["count"] - prev["count"]
+        if dcount <= 0:
+            continue
+        out[name] = {
+            "bounds": snap["bounds"],
+            "counts": [
+                a - b for a, b in zip(snap["counts"], prev["counts"])
+            ],
+            "sum": snap["sum"] - prev["sum"],
+            "count": dcount,
+        }
+    return out
+
+
+def reset_histograms() -> None:
+    HISTOGRAMS.reset()

@@ -1,0 +1,129 @@
+"""Request-lifecycle tracing: one stitched span tree per request.
+
+The phase tracer (:mod:`repro.obs.trace`) times the allocation
+pipeline of a single solve; a *service* request additionally spends
+time in admission, the fair queue, batch assembly and the reply path,
+across two threads (event loop and solver) — none of which a plain
+span stack can see as one tree.
+
+:class:`RequestTrace` stitches those stages together keyed by the
+request's ``trace_id``: the server opens one at admission, the
+scheduler appends queue/assembly/solve stages from the solver thread
+(attaching the engine's captured span subtree — cache probe,
+presolve, solver backend, retry waves, worker spans — under the solve
+stage), and the reply path closes it.  The stages never run
+concurrently for one request (admission happens-before solve
+happens-before reply), so no lock is needed on the trace itself.
+
+Finished traces land in a bounded :class:`TraceStore`; the service's
+``trace`` verb serves them back as JSON and ``tools/trace_view.py``
+renders the JSON as a flame-style text tree.
+
+A request without a client-supplied ``trace_id`` (and without
+``"trace": true``) never allocates a RequestTrace — the hot path
+stays span-free when nobody is looking.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+
+from ..obs import Span
+
+
+class RequestTrace:
+    """The span tree of one service request, built stage by stage."""
+
+    __slots__ = ("trace_id", "root", "t_admit", "_last")
+
+    def __init__(self, trace_id: str, **meta) -> None:
+        self.trace_id = trace_id
+        self.root = Span(
+            name="request",
+            meta={"trace_id": trace_id,
+                  **{k: v for k, v in meta.items() if v}},
+        )
+        self.t_admit = time.monotonic()
+        #: monotonic end of the most recent stage — each new stage's
+        #: start offset, so the stitched tree has no gaps or overlaps
+        self._last = self.t_admit
+
+    def stage(self, name: str, seconds: float | None = None,
+              **meta) -> Span:
+        """Append a lifecycle stage span under the root.
+
+        With ``seconds=None`` the stage covers the wall time since the
+        previous stage ended (the common case: stages abut).
+        """
+        now = time.monotonic()
+        if seconds is None:
+            seconds = now - self._last
+        span = Span(
+            name=name,
+            seconds=max(0.0, seconds),
+            meta={k: v for k, v in meta.items() if v is not None},
+        )
+        self.root.children.append(span)
+        self._last = now
+        return span
+
+    def attach(self, parent: Span, spans: list[Span]) -> None:
+        """Graft captured pipeline spans under a lifecycle stage.
+
+        The spans are copied (via dict round-trip) so one engine batch
+        can be attached to several traced requests without sharing
+        mutable children.
+        """
+        parent.children.extend(
+            Span.from_dict(s.to_dict()) for s in spans
+        )
+
+    def finish(self, status: str = "ok") -> Span:
+        """Seal the root span (end-to-end seconds, final status)."""
+        self.root.seconds = time.monotonic() - self.t_admit
+        self.root.meta["status"] = status
+        return self.root
+
+    def to_dict(self) -> dict:
+        return self.root.to_dict()
+
+
+class TraceStore:
+    """Bounded, thread-safe store of finished request traces.
+
+    Keyed by ``trace_id``; inserting past ``keep`` evicts the oldest.
+    Reads come from the event loop (the ``trace`` verb), writes from
+    solver threads — hence the lock.
+    """
+
+    def __init__(self, keep: int = 64) -> None:
+        self.keep = max(1, keep)
+        self._traces: OrderedDict[str, dict] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def put(self, trace_id: str, tree: dict) -> None:
+        with self._lock:
+            self._traces[trace_id] = tree
+            self._traces.move_to_end(trace_id)
+            while len(self._traces) > self.keep:
+                self._traces.popitem(last=False)
+
+    def get(self, trace_id: str) -> dict | None:
+        with self._lock:
+            return self._traces.get(trace_id)
+
+    def last(self) -> dict | None:
+        with self._lock:
+            if not self._traces:
+                return None
+            return next(reversed(self._traces.values()))
+
+    def ids(self) -> list[str]:
+        with self._lock:
+            return list(self._traces)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._traces)

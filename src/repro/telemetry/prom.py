@@ -1,0 +1,115 @@
+"""Prometheus text-format exposition of the telemetry state.
+
+Renders the stats registry (counters/gauges) and the histogram
+registry into the Prometheus text format, version 0.0.4 — the format
+every scraper and ``promtool`` understands.  Conventions:
+
+* metric names are the registry names with ``.`` mapped to ``_`` and
+  a ``repro_`` namespace prefix;
+* counters get the ``_total`` suffix, per Prometheus naming rules;
+* histograms (which record seconds) get the ``_seconds`` unit suffix
+  and emit the cumulative ``_bucket{le=...}`` series plus ``_sum``
+  and ``_count``;
+* callers may pass ``labelled`` gauges (e.g. per-backend breaker
+  state, per-tenant queue depth) as ``{name: {labels_tuple: value}}``
+  where ``labels_tuple`` is a tuple of ``(label, value)`` pairs.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..obs.stats import REGISTRY
+from .histogram import HISTOGRAMS
+
+PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_ESC = str.maketrans({
+    "\\": r"\\", '"': r"\"", "\n": r"\n",
+})
+
+
+def prom_name(name: str, prefix: str = "repro_") -> str:
+    """A registry name as a legal Prometheus metric name."""
+    out = _NAME_OK.sub("_", name.replace(".", "_"))
+    if out and out[0].isdigit():
+        out = "_" + out
+    return prefix + out
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _labels(pairs) -> str:
+    if not pairs:
+        return ""
+    body = ",".join(
+        f'{k}="{str(v).translate(_LABEL_ESC)}"' for k, v in pairs
+    )
+    return "{" + body + "}"
+
+
+def render_prometheus(
+    counters: dict[str, float] | None = None,
+    histograms: dict[str, dict] | None = None,
+    labelled: dict[str, dict] | None = None,
+    prefix: str = "repro_",
+) -> str:
+    """The whole telemetry state as Prometheus exposition text.
+
+    ``counters`` defaults to the live stats registry snapshot and
+    ``histograms`` to the live histogram registry; pass explicit
+    snapshots to render an offline JSONL record instead.
+    """
+    lines: list[str] = []
+
+    if counters is None:
+        counters = {
+            name: stat.value
+            for name, stat in sorted(REGISTRY.stats.items())
+        }
+    for name, value in sorted(counters.items()):
+        stat = REGISTRY.stats.get(name)
+        kind = stat.kind if stat is not None else "counter"
+        metric = prom_name(name, prefix)
+        if kind == "counter":
+            metric += "_total"
+        if stat is not None and stat.description:
+            lines.append(f"# HELP {metric} {stat.description}")
+        lines.append(
+            f"# TYPE {metric} "
+            f"{'gauge' if kind == 'gauge' else 'counter'}"
+        )
+        lines.append(f"{metric} {_fmt(value)}")
+
+    for name, rows in sorted((labelled or {}).items()):
+        metric = prom_name(name, prefix)
+        lines.append(f"# TYPE {metric} gauge")
+        for pairs, value in sorted(rows.items()):
+            lines.append(f"{metric}{_labels(pairs)} {_fmt(value)}")
+
+    if histograms is None:
+        histograms = HISTOGRAMS.snapshot(skip_empty=False)
+    for name, snap in sorted(histograms.items()):
+        hist = HISTOGRAMS.histograms.get(name)
+        metric = prom_name(name, prefix) + "_seconds"
+        if hist is not None and hist.description:
+            lines.append(f"# HELP {metric} {hist.description}")
+        lines.append(f"# TYPE {metric} histogram")
+        running = 0
+        for bound, count in zip(snap["bounds"], snap["counts"]):
+            running += int(count)
+            lines.append(
+                f'{metric}_bucket{{le="{_fmt(float(bound))}"}} '
+                f"{running}"
+            )
+        total = running + int(snap["counts"][-1])
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {total}')
+        lines.append(f"{metric}_sum {_fmt(float(snap['sum']))}")
+        lines.append(f"{metric}_count {int(snap['count'])}")
+
+    return "\n".join(lines) + "\n"

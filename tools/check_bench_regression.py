@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""CI gate: the perf trajectory (BENCH_suite.json) must not regress.
+
+Usage::
+
+    python tools/check_bench_regression.py BENCH_suite.json
+        [--tolerances tools/bench_tolerances.json] [--update]
+
+``BENCH_suite.json`` is written by ``python -m repro exp --bench-json``
+(suite wall-clock, per-benchmark solve-time percentiles, presolve
+reduction ratios, cache hit rate, degradation counts).  The tolerances
+file uses the same shape as the table gate::
+
+    {
+      "metrics": {
+        "suite.wall_seconds": {"expected": 30.0, "tol": 15.0,
+                               "worse": "higher"},
+        "suite.solve.p95": {"expected": 0.5, "tol": 0.5,
+                            "worse": "higher"},
+        "suite.presolve.var_reduction": {"expected": 0.3, "tol": 0.05,
+                                         "worse": "lower"}
+      }
+    }
+
+Metric paths are dotted keys into the JSON; a metric fails only when
+it moves past ``expected`` in the ``worse`` direction by more than
+``tol``.  Time metrics carry generous tolerances — the gate exists to
+catch order-of-magnitude slips (a lost cache, an accidentally serial
+pool, a presolve bypass), not scheduler jitter.
+
+``--update`` re-baselines the expected values from the given record —
+run it deliberately after a change that legitimately moves the
+numbers, and commit the diff.
+
+Exit code 0 when every metric holds, 1 with a diagnostic otherwise.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from check_table_regression import check, resolve  # noqa: E402
+
+DEFAULT_TOLERANCES = "tools/bench_tolerances.json"
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="gate BENCH_suite.json perf numbers against "
+                    "recorded tolerances",
+    )
+    parser.add_argument("bench", help="BENCH_*.json written by "
+                                      "'repro exp --bench-json'")
+    parser.add_argument("--tolerances", default=DEFAULT_TOLERANCES,
+                        metavar="PATH")
+    parser.add_argument("--update", action="store_true",
+                        help="re-baseline expected values from this "
+                             "record")
+    args = parser.parse_args(argv)
+
+    with open(args.bench) as handle:
+        bench = json.load(handle)
+    if "suite" not in bench:
+        print(f"error: {args.bench} has no 'suite' section "
+              f"(written by 'repro exp --bench-json'?)",
+              file=sys.stderr)
+        return 2
+    with open(args.tolerances) as handle:
+        recorded = json.load(handle)
+    metrics = recorded.get("metrics", {})
+    if not metrics:
+        print(f"error: {args.tolerances} records no metrics",
+              file=sys.stderr)
+        return 2
+
+    failures = []
+    for path, spec in sorted(metrics.items()):
+        try:
+            value = resolve(bench, path)
+        except KeyError as exc:
+            failures.append(str(exc))
+            continue
+        if args.update:
+            spec["expected"] = round(value, 6)
+            continue
+        problem = check(value, spec, path)
+        if problem is not None:
+            failures.append(problem)
+        else:
+            print(f"ok: {path} = {value:g} (expected "
+                  f"{float(spec['expected']):g}, "
+                  f"tol {float(spec.get('tol', 0.0)):g}, "
+                  f"worse={spec.get('worse', 'lower')})")
+
+    if args.update and not failures:
+        with open(args.tolerances, "w") as handle:
+            json.dump(recorded, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"re-baselined {len(metrics)} expected values in "
+              f"{args.tolerances}")
+        return 0
+    if failures:
+        for failure in failures:
+            print(f"BENCH REGRESSION: {failure}", file=sys.stderr)
+        return 1
+    print(f"bench regression gate passed ({len(metrics)} metrics)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Render a request-lifecycle trace as a flame-style text tree.
+
+Usage::
+
+    python tools/trace_view.py trace.json [--width 40] [--no-meta]
+    python -m repro submit --verb trace --json | python tools/trace_view.py -
+
+Accepts any of the shapes the stack produces:
+
+* a raw span dict (``RequestTrace.to_dict()`` / ``Span.to_dict()``);
+* a ``trace`` verb response (``{"result": {"trace": ..., "ids":
+  [...]}}``) as printed by ``python -m repro submit --verb trace
+  --json``;
+* a list of span dicts (a span forest).
+
+Each line shows the span name, its duration, a bar proportional to the
+share of the root span's wall-clock, and the span's annotations — so a
+stitched service trace reads as the request's time budget: how long it
+sat in the queue, how long batch assembly took, where the solve went.
+
+Standalone on purpose: reads plain JSON, imports nothing from the
+package, runnable against a trace captured on another machine.
+"""
+
+import argparse
+import json
+import sys
+
+
+def _extract(doc):
+    """Dig the span forest out of whatever JSON shape we were given."""
+    if isinstance(doc, list):
+        return [s for s in doc if isinstance(s, dict) and "name" in s]
+    if not isinstance(doc, dict):
+        return []
+    if "name" in doc:
+        return [doc]
+    for key in ("trace", "spans"):
+        if key in doc and doc[key]:
+            return _extract(doc[key])
+    if "result" in doc:
+        return _extract(doc["result"])
+    return []
+
+
+def _fmt_meta(meta):
+    return " ".join(
+        f"{k}={json.dumps(v) if isinstance(v, (dict, list)) else v}"
+        for k, v in sorted(meta.items())
+    )
+
+
+def render(spans, width=40, show_meta=True):
+    """Flame-style text rendering of a span forest."""
+    lines = []
+    for root in spans:
+        total = root.get("seconds", 0.0) or 0.0
+
+        def walk(span, depth):
+            seconds = span.get("seconds", 0.0) or 0.0
+            share = seconds / total if total > 0 else 0.0
+            bar = "#" * max(1 if seconds > 0 else 0,
+                            round(share * width))
+            label = f"{'  ' * depth}{span['name']}"
+            meta = span.get("meta") or {}
+            tail = f"  {_fmt_meta(meta)}" if show_meta and meta else ""
+            lines.append(
+                f"{label:<36} {seconds * 1e3:10.3f} ms "
+                f"{bar:<{width}}{tail}"
+            )
+            for child in span.get("children", []):
+                walk(child, depth + 1)
+
+        walk(root, 0)
+    return "\n".join(lines)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="render a lifecycle/phase trace JSON as a "
+                    "flame-style text tree",
+    )
+    parser.add_argument("trace", help="trace JSON file, or '-' for "
+                                      "stdin")
+    parser.add_argument("--width", type=int, default=40,
+                        help="bar width in characters (default 40)")
+    parser.add_argument("--no-meta", action="store_true",
+                        help="hide span annotations")
+    args = parser.parse_args(argv)
+
+    if args.trace == "-":
+        doc = json.load(sys.stdin)
+    else:
+        with open(args.trace) as handle:
+            doc = json.load(handle)
+    spans = _extract(doc)
+    if not spans:
+        print("error: no spans found in the input (expected a span "
+              "dict, a span list, or a 'trace' verb response)",
+              file=sys.stderr)
+        return 1
+    print(render(spans, width=args.width, show_meta=not args.no_meta))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
