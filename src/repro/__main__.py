@@ -12,12 +12,15 @@
     python -m repro serve [--port P] [--queue-capacity N]
                           [--max-in-flight N] [--jobs N]
                           [--cache [DIR]] [--metrics-port P]
-                          [--metrics-jsonl PATH]
+                          [--metrics-jsonl PATH] [--shard-id ID]
+    python -m repro gateway [--port P] [--shards host:port,...]
+                            [--spawn N] [--spawn-cache DIR]
     python -m repro submit FILE.c [--port P] [--deadline S]
+                                  [--gateway URL]
                                   [--tenant NAME] [--show-trace]
                                   [--verb allocate|status|stats|ping
                                          |health|cancel|drain
-                                         |metrics|trace]
+                                         |metrics|trace|shards]
 
 ``alloc`` compiles a mini-C file, allocates one or all functions, and
 prints the rewritten code with register assignments.  ``run`` executes
@@ -25,7 +28,15 @@ a program (optionally through an allocator) and reports the result and
 cycle counts.  ``experiments`` (alias: ``exp``) regenerates the
 paper's tables/figures.  ``serve`` starts the resident allocation
 service (asyncio TCP, newline-delimited JSON) and ``submit`` sends it
-a program or control verb.
+a program or control verb.  ``gateway`` starts the HTTP front-end
+that routes allocates across a fleet of ``serve`` shards on a
+consistent-hash ring (``--spawn N`` forks N local shards with
+per-shard caches); ``submit --gateway URL`` goes through it.
+
+``submit`` exit codes: 0 success, 1 the service answered with an
+error, 2 usage error, 3 could not reach the service (connection
+refused or mid-stream disconnect) — distinct so fail-over tests and
+scripts can tell "the server said no" from "there is no server".
 
 ``alloc`` and ``experiments`` go through the parallel allocation
 engine: ``--jobs N`` fans per-function IP solves across N worker
@@ -95,6 +106,12 @@ TARGETS = {
     "x86+ebp": lambda: x86_target(allow_ebp=True),
     "risc": lambda: risc_target(),
 }
+
+#: ``submit`` exit codes (documented in the module docstring)
+EXIT_OK = 0
+EXIT_SERVICE_ERROR = 1
+EXIT_USAGE = 2
+EXIT_CONNECT = 3
 
 
 def _load(path: str):
@@ -345,6 +362,8 @@ def cmd_serve(args) -> int:
         jobs=args.jobs,
         cache_dir=args.cache,
         cache_max_entries=args.cache_max_entries,
+        cache_namespace_max_entries=args.cache_namespace_max_entries,
+        shard_id=args.shard_id,
         default_target=args.target,
         default_time_limit=args.time_limit,
         default_backend=args.backend,
@@ -364,13 +383,14 @@ def cmd_serve(args) -> int:
             f" metrics=:{server.metrics_port}"
             if server.metrics_port is not None else ""
         )
+        shard = f" shard={config.shard_id}" if config.shard_id else ""
         print(
             f"repro allocation service listening on "
             f"{config.host}:{server.port} "
             f"(queue={config.queue_capacity} "
             f"in-flight={config.max_in_flight} "
             f"jobs={server.scheduler.jobs} "
-            f"cache={config.cache_dir or 'off'}{metrics})",
+            f"cache={config.cache_dir or 'off'}{metrics}{shard})",
             flush=True,
         )
         try:
@@ -383,63 +403,198 @@ def cmd_serve(args) -> int:
     return 0
 
 
-def cmd_submit(args) -> int:
-    from .service import ServiceClient, ServiceError
+def cmd_gateway(args) -> int:
+    import signal as _signal
 
+    from .gateway import (
+        AllocationGateway,
+        GatewayConfig,
+        LocalShardFleet,
+    )
+
+    shards = [s for s in (args.shards or "").split(",") if s]
+    if not shards and not args.spawn:
+        print("error: gateway needs --shards host:port,... "
+              "and/or --spawn N", file=sys.stderr)
+        return EXIT_USAGE
+
+    fleet = None
+    if args.spawn:
+        fleet = LocalShardFleet(
+            count=args.spawn,
+            cache_root=args.spawn_cache,
+            time_limit=args.time_limit,
+        )
+        fleet.start()
+
+    config = GatewayConfig(
+        host=args.host,
+        port=args.port,
+        shards=shards,
+        replicas=args.replicas,
+        probe_interval=args.probe_interval,
+        probe_timeout=args.probe_timeout,
+        breaker_threshold=args.breaker_threshold,
+        breaker_reset=args.breaker_reset,
+        proxy_timeout=args.proxy_timeout,
+    )
+    gateway = AllocationGateway(config)
+    if fleet is not None:
+        for shard in fleet.shards:
+            gateway.register_shard(
+                shard.shard_id, "127.0.0.1", shard.port
+            )
+            print(f"spawned {shard.shard_id} "
+                  f"pid={shard.process.pid} port={shard.port}",
+                  flush=True)
+    gateway.start()
+
+    def _stop(signum, frame):
+        raise KeyboardInterrupt
+
+    _signal.signal(_signal.SIGTERM, _stop)
+    print(f"repro gateway listening on "
+          f"{config.host}:{gateway.bound_port} "
+          f"(shards={len(gateway.manager.shards())} "
+          f"replicas={config.replicas})",
+          flush=True)
+    try:
+        gateway.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        gateway.shutdown()
+        if fleet is not None:
+            fleet.stop()
+    print("gateway stopped", file=sys.stderr)
+    return 0
+
+
+def _allocate_request(args) -> dict | None:
+    """The allocate keyword fields shared by both submit transports
+    (None: usage error, already reported)."""
+    if not args.file:
+        print("error: allocate needs a program file", file=sys.stderr)
+        return None
+    with open(args.file) as handle:
+        text = handle.read()
+    config = {}
+    if args.backend is not None:
+        config["backend"] = args.backend
+    if args.time_limit is not None:
+        config["time_limit"] = args.time_limit
+    if args.size_only:
+        config["size_only"] = True
+    if args.no_presolve:
+        config["presolve"] = False
+    return dict(
+        source=None if args.ir else text,
+        ir=text if args.ir else None,
+        target=args.target,
+        function=args.function,
+        config=config or None,
+        deadline=args.deadline,
+        report=bool(getattr(args, "report_json", None)) or None,
+        trace_id=getattr(args, "trace_id", None),
+        tenant=args.tenant,
+        trace=args.show_trace or None,
+    )
+
+
+def cmd_submit(args) -> int:
+    from .service import ServiceClient
+
+    if getattr(args, "gateway", None):
+        return _submit_gateway(args)
+    if args.verb == "shards":
+        print("error: --verb shards needs --gateway URL",
+              file=sys.stderr)
+        return EXIT_USAGE
+    where = f"{args.host}:{args.port}"
     try:
         client = ServiceClient(
             args.host, args.port, timeout=args.timeout,
             connect_retries=args.connect_retries,
         )
     except OSError as exc:
-        print(f"error: cannot connect to {args.host}:{args.port}: "
-              f"{exc}", file=sys.stderr)
-        return 1
-    with client:
-        if args.verb == "allocate":
-            if not args.file:
-                print("error: allocate needs a program file",
-                      file=sys.stderr)
-                return 2
-            with open(args.file) as handle:
-                text = handle.read()
-            config = {}
-            if args.backend is not None:
-                config["backend"] = args.backend
-            if args.time_limit is not None:
-                config["time_limit"] = args.time_limit
-            if args.size_only:
-                config["size_only"] = True
-            if args.no_presolve:
-                config["presolve"] = False
-            response = client.allocate(
-                source=None if args.ir else text,
-                ir=text if args.ir else None,
-                target=args.target,
-                function=args.function,
-                config=config or None,
-                deadline=args.deadline,
-                report=bool(getattr(args, "report_json", None)),
-                trace_id=getattr(args, "trace_id", None),
-                tenant=args.tenant,
-                trace=args.show_trace,
-            )
-        elif args.verb == "cancel":
-            if not args.request:
-                print("error: cancel needs --request REF",
-                      file=sys.stderr)
-                return 2
-            response = client.cancel(args.request)
-        elif args.verb == "trace":
-            response = client.trace(args.request)
-        else:
-            response = getattr(client, args.verb)()
-        lifecycle = None
-        if (args.verb == "allocate" and args.show_trace
-                and response.get("ok")):
-            lifecycle = client.trace(
-                response.get("trace_id")
-            ).get("result", {}).get("trace")
+        print(f"error: cannot connect to {where}: {exc}",
+              file=sys.stderr)
+        return EXIT_CONNECT
+    try:
+        with client:
+            if args.verb == "allocate":
+                fields = _allocate_request(args)
+                if fields is None:
+                    return EXIT_USAGE
+                response = client.allocate(**fields)
+            elif args.verb == "cancel":
+                if not args.request:
+                    print("error: cancel needs --request REF",
+                          file=sys.stderr)
+                    return EXIT_USAGE
+                response = client.cancel(args.request)
+            elif args.verb == "trace":
+                response = client.trace(args.request)
+            else:
+                response = getattr(client, args.verb)()
+            lifecycle = None
+            if (args.verb == "allocate" and args.show_trace
+                    and response.get("ok")):
+                lifecycle = client.trace(
+                    response.get("trace_id")
+                ).get("result", {}).get("trace")
+    except (ConnectionError, OSError) as exc:
+        # A clean, distinct failure for a dead or dying server (the
+        # mid-stream-disconnect path), never a traceback: fail-over
+        # tests and scripts key on this exit code.
+        print(f"error: lost connection to {where}: {exc}",
+              file=sys.stderr)
+        return EXIT_CONNECT
+    return _render_submit(args, response, lifecycle)
+
+
+def _submit_gateway(args) -> int:
+    """``repro submit --gateway URL``: same verbs over HTTP."""
+    from .gateway import GatewayClient
+
+    supported = ("allocate", "status", "trace", "metrics", "shards")
+    if args.verb not in supported:
+        print(f"error: --gateway supports verbs: "
+              f"{', '.join(supported)}", file=sys.stderr)
+        return EXIT_USAGE
+    try:
+        with GatewayClient(args.gateway, timeout=args.timeout) as gw:
+            if args.verb == "allocate":
+                fields = _allocate_request(args)
+                if fields is None:
+                    return EXIT_USAGE
+                response = gw.allocate(**fields)
+            elif args.verb == "status":
+                response = gw.status()
+            elif args.verb == "shards":
+                response = gw.shards()
+            elif args.verb == "trace":
+                response = gw.trace(args.request)
+            else:  # metrics: raw Prometheus text, wrapped like the
+                # TCP metrics verb so rendering is shared
+                response = {"ok": True, "verb": "metrics",
+                            "result": {"text": gw.metrics()}}
+            lifecycle = None
+            if (args.verb == "allocate" and args.show_trace
+                    and response.get("ok")):
+                lifecycle = gw.trace(
+                    response.get("trace_id")
+                ).get("result", {}).get("trace")
+    except (ConnectionError, OSError) as exc:
+        print(f"error: cannot reach gateway {args.gateway}: {exc}",
+              file=sys.stderr)
+        return EXIT_CONNECT
+    return _render_submit(args, response, lifecycle)
+
+
+def _render_submit(args, response: dict, lifecycle) -> int:
+    from .service import ServiceClient, ServiceError
+
     if args.json:
         print(json.dumps(response, indent=2))
     try:
@@ -676,11 +831,67 @@ def main(argv=None) -> int:
                          default=30.0, metavar="S",
                          help="seconds between --metrics-jsonl "
                               "snapshots")
+    p_serve.add_argument("--shard-id", default="", metavar="ID",
+                         help="identity reported in status/stats/"
+                              "health (set by the gateway's --spawn)")
+    p_serve.add_argument("--cache-namespace-max-entries", type=int,
+                         default=None, metavar="N",
+                         help="per-tenant LRU bound on cache "
+                              "namespaces (default: "
+                              "--cache-max-entries)")
     _add_presolve_option(p_serve)
     _add_faults_option(p_serve)
     _add_engine_options(p_serve)
     _add_obs_options(p_serve, top_level=False)
     p_serve.set_defaults(func=cmd_serve)
+
+    p_gateway = sub.add_parser(
+        "gateway",
+        help="start the HTTP gateway over a fleet of serve shards",
+    )
+    p_gateway.add_argument("--host", default="127.0.0.1")
+    p_gateway.add_argument("--port", type=int, default=8750,
+                           help="HTTP port (0 = ephemeral)")
+    p_gateway.add_argument("--shards", default="",
+                           metavar="HOST:PORT,...",
+                           help="comma-separated engine-server "
+                                "shards to front")
+    p_gateway.add_argument("--spawn", type=int, default=0,
+                           metavar="N",
+                           help="fork N local serve shards on "
+                                "ephemeral ports (single-machine "
+                                "scale-out)")
+    p_gateway.add_argument("--spawn-cache", default=None,
+                           metavar="DIR",
+                           help="root for per-spawned-shard cache "
+                                "directories (DIR/shard-N)")
+    p_gateway.add_argument("--time-limit", type=float, default=8.0,
+                           help="solver time limit for spawned "
+                                "shards")
+    p_gateway.add_argument("--replicas", type=int, default=128,
+                           metavar="N",
+                           help="virtual nodes per shard on the "
+                                "hash ring")
+    p_gateway.add_argument("--probe-interval", type=float,
+                           default=2.0, metavar="S",
+                           help="seconds between shard health "
+                                "probes")
+    p_gateway.add_argument("--probe-timeout", type=float,
+                           default=5.0, metavar="S")
+    p_gateway.add_argument("--breaker-threshold", type=int,
+                           default=3, metavar="N",
+                           help="consecutive failures before a "
+                                "shard's breaker opens")
+    p_gateway.add_argument("--breaker-reset", type=float,
+                           default=5.0, metavar="S",
+                           help="seconds an open breaker waits "
+                                "before the half-open probe")
+    p_gateway.add_argument("--proxy-timeout", type=float,
+                           default=300.0, metavar="S",
+                           help="per-attempt socket timeout toward "
+                                "a shard")
+    _add_obs_options(p_gateway, top_level=False)
+    p_gateway.set_defaults(func=cmd_gateway)
 
     p_submit = sub.add_parser(
         "submit", help="send a program or verb to the service",
@@ -689,7 +900,12 @@ def main(argv=None) -> int:
     p_submit.add_argument("--verb", default="allocate",
                           choices=("allocate", "status", "stats",
                                    "ping", "health", "cancel",
-                                   "drain", "metrics", "trace"))
+                                   "drain", "metrics", "trace",
+                                   "shards"))
+    p_submit.add_argument("--gateway", default=None, metavar="URL",
+                          help="route through an HTTP gateway "
+                               "(http://host:port) instead of a "
+                               "direct TCP connection")
     p_submit.add_argument("--host", default="127.0.0.1")
     p_submit.add_argument("--port", type=int, default=8753)
     p_submit.add_argument("--function", default=None)

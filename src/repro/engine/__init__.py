@@ -14,9 +14,11 @@ policy, made a first-class subsystem.
 from .cache import (
     CACHE_MAX_ENTRIES_ENV,
     CACHE_VERSION,
+    NAMESPACE_DIR,
     CacheRecord,
     ResultCache,
     default_max_entries,
+    namespace_dirname,
 )
 from .engine import (
     DEFAULT_CACHE_DIR,
@@ -43,6 +45,7 @@ __all__ = [
     "EngineConfig",
     "EngineOutcome",
     "ModuleAllocation",
+    "NAMESPACE_DIR",
     "NON_SEMANTIC_CONFIG_FIELDS",
     "ResultCache",
     "allocation_fingerprint",
@@ -50,5 +53,6 @@ __all__ = [
     "default_max_entries",
     "fingerprint_function",
     "frequency_signature",
+    "namespace_dirname",
     "target_signature",
 ]

@@ -25,6 +25,13 @@ entries that keep earning their place survive, and a cache shared by
 many runs (or by the allocation service's concurrent clients)
 converges on the hot working set.  All public methods are
 thread-safe; cross-process safety comes from the atomic writes.
+
+Multi-tenant namespaces: a cache built with ``namespace="tenant"``
+stores its records under ``<root>/ns/<tenant>/`` with its own LRU
+bound and its own eviction count, so one noisy tenant churns only its
+own subtree and can never evict another tenant's hot working set.
+The anonymous namespace (``namespace=""``) is the root itself, which
+keeps single-tenant layouts byte-compatible with earlier versions.
 """
 
 from __future__ import annotations
@@ -32,6 +39,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import re
 import tempfile
 import threading
 import time
@@ -39,7 +47,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from ..faults import SITE_CACHE_CORRUPT, SITE_CACHE_IO, should_fire
-from ..obs import define_counter, define_gauge
+from ..obs import counter, define_counter, define_gauge
 
 #: cache record schema version; bump to invalidate all existing records
 #: (2: added the ``sha256`` payload checksum to the envelope)
@@ -51,6 +59,12 @@ QUARANTINE_DIR = "quarantine"
 
 #: environment variable supplying the default ``max_entries``
 CACHE_MAX_ENTRIES_ENV = "REPRO_CACHE_MAX_ENTRIES"
+
+#: per-tenant namespaces live under ``<root>/NAMESPACE_DIR/<tenant>``
+NAMESPACE_DIR = "ns"
+
+#: characters allowed verbatim in a namespace directory name
+_NS_SAFE = re.compile(r"[^A-Za-z0-9._-]")
 
 STAT_EVICTIONS = define_counter(
     "engine.cache_evictions", "cache records pruned by the LRU bound"
@@ -69,6 +83,20 @@ def _payload_checksum(d: dict) -> str:
     payload = {k: v for k, v in d.items() if k != "sha256"}
     canon = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canon.encode()).hexdigest()
+
+
+def namespace_dirname(tenant: str) -> str:
+    """A tenant id as a collision-free directory name.
+
+    Filesystem-hostile characters are replaced, and any tenant whose
+    name needed replacing (or truncating) gets a short content hash
+    appended so distinct tenants can never share a namespace.
+    """
+    safe = _NS_SAFE.sub("_", tenant)[:48]
+    if safe == tenant:
+        return safe
+    digest = hashlib.sha256(tenant.encode("utf-8")).hexdigest()[:8]
+    return f"{safe or 'ns'}-{digest}"
 
 
 def default_max_entries() -> int | None:
@@ -153,19 +181,32 @@ class ResultCache:
     ``max_entries`` bounds the cache with LRU pruning; ``None`` reads
     the ``REPRO_CACHE_MAX_ENTRIES`` environment variable, and any value
     <= 0 means unbounded.
+
+    ``namespace`` scopes the cache to one tenant: records live under
+    ``<root>/ns/<tenant>/`` and the LRU bound applies to that subtree
+    alone.  The empty namespace is the shared root.
     """
 
     def __init__(
         self,
         root: str | os.PathLike,
         max_entries: int | None = None,
+        namespace: str = "",
     ) -> None:
+        self.namespace = namespace
         self.root = Path(root)
+        if namespace:
+            self.root = (
+                self.root / NAMESPACE_DIR / namespace_dirname(namespace)
+            )
         if max_entries is None:
             max_entries = default_max_entries()
         self.max_entries = (
             max_entries if max_entries and max_entries > 0 else None
         )
+        #: records this instance pruned from its namespace (the stats
+        #: verb surfaces it per tenant; STAT_EVICTIONS is the global)
+        self.evictions = 0
         self._lock = threading.RLock()
         #: lazily initialised record count (scanning once, then kept
         #: incrementally so bounded puts stay O(1) until they prune)
@@ -293,7 +334,13 @@ class ResultCache:
             except OSError:
                 continue
             self._count -= 1
+            self.evictions += 1
             STAT_EVICTIONS.incr()
+            if self.namespace:
+                counter(
+                    "engine.cache_evictions.ns."
+                    f"{namespace_dirname(self.namespace)}"
+                ).incr()
 
     def __len__(self) -> int:
         with self._lock:

@@ -1,0 +1,588 @@
+"""The HTTP gateway: REST front-end over a fleet of engine shards.
+
+Stdlib-only (``http.server``): each request runs on its own thread of
+a ``ThreadingHTTPServer``, computes the routing fingerprint of the
+allocation body, and proxies the request over the NDJSON TCP protocol
+to the shard the consistent-hash ring picks — falling over to ring
+successors when the owner is unreachable or draining.
+
+Endpoints::
+
+    POST   /v1/allocate          proxy an allocate (JSON body = the
+                                 NDJSON request object, minus "verb")
+    GET    /v1/status            gateway + per-shard status
+    GET    /v1/shards            shard table (ring, breakers, health)
+    POST   /v1/shards            admin add    {"id","host","port"}
+    DELETE /v1/shards/<id>       admin remove (ring-aware drain)
+    GET    /v1/trace?request=ID  stitched end-to-end request trace
+    GET    /healthz              liveness (200 iff ≥1 shard up)
+    GET    /metrics              Prometheus exposition
+
+Routing key: the gateway cannot compute the engine's true allocation
+fingerprint without compiling the request (that is the shard's job),
+so it routes on a sha256 over the canonical JSON of the semantic
+request fields (source/ir/target/function/config).  Identical
+requests therefore always reach the same shard — which is exactly the
+property that makes that shard's persistent cache warm.  The tenant
+is deliberately *not* in the key: shard caches are tenant-namespaced
+internally, so co-locating tenants with identical workloads is pure
+cache-sharing upside at the routing layer.
+
+Fail-over semantics: connection errors and ``draining`` replies move
+to the next ring successor (allocation is pure, so an idempotent
+retry is safe); ``overloaded`` is returned to the client as HTTP 429
+— retrying elsewhere would defeat the shard's backpressure and tear
+up cache affinity under exactly the load where affinity matters most.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from ..obs import counter, define_counter, define_gauge
+from ..service.protocol import (
+    E_BAD_REQUEST,
+    E_INTERNAL,
+    E_OVERLOADED,
+    E_PARSE,
+    E_TOO_LARGE,
+    MAX_LINE_BYTES,
+    error_response,
+)
+from ..telemetry import define_histogram
+from ..telemetry.lifecycle import RequestTrace, TraceStore
+from ..telemetry.prom import PROM_CONTENT_TYPE, render_prometheus
+from .shards import STATE_CODE, ShardManager, parse_shard_addr
+
+STAT_REQUESTS = define_counter(
+    "gateway.requests", "HTTP requests accepted by the gateway"
+)
+STAT_PROXIED = define_counter(
+    "gateway.proxied", "allocate requests proxied to a shard"
+)
+STAT_FAILOVERS = define_counter(
+    "gateway.failovers", "proxy attempts retried on a ring successor"
+)
+STAT_REJECTED = define_counter(
+    "gateway.rejected", "requests refused (bad body, overload, ...)"
+)
+STAT_NO_SHARDS = define_counter(
+    "gateway.no_shards", "requests that found no routable shard"
+)
+STAT_SHARDS_UP = define_gauge(
+    "gateway.shards_up", "shards currently on the hash ring"
+)
+HIST_ROUTE = define_histogram(
+    "gateway.route", "end-to-end gateway handling seconds per request"
+)
+HIST_SHARD_LATENCY = define_histogram(
+    "gateway.shard_latency", "proxy round-trip seconds per attempt"
+)
+
+#: semantic request fields that determine the allocation result —
+#: the routing fingerprint hashes exactly these
+ROUTING_FIELDS = ("source", "ir", "target", "function", "config")
+
+#: protocol error code -> HTTP status for proxied replies
+_HTTP_STATUS = {
+    E_OVERLOADED: 429,
+    "draining": 503,
+    E_BAD_REQUEST: 400,
+    E_PARSE: 400,
+    E_TOO_LARGE: 413,
+    "unknown_verb": 400,
+    "cancelled": 409,
+    E_INTERNAL: 500,
+}
+
+
+def routing_fingerprint(body: dict) -> str:
+    """Stable hash of the semantic allocate fields (routing key)."""
+    payload = {k: body.get(k) for k in ROUTING_FIELDS
+               if body.get(k) is not None}
+    canon = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class GatewayConfig:
+    host: str = "127.0.0.1"
+    port: int = 8750
+    #: "host:port" specs registered at startup (ids shard-0, shard-1…
+    #: unless the shard's status verb reports its own shard_id)
+    shards: list[str] = field(default_factory=list)
+    replicas: int = 128
+    probe_interval: float = 2.0
+    probe_timeout: float = 5.0
+    breaker_threshold: int = 3
+    breaker_reset: float = 5.0
+    #: per-proxy-attempt socket timeout (an allocate can legitimately
+    #: run to its deadline, so this must exceed request deadlines)
+    proxy_timeout: float = 300.0
+    #: finished end-to-end traces kept for GET /v1/trace
+    trace_keep: int = 64
+
+
+class AllocationGateway:
+    """Routing core + HTTP plumbing.  One instance per process."""
+
+    def __init__(self, config: GatewayConfig) -> None:
+        self.config = config
+        # Routing metrics are the gateway's whole observable surface;
+        # mirror the service and keep them always-on.
+        from .. import obs
+        obs.enable(stats=True, trace=False)
+        self.manager = ShardManager(
+            replicas=config.replicas,
+            probe_interval=config.probe_interval,
+            probe_timeout=config.probe_timeout,
+            breaker_threshold=config.breaker_threshold,
+            breaker_reset=config.breaker_reset,
+            pool_timeout=config.proxy_timeout,
+        )
+        self.traces = TraceStore(keep=config.trace_keep)
+        self._started = time.monotonic()
+        self._httpd: ThreadingHTTPServer | None = None
+        for i, spec in enumerate(config.shards):
+            host, port = parse_shard_addr(spec)
+            self.register_shard(f"shard-{i}", host, port)
+
+    # -- shard admin -----------------------------------------------------
+
+    def register_shard(self, shard_id: str, host: str, port: int):
+        """Add a shard; adopt its self-reported id when it has one."""
+        try:
+            from ..service.client import ServiceClient
+            with ServiceClient(
+                host, port, timeout=self.config.probe_timeout
+            ) as client:
+                status = client.status()
+            reported = (status.get("result") or {}).get("shard_id")
+            if reported:
+                shard_id = reported
+        except (OSError, ValueError):
+            pass  # unreachable now; the prober will sort it out
+        return self.manager.add(shard_id, host, port)
+
+    # -- routing + proxy -------------------------------------------------
+
+    def handle_allocate(self, body: dict) -> tuple[int, dict]:
+        """Route an allocate body; returns (http_status, response).
+
+        The response is shaped exactly like an NDJSON protocol
+        response (``id``/``trace_id``/``verb``/``ok``/…) with a
+        gateway block added, so ``repro submit --gateway`` can treat
+        TCP and HTTP transports identically.
+        """
+        t0 = time.monotonic()
+        key = routing_fingerprint(body)
+        wants_trace = bool(body.get("trace") or body.get("trace_id"))
+        trace_id = body.get("trace_id") or ""
+        if wants_trace and not trace_id:
+            trace_id = f"gw-{key[:12]}-{int(time.time() * 1000) & 0xffffff:x}"
+            body = dict(body, trace_id=trace_id)
+        gw_trace = None
+        if wants_trace:
+            gw_trace = RequestTrace(
+                trace_id, component="gateway",
+                tenant=body.get("tenant"), routing_key=key[:16],
+            )
+            gw_trace.stage("admission")
+
+        candidates = self.manager.candidates(key)
+        if gw_trace is not None:
+            gw_trace.stage(
+                "route",
+                owner=candidates[0].shard_id if candidates else None,
+                candidates=len(candidates),
+            )
+        if not candidates:
+            STAT_NO_SHARDS.incr()
+            resp = error_response(
+                body, "allocate", E_INTERNAL, "no shard available"
+            )
+            resp["gateway"] = {"shard": None, "attempts": 0}
+            self._finish_trace(gw_trace, None, resp, "no_shards")
+            HIST_ROUTE.observe(time.monotonic() - t0)
+            return 503, resp
+
+        message = {k: v for k, v in body.items() if k != "verb"}
+        message["verb"] = "allocate"
+        attempts = 0
+        last_exc: Exception | None = None
+        for shard in candidates:
+            attempts += 1
+            if attempts > 1:
+                STAT_FAILOVERS.incr()
+                if gw_trace is not None:
+                    gw_trace.stage("failover", to=shard.shard_id)
+            shard.routed += 1
+            counter(f"gateway.routed.{shard.shard_id}").incr()
+            t_try = time.monotonic()
+            try:
+                with shard.pool.lease() as client:
+                    resp = client.request(message)
+            except (OSError, ValueError) as exc:
+                HIST_SHARD_LATENCY.observe(time.monotonic() - t_try)
+                self.manager.report_failure(shard)
+                last_exc = exc
+                continue
+            HIST_SHARD_LATENCY.observe(time.monotonic() - t_try)
+            self.manager.report_success(shard)
+            code = ((resp.get("error") or {}).get("code")
+                    if not resp.get("ok") else None)
+            if code == "draining":
+                # The shard is ring-aware-draining: it finishes work
+                # it accepted, but this request wasn't accepted — a
+                # successor must take it.
+                continue
+            STAT_PROXIED.incr()
+            status = 200 if resp.get("ok") else _HTTP_STATUS.get(code, 500)
+            resp["gateway"] = {
+                "shard": shard.shard_id,
+                "attempts": attempts,
+                "routing_key": key,
+            }
+            self._finish_trace(
+                gw_trace, shard, resp, "ok" if resp.get("ok") else code
+            )
+            HIST_ROUTE.observe(time.monotonic() - t0)
+            return status, resp
+
+        STAT_REJECTED.incr()
+        detail = "all candidate shards failed"
+        if last_exc is not None:
+            detail = f"{detail}: {last_exc}"
+        resp = error_response(body, "allocate", E_INTERNAL, detail)
+        resp["gateway"] = {"shard": None, "attempts": attempts}
+        self._finish_trace(gw_trace, None, resp, "exhausted")
+        HIST_ROUTE.observe(time.monotonic() - t0)
+        return 502, resp
+
+    def _finish_trace(self, gw_trace, shard, resp, status: str) -> None:
+        """Stitch the shard's span tree under the gateway's and store.
+
+        The proxy stage is the graft point: below it hangs the span
+        tree the shard built for the same trace_id (fetched over the
+        same connection pool), so one tree covers HTTP admission →
+        routing → shard queue → solve → reply.
+        """
+        if gw_trace is None:
+            return
+        proxy = gw_trace.stage(
+            "proxy", shard=shard.shard_id if shard else None
+        )
+        if shard is not None and resp.get("ok"):
+            # The shard stores its finished trace around reply time;
+            # a couple of retries absorb the store-after-reply race.
+            for attempt in range(3):
+                try:
+                    with shard.pool.lease() as client:
+                        shard_tree = client.trace(gw_trace.trace_id)
+                    tree = (shard_tree.get("result") or {}).get("trace")
+                except (OSError, ValueError, KeyError):
+                    break  # a missing tree never fails the request
+                if tree:
+                    from ..obs import Span
+                    gw_trace.attach(proxy, [Span.from_dict(tree)])
+                    break
+                time.sleep(0.05 * (attempt + 1))
+        gw_trace.stage("reply")
+        gw_trace.finish(status)
+        self.traces.put(gw_trace.trace_id, gw_trace.to_dict())
+        resp.setdefault("trace_id", gw_trace.trace_id)
+
+    # -- read-only endpoints ---------------------------------------------
+
+    def status_body(self) -> dict:
+        snaps = self.manager.snapshots()
+        up = sum(1 for s in snaps if s["state"] == "up")
+        return {
+            "state": "serving" if up else "degraded",
+            "uptime_seconds": time.monotonic() - self._started,
+            "ring": {
+                "nodes": self.manager.ring.nodes(),
+                "replicas": self.manager.ring.replicas,
+            },
+            "shards_up": up,
+            "shards_total": len(snaps),
+        }
+
+    def shards_body(self) -> dict:
+        return {"shards": self.manager.snapshots(),
+                "ring": self.manager.ring.nodes()}
+
+    def render_metrics(self) -> str:
+        snaps = self.manager.snapshots()
+        STAT_SHARDS_UP.set(
+            sum(1 for s in snaps if s["state"] == "up"))
+        labelled: dict[str, dict] = {
+            "gateway.shard.state": {
+                (("shard", s["id"]),): STATE_CODE.get(s["state"], 2.0)
+                for s in snaps
+            },
+            "gateway.shard.routed": {
+                (("shard", s["id"]),): float(s["routed"]) for s in snaps
+            },
+            "gateway.shard.errors": {
+                (("shard", s["id"]),): float(s["errors"]) for s in snaps
+            },
+        }
+        return render_prometheus(labelled=labelled)
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> ThreadingHTTPServer:
+        handler = _make_handler(self)
+        self._httpd = ThreadingHTTPServer(
+            (self.config.host, self.config.port), handler
+        )
+        self._httpd.daemon_threads = True
+        self.manager.start_probing()
+        return self._httpd
+
+    @property
+    def bound_port(self) -> int:
+        if self._httpd is None:
+            raise RuntimeError("gateway not started")
+        return self._httpd.server_address[1]
+
+    def serve_forever(self) -> None:
+        if self._httpd is None:
+            self.start()
+        self._httpd.serve_forever()
+
+    def shutdown(self) -> None:
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        self.manager.stop()
+
+
+def _make_handler(gateway: AllocationGateway):
+    """A BaseHTTPRequestHandler subclass bound to one gateway."""
+
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+        #: silence per-request stderr logging; telemetry covers it
+        def log_message(self, fmt, *args):  # noqa: D102
+            pass
+
+        def _send_json(self, status: int, payload: dict) -> None:
+            data = json.dumps(payload).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(data)))
+            self.end_headers()
+            self.wfile.write(data)
+
+        def _send_text(self, status: int, text: str,
+                       content_type: str = "text/plain") -> None:
+            data = text.encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(data)))
+            self.end_headers()
+            self.wfile.write(data)
+
+        def _read_body(self) -> dict | None:
+            length = int(self.headers.get("Content-Length") or 0)
+            if length > MAX_LINE_BYTES:
+                self._send_json(413, error_response(
+                    {}, "allocate", E_TOO_LARGE,
+                    f"body exceeds {MAX_LINE_BYTES} bytes"))
+                return None
+            raw = self.rfile.read(length) if length else b"{}"
+            try:
+                body = json.loads(raw)
+            except json.JSONDecodeError as exc:
+                self._send_json(400, error_response(
+                    {}, "allocate", E_PARSE, f"invalid JSON: {exc}"))
+                return None
+            if not isinstance(body, dict):
+                self._send_json(400, error_response(
+                    {}, "allocate", E_BAD_REQUEST,
+                    "request body must be a JSON object"))
+                return None
+            return body
+
+        # -- verbs -------------------------------------------------------
+
+        def do_GET(self):  # noqa: N802
+            STAT_REQUESTS.incr()
+            url = urlparse(self.path)
+            try:
+                if url.path == "/healthz":
+                    up = any(s["state"] == "up"
+                             for s in gateway.manager.snapshots())
+                    self._send_json(200 if up else 503,
+                                    {"ok": up, "shards_up": up})
+                elif url.path == "/v1/status":
+                    self._send_json(200, {
+                        "ok": True, "verb": "status",
+                        "result": gateway.status_body()})
+                elif url.path == "/v1/shards":
+                    self._send_json(200, {
+                        "ok": True, "verb": "shards",
+                        "result": gateway.shards_body()})
+                elif url.path == "/metrics":
+                    self._send_text(200, gateway.render_metrics(),
+                                    PROM_CONTENT_TYPE)
+                elif url.path == "/v1/trace":
+                    query = parse_qs(url.query)
+                    ref = (query.get("request") or [None])[0]
+                    tree = (gateway.traces.get(ref) if ref
+                            else gateway.traces.last())
+                    if tree is None:
+                        self._send_json(404, {
+                            "ok": False, "verb": "trace",
+                            "error": {"code": "bad_request",
+                                      "message": "no such trace"}})
+                    else:
+                        self._send_json(200, {
+                            "ok": True, "verb": "trace",
+                            "result": {"trace": tree,
+                                       "ids": gateway.traces.ids()}})
+                else:
+                    self._send_json(404, {"ok": False, "error": {
+                        "code": "bad_request",
+                        "message": f"no route {url.path}"}})
+            except (BrokenPipeError, ConnectionResetError):
+                pass
+
+        def do_POST(self):  # noqa: N802
+            STAT_REQUESTS.incr()
+            url = urlparse(self.path)
+            body = self._read_body()
+            if body is None:
+                STAT_REJECTED.incr()
+                return
+            try:
+                if url.path == "/v1/allocate":
+                    status, resp = gateway.handle_allocate(body)
+                    self._send_json(status, resp)
+                elif url.path == "/v1/shards":
+                    shard_id = str(body.get("id") or "")
+                    host = str(body.get("host") or "127.0.0.1")
+                    port = body.get("port")
+                    if not shard_id or not isinstance(port, int):
+                        self._send_json(400, {"ok": False, "error": {
+                            "code": "bad_request",
+                            "message": "need id and integer port"}})
+                        return
+                    gateway.register_shard(shard_id, host, port)
+                    self._send_json(200, {
+                        "ok": True, "verb": "shards",
+                        "result": gateway.shards_body()})
+                else:
+                    self._send_json(404, {"ok": False, "error": {
+                        "code": "bad_request",
+                        "message": f"no route {url.path}"}})
+            except (BrokenPipeError, ConnectionResetError):
+                pass
+
+        def do_DELETE(self):  # noqa: N802
+            STAT_REQUESTS.incr()
+            url = urlparse(self.path)
+            prefix = "/v1/shards/"
+            try:
+                if url.path.startswith(prefix):
+                    shard_id = url.path[len(prefix):]
+                    query = parse_qs(url.query)
+                    drain = (query.get("drain") or ["0"])[0] in (
+                        "1", "true", "yes")
+                    shard = gateway.manager.get(shard_id)
+                    if shard is None or not gateway.manager.leave(
+                            shard_id):
+                        self._send_json(404, {"ok": False, "error": {
+                            "code": "bad_request",
+                            "message": f"no shard {shard_id!r}"}})
+                        return
+                    drained = False
+                    if drain:
+                        # Ring-aware drain: new traffic already remaps
+                        # (the shard left the ring above); this waits
+                        # for the shard to finish accepted work.
+                        try:
+                            with shard.pool.lease() as client:
+                                client.drain()
+                            drained = True
+                        except (OSError, ValueError):
+                            pass
+                    self._send_json(200, {
+                        "ok": True, "verb": "shards",
+                        "result": {"removed": shard_id,
+                                   "drained": drained,
+                                   "ring": gateway.manager.ring.nodes()}})
+                else:
+                    self._send_json(404, {"ok": False, "error": {
+                        "code": "bad_request",
+                        "message": f"no route {url.path}"}})
+            except (BrokenPipeError, ConnectionResetError):
+                pass
+
+    return Handler
+
+
+class GatewayThread:
+    """An in-process gateway on a background thread (test harness).
+
+    Mirrors :class:`repro.service.server.ServerThread`: ``start()``
+    binds (port 0 OK) and returns once serving; ``stop()`` shuts the
+    HTTP server and prober down.
+    """
+
+    def __init__(self, config: GatewayConfig) -> None:
+        self.gateway = AllocationGateway(config)
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        return self.gateway.bound_port
+
+    def start(self) -> "GatewayThread":
+        httpd = self.gateway.start()
+        self._thread = threading.Thread(
+            target=httpd.serve_forever, name="gateway-http", daemon=True
+        )
+        self._thread.start()
+        # The socket is bound before serve_forever runs, but give the
+        # accept loop a beat on slow machines.
+        for _ in range(50):
+            try:
+                probe = socket.create_connection(
+                    ("127.0.0.1", self.port), timeout=1.0)
+                probe.close()
+                break
+            except OSError:
+                time.sleep(0.02)
+        return self
+
+    def stop(self) -> None:
+        self.gateway.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "GatewayThread":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+__all__ = [
+    "AllocationGateway",
+    "GatewayConfig",
+    "GatewayThread",
+    "ROUTING_FIELDS",
+    "routing_fingerprint",
+]

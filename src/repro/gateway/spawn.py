@@ -1,0 +1,141 @@
+"""Single-machine scale-out: fork local engine-server shards.
+
+``repro gateway --spawn N`` uses :class:`LocalShardFleet` to start N
+``python -m repro serve`` subprocesses on ephemeral ports, each with
+its own shard id and its own cache directory (cache affinity only
+means anything when shards do not share one cache tree), parse the
+listening banner for the bound port, and register each with the
+gateway's shard manager.
+
+Shutdown is drain-shaped: SIGTERM first (the server's signal handler
+starts a graceful drain and exits once accepted work finishes), then
+SIGKILL after a grace period for anything still alive.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: printed by ``repro serve`` once the socket is bound; the fleet
+#: parses the port out of "... listening on host:port (..."
+BANNER_MARK = "listening on "
+
+
+@dataclass
+class LocalShard:
+    shard_id: str
+    port: int
+    process: subprocess.Popen
+    cache_dir: str = ""
+
+
+@dataclass
+class LocalShardFleet:
+    """N spawned ``repro serve`` shards with per-shard caches."""
+
+    count: int
+    cache_root: str | None = None
+    time_limit: float = 8.0
+    extra_args: list[str] = field(default_factory=list)
+    startup_timeout: float = 30.0
+    shards: list[LocalShard] = field(default_factory=list)
+
+    def start(self) -> "LocalShardFleet":
+        for i in range(self.count):
+            self.shards.append(self._spawn(f"shard-{i}"))
+        return self
+
+    def _spawn(self, shard_id: str) -> LocalShard:
+        cmd = [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0",
+            "--shard-id", shard_id,
+            "--time-limit", str(self.time_limit),
+        ]
+        cache_dir = ""
+        if self.cache_root:
+            cache_dir = str(Path(self.cache_root) / shard_id)
+            cmd += ["--cache", cache_dir]
+        cmd += self.extra_args
+        process = subprocess.Popen(
+            cmd,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            text=True,
+            env=dict(os.environ),
+        )
+        port = self._await_banner(process, shard_id)
+        return LocalShard(
+            shard_id=shard_id, port=port,
+            process=process, cache_dir=cache_dir,
+        )
+
+    def _await_banner(
+        self, process: subprocess.Popen, shard_id: str
+    ) -> int:
+        """Block until the serve banner reports the bound port."""
+        deadline = time.monotonic() + self.startup_timeout
+        assert process.stdout is not None
+        while time.monotonic() < deadline:
+            line = process.stdout.readline()
+            if not line:
+                if process.poll() is not None:
+                    raise RuntimeError(
+                        f"{shard_id} exited with "
+                        f"{process.returncode} before binding"
+                    )
+                time.sleep(0.05)
+                continue
+            if BANNER_MARK in line:
+                addr = line.split(BANNER_MARK, 1)[1].split()[0]
+                return int(addr.rsplit(":", 1)[1])
+        process.kill()
+        raise RuntimeError(f"{shard_id} never printed its banner")
+
+    def pids(self) -> dict[str, int]:
+        return {s.shard_id: s.process.pid for s in self.shards}
+
+    def kill(self, shard_id: str) -> bool:
+        """SIGKILL one shard (fail-over tests); returns False if
+        unknown or already dead."""
+        for shard in self.shards:
+            if shard.shard_id == shard_id:
+                if shard.process.poll() is not None:
+                    return False
+                shard.process.kill()
+                shard.process.wait(timeout=10)
+                return True
+        return False
+
+    def stop(self, grace: float = 10.0) -> None:
+        """SIGTERM everyone (graceful drain), SIGKILL stragglers."""
+        for shard in self.shards:
+            if shard.process.poll() is None:
+                try:
+                    shard.process.send_signal(signal.SIGTERM)
+                except OSError:
+                    pass
+        deadline = time.monotonic() + grace
+        for shard in self.shards:
+            remaining = max(0.1, deadline - time.monotonic())
+            try:
+                shard.process.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                shard.process.kill()
+                shard.process.wait(timeout=10)
+        self.shards.clear()
+
+    def __enter__(self) -> "LocalShardFleet":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+__all__ = ["BANNER_MARK", "LocalShard", "LocalShardFleet"]

@@ -155,6 +155,10 @@ class BatchScheduler:
             )
             if config.cache_dir else None
         )
+        #: per-tenant namespaced caches, created lazily on first use;
+        #: the anonymous tenant shares :attr:`cache` (the root tree)
+        self._ns_caches: dict[str, ResultCache] = {}
+        self._ns_lock = threading.Lock()
         self.jobs = max(1, config.jobs)
         self._pool: ProcessPoolExecutor | None = None
         self._solver: ThreadPoolExecutor | None = None
@@ -276,6 +280,44 @@ class BatchScheduler:
             t["cache_hits"] += hits
             t["functions"] += len(outcomes)
             self._tenant_fps.setdefault(key, set()).update(fps)
+
+    def cache_for(self, tenant: str) -> ResultCache | None:
+        """The result cache a request should solve against.
+
+        Anonymous traffic shares the root cache; a declared tenant
+        gets its own namespaced subtree (own LRU bound, own eviction
+        count) so no tenant can evict another's hot working set.
+        """
+        if self.cache is None or not tenant:
+            return self.cache
+        with self._ns_lock:
+            cache = self._ns_caches.get(tenant)
+            if cache is None:
+                bound = getattr(
+                    self.config, "cache_namespace_max_entries", None
+                )
+                if bound is None:
+                    bound = self.config.cache_max_entries
+                cache = self._ns_caches[tenant] = ResultCache(
+                    self.config.cache_dir,
+                    max_entries=bound,
+                    namespace=tenant,
+                )
+        return cache
+
+    def namespace_stats(self) -> dict[str, dict]:
+        """Occupancy and churn of each tenant's cache namespace."""
+        with self._ns_lock:
+            caches = dict(self._ns_caches)
+        return {
+            tenant: {
+                "entries": len(cache),
+                "max_entries": cache.max_entries,
+                "evictions": cache.evictions,
+                "dir": str(cache.root),
+            }
+            for tenant, cache in sorted(caches.items())
+        }
 
     def tenant_stats(self) -> dict[str, dict]:
         """Per-tenant queue depth, request counts, cache occupancy."""
@@ -560,8 +602,12 @@ class BatchScheduler:
         return responses
 
     def _engine_key(self, req: AllocateRequest) -> tuple:
+        # The tenant is part of the key only when a cache exists:
+        # namespaced caches make engines tenant-specific, while a
+        # cacheless server still shares engines across tenants.
         return (
             req.target_name,
+            req.tenant if self.cache is not None else "",
             json.dumps(
                 config_signature(req.config),
                 sort_keys=True,
@@ -576,12 +622,14 @@ class BatchScheduler:
                 self._target_factories[name]()
         return target
 
-    def _make_engine(self, target_name: str, config) -> AllocationEngine:
+    def _make_engine(
+        self, target_name: str, config, tenant: str = ""
+    ) -> AllocationEngine:
         return AllocationEngine(
             self._target(target_name),
             config,
             EngineConfig(jobs=self.jobs, fallback=True),
-            cache=self.cache,
+            cache=self.cache_for(tenant),
             executor=self._pool,
             executor_respawn=self._respawn_pool,
         )
@@ -617,13 +665,13 @@ class BatchScheduler:
             )
         if req.wants_report or config is not req.config:
             # Per-request identity or budget: don't cache the engine.
-            return self._make_engine(req.target_name, config)
+            return self._make_engine(req.target_name, config, req.tenant)
         key = self._engine_key(req)
         with self._engine_lock:
             engine = self._engines.get(key)
             if engine is None:
                 engine = self._engines[key] = self._make_engine(
-                    req.target_name, config
+                    req.target_name, config, req.tenant
                 )
         return engine
 
@@ -713,7 +761,9 @@ class BatchScheduler:
         """Deadline blew in the queue: baseline fallback, no solve."""
         STAT_DEADLINE.incr()
         req = pending.request
-        engine = self._make_engine(req.target_name, req.config)
+        engine = self._make_engine(
+            req.target_name, req.config, req.tenant
+        )
         with trace_phase(
             "service-fallback", trace_id=req.trace_id
         ):

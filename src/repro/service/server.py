@@ -127,6 +127,12 @@ class ServiceConfig:
     cache_dir: str | None = None
     #: LRU bound for the cache (None: REPRO_CACHE_MAX_ENTRIES env)
     cache_max_entries: int | None = None
+    #: LRU bound applied to each tenant's cache namespace
+    #: (None: fall back to ``cache_max_entries``)
+    cache_namespace_max_entries: int | None = None
+    #: identity this server reports to fleets: the gateway's shard
+    #: ring, ``status``/``stats``/``health`` bodies ("" = standalone)
+    shard_id: str = ""
     #: target assumed when a request names none
     default_target: str = "x86"
     #: solver time limit assumed when a request sets none
@@ -468,6 +474,7 @@ class AllocationServer:
         sched = self.scheduler
         return {
             "state": "draining" if sched.draining else "serving",
+            "shard_id": self.config.shard_id,
             "protocol": PROTOCOL_VERSION,
             "uptime_seconds": time.monotonic() - self._started,
             "queue_depth": sched.queue_depth,
@@ -498,6 +505,7 @@ class AllocationServer:
         }
         return {
             "state": "draining" if sched.draining else "serving",
+            "shard_id": self.config.shard_id,
             "uptime_seconds": time.monotonic() - self._started,
             "fault_plan": current_spec(),
             "breakers": breaker_snapshots(),
@@ -527,6 +535,7 @@ class AllocationServer:
         counters = obs.snapshot()
         completed = max(1.0, counters.get("service.completed", 0.0))
         return {
+            "shard_id": self.config.shard_id,
             "counters": counters,
             "tenants": sched.tenant_stats(),
             "queue": {
@@ -553,6 +562,7 @@ class AllocationServer:
                     sched.cache.max_entries
                     if sched.cache is not None else None
                 ),
+                "namespaces": sched.namespace_stats(),
             },
             "uptime_seconds": time.monotonic() - self._started,
         }

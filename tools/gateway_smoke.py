@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""CI smoke for the HTTP gateway + sharded serving tier.
+
+Drives the real CLI path end to end::
+
+    python -m repro gateway --spawn 3 ...
+
+then fires a mixed-tenant burst over HTTP, SIGKILLs one spawned shard
+mid-burst, and asserts the two acceptance properties of the sharded
+tier:
+
+* zero dropped accepted requests — every submit in the burst gets a
+  terminal, successful response (ring fail-over absorbs the victim's
+  keyspace);
+* warm-cache routing — re-submitting the same programs yields > 0
+  cache hits, because fingerprint-affine routing sends repeats to the
+  shard that already solved them.
+
+Writes the gateway's Prometheus snapshot to ``gateway-metrics.txt``
+(or ``argv[1]``) for upload as a CI artifact.  Exits non-zero on any
+violated assertion.
+"""
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(__file__), os.pardir, "src")
+)
+
+from repro.gateway import GatewayClient  # noqa: E402
+
+PROGRAMS = [
+    f"int f{i}(int a) {{ return a * {i + 2}; }}" for i in range(12)
+]
+TENANTS = ["acme", "zeta", ""]
+
+SPAWN_RE = re.compile(r"spawned (\S+) pid=(\d+) port=(\d+)")
+BANNER_RE = re.compile(r"repro gateway listening on \S+:(\d+)")
+
+
+def fail(msg: str) -> None:
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> int:
+    metrics_path = sys.argv[1] if len(sys.argv) > 1 \
+        else "gateway-metrics.txt"
+    cache_root = tempfile.mkdtemp(prefix="gateway-smoke-cache-")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [os.path.abspath(os.path.join(
+            os.path.dirname(__file__), os.pardir, "src")),
+         env.get("PYTHONPATH", "")])
+    gateway = subprocess.Popen(
+        [sys.executable, "-m", "repro", "gateway",
+         "--port", "0", "--spawn", "3",
+         "--spawn-cache", cache_root,
+         "--breaker-threshold", "1",
+         "--probe-interval", "0.5",
+         "--time-limit", "8"],
+        stdout=subprocess.PIPE, text=True, env=env,
+    )
+    shard_pids: dict[str, int] = {}
+    port = None
+    deadline = time.monotonic() + 120.0
+    while time.monotonic() < deadline and port is None:
+        line = gateway.stdout.readline()
+        if not line:
+            if gateway.poll() is not None:
+                fail(f"gateway exited {gateway.returncode} "
+                     "during startup")
+            time.sleep(0.05)
+            continue
+        print(f"[gateway] {line.rstrip()}")
+        spawned = SPAWN_RE.search(line)
+        if spawned:
+            shard_pids[spawned.group(1)] = int(spawned.group(2))
+        banner = BANNER_RE.search(line)
+        if banner:
+            port = int(banner.group(1))
+    if port is None:
+        gateway.kill()
+        fail("gateway never printed its banner")
+    if len(shard_pids) != 3:
+        fail(f"expected 3 spawned shards, saw {sorted(shard_pids)}")
+
+    dropped = []
+    victim = None
+    try:
+        with GatewayClient(f"http://127.0.0.1:{port}",
+                           timeout=120.0) as client:
+            # -- round 1: warm the fleet, killing the shard that owns
+            # the first request's key mid-burst so fail-over is
+            # genuinely exercised (not a shard no key hashed to)
+            routed_to = {}
+            for i, source in enumerate(PROGRAMS):
+                if i == 3:
+                    victim = routed_to[0]
+                    print(f"killing {victim} "
+                          f"(pid {shard_pids[victim]}) mid-burst")
+                    os.kill(shard_pids[victim], signal.SIGKILL)
+                resp = client.allocate(
+                    source=source, tenant=TENANTS[i % len(TENANTS)])
+                if not resp.get("ok"):
+                    dropped.append((i, resp))
+                else:
+                    gw = resp["gateway"]
+                    routed_to[i] = gw["shard"]
+                    print(f"req {i}: shard={gw['shard']} "
+                          f"attempts={gw['attempts']}")
+            if dropped:
+                fail(f"dropped accepted requests: {dropped}")
+
+            # -- round 2: re-submit everything.  The victim's keys
+            # must remap to ring successors; everyone else's must
+            # replay warm from the affine shard's cache.
+            hits = 0
+            for i, source in enumerate(PROGRAMS):
+                resp = client.allocate(
+                    source=source, tenant=TENANTS[i % len(TENANTS)])
+                if not resp.get("ok"):
+                    dropped.append((i, resp))
+                    continue
+                shard = resp["gateway"]["shard"]
+                if shard == victim:
+                    dropped.append((i, "routed to dead shard"))
+                if i == 0:
+                    print(f"req 0 remapped {victim} -> {shard}")
+                hits += sum(
+                    bool(fn.get("cache_hit"))
+                    for fn in resp["result"]["functions"])
+            if dropped:
+                fail(f"dropped re-submitted requests: {dropped}")
+            if hits == 0:
+                fail("no cache hits on re-submitted functions")
+            print(f"cache hits on re-submit: {hits}")
+
+            snaps = client.shards()["result"]["shards"]
+            states = {s["id"]: s["state"] for s in snaps}
+            print(f"shard states after kill: {states}")
+            if states.get(victim) == "up":
+                fail(f"killed shard {victim} still marked up")
+
+            text = client.metrics()
+    finally:
+        gateway.send_signal(signal.SIGTERM)
+        try:
+            gateway.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            gateway.kill()
+
+    for needle in ("repro_gateway_route", "repro_gateway_shard_latency",
+                   "repro_gateway_shard_state"):
+        if needle not in text:
+            fail(f"metrics snapshot missing {needle}")
+    with open(metrics_path, "w") as handle:
+        handle.write(text)
+    print(f"gateway metrics snapshot written to {metrics_path}")
+    print("gateway smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
