@@ -372,6 +372,8 @@ def cmd_serve(args) -> int:
         metrics_port=args.metrics_port,
         metrics_jsonl=args.metrics_jsonl,
         metrics_interval=args.metrics_interval,
+        fast_slo_ms=args.fast_slo_ms,
+        upgrade_queue_capacity=args.upgrade_queue_capacity,
     )
     if args.max_request_bytes is not None:
         config.max_request_bytes = args.max_request_bytes
@@ -384,13 +386,17 @@ def cmd_serve(args) -> int:
             if server.metrics_port is not None else ""
         )
         shard = f" shard={config.shard_id}" if config.shard_id else ""
+        fast = (
+            f" fast-slo={config.fast_slo_ms:g}ms"
+            if config.fast_slo_ms > 0 else ""
+        )
         print(
             f"repro allocation service listening on "
             f"{config.host}:{server.port} "
             f"(queue={config.queue_capacity} "
             f"in-flight={config.max_in_flight} "
             f"jobs={server.scheduler.jobs} "
-            f"cache={config.cache_dir or 'off'}{metrics}{shard})",
+            f"cache={config.cache_dir or 'off'}{metrics}{shard}{fast})",
             flush=True,
         )
         try:
@@ -527,12 +533,22 @@ def cmd_submit(args) -> int:
                 if fields is None:
                     return EXIT_USAGE
                 response = client.allocate(**fields)
+                if args.wait_optimal and response.get("ok"):
+                    response = _await_optimal(
+                        client, fields, response, args.timeout
+                    )
             elif args.verb == "cancel":
                 if not args.request:
                     print("error: cancel needs --request REF",
                           file=sys.stderr)
                     return EXIT_USAGE
                 response = client.cancel(args.request)
+            elif args.verb == "upgrade_status":
+                if not args.request:
+                    print("error: upgrade_status needs --request REF",
+                          file=sys.stderr)
+                    return EXIT_USAGE
+                response = client.upgrade_status(args.request)
             elif args.verb == "trace":
                 response = client.trace(args.request)
             else:
@@ -551,6 +567,35 @@ def cmd_submit(args) -> int:
               file=sys.stderr)
         return EXIT_CONNECT
     return _render_submit(args, response, lifecycle)
+
+
+def _await_optimal(client, fields, response, timeout) -> dict:
+    """``submit --wait-optimal``: poll until the background upgrade
+    lands, then re-submit so the reply is the cache-upgraded optimal
+    allocation (``tier: "ip"``).  The final response carries the
+    terminal upgrade record (state, optimality gap, latency)."""
+    result = response.get("result") or {}
+    upgrade = result.get("upgrade")
+    if not upgrade or result.get("tier") == "ip":
+        return response  # already optimal (cache hit or exact path)
+    status = client.wait_optimal(
+        response.get("trace_id"), timeout=timeout
+    )
+    record = (status.get("result") or {}).get("upgrade") or {}
+    result["upgrade"] = record or upgrade
+    if record.get("state") != "done":
+        return response  # failed/dropped/timed out: fast answer stands
+    refetch = dict(fields)
+    if refetch.get("trace_id"):
+        # A distinct trace id for the cache-replay fetch: re-using the
+        # original would overwrite its stored tree and lose the
+        # stitched background-upgrade spans.
+        refetch["trace_id"] = f"{refetch['trace_id']}+optimal"
+    final = client.allocate(**refetch)
+    if not final.get("ok"):
+        return response
+    final["result"]["upgrade"] = record
+    return final
 
 
 def _submit_gateway(args) -> int:
@@ -615,11 +660,25 @@ def _render_submit(args, response: dict, lifecycle) -> int:
             print()
         summary = " ".join(
             f"{e['function']}={e['source']}"
+            + (f"/{e['tier']}" if e.get("tier") else "")
             + ("+cache" if e.get("cache_hit") else "")
             for e in result.get("functions", [])
         )
         print(f"trace_id={response.get('trace_id', '')} {summary}",
               file=sys.stderr)
+        if result.get("tier") is not None:
+            line = f"tier={result['tier']}"
+            if result.get("fast_cost") is not None:
+                line += f" fast_cost={result['fast_cost']:g}"
+            upgrade = result.get("upgrade") or {}
+            if upgrade.get("state"):
+                line += f" upgrade={upgrade['state']}"
+            if upgrade.get("gap") is not None:
+                line += (
+                    f" gap={upgrade['gap']:g}"
+                    f" optimal_cost={upgrade.get('optimal_cost', 0):g}"
+                )
+            print(line, file=sys.stderr)
         if getattr(args, "report_json", None):
             reports = [
                 e["report"] for e in result.get("functions", [])
@@ -834,6 +893,18 @@ def main(argv=None) -> int:
     p_serve.add_argument("--shard-id", default="", metavar="ID",
                          help="identity reported in status/stats/"
                               "health (set by the gateway's --spawn)")
+    p_serve.add_argument("--fast-slo-ms", type=float, default=0.0,
+                         metavar="MS",
+                         help="enable tiered allocation: answer "
+                              "within MS milliseconds from the "
+                              "linear-scan fast tier and upgrade to "
+                              "the exact IP solve in the background "
+                              "(0 = exact-only, the default)")
+    p_serve.add_argument("--upgrade-queue-capacity", type=int,
+                         default=64, metavar="N",
+                         help="background optimal-upgrade jobs that "
+                              "may wait; past N new upgrades are "
+                              "dropped and the fast answer stands")
     p_serve.add_argument("--cache-namespace-max-entries", type=int,
                          default=None, metavar="N",
                          help="per-tenant LRU bound on cache "
@@ -901,7 +972,7 @@ def main(argv=None) -> int:
                           choices=("allocate", "status", "stats",
                                    "ping", "health", "cancel",
                                    "drain", "metrics", "trace",
-                                   "shards"))
+                                   "upgrade_status", "shards"))
     p_submit.add_argument("--gateway", default=None, metavar="URL",
                           help="route through an HTTP gateway "
                                "(http://host:port) instead of a "
@@ -929,7 +1000,14 @@ def main(argv=None) -> int:
                                "per-tenant size limits")
     p_submit.add_argument("--request", default=None, metavar="REF",
                           help="trace_id or id to cancel or fetch "
-                               "(with --verb cancel/trace)")
+                               "(with --verb cancel/trace/"
+                               "upgrade_status)")
+    p_submit.add_argument("--wait-optimal", action="store_true",
+                          dest="wait_optimal",
+                          help="after a fast-tier reply, poll until "
+                               "the background IP upgrade lands and "
+                               "print the cache-upgraded optimal "
+                               "answer (with its optimality gap)")
     p_submit.add_argument("--show-trace", action="store_true",
                           dest="show_trace",
                           help="record a request-lifecycle trace "

@@ -8,6 +8,10 @@ record per suite run:
   (:func:`repro.telemetry.percentile_of` over the raw per-function
   solve times, not the bucketed estimator: the suite keeps every
   sample);
+* per-tier solve-time percentiles and the measured optimality gap of
+  the fast tier (``suite.tiers``) — the linear-scan tier is timed on
+  every function next to the exact solve, and both answers are priced
+  with :func:`repro.tiers.tier_cost`;
 * presolve reduction ratios (variables and constraints removed before
   the backend ran, the §5 model-size story);
 * cache hit rate and degradation counts from the engine counters.
@@ -32,9 +36,9 @@ BENCH_SCHEMA = "repro-bench/1"
 PERCENTILES = (50, 90, 95, 99)
 
 
-def _solve_stats(reports) -> dict:
-    """Percentiles/total of the raw per-function solve times."""
-    times = [f.solve_seconds for f in reports if f.attempted]
+def _time_stats(times) -> dict:
+    """Percentiles/total of a list of raw timing samples."""
+    times = list(times)
     out = {
         f"p{q}": round(percentile_of(times, q), 6)
         for q in PERCENTILES
@@ -42,6 +46,47 @@ def _solve_stats(reports) -> dict:
     out["max"] = round(max(times), 6) if times else 0.0
     out["total"] = round(sum(times), 6)
     out["samples"] = len(times)
+    return out
+
+
+def _solve_stats(reports) -> dict:
+    """Percentiles/total of the raw per-function solve times."""
+    return _time_stats(
+        f.solve_seconds for f in reports if f.attempted
+    )
+
+
+def _tier_stats(reports) -> dict:
+    """Per-tier solve-time percentiles and the measured optimality gap.
+
+    The suite times the fast tier (:func:`repro.tiers.fast_allocate`)
+    on every function next to the exact IP solve, pricing both with the
+    shared ``tier_cost`` model.  Every key is always present — the CI
+    regression gate treats a missing path as a failure — so tiers that
+    answered nothing report zeroed stats with ``samples: 0``.
+    """
+    out = {
+        tier: _time_stats(
+            f.fast_seconds for f in reports if f.fast_tier == tier
+        )
+        for tier in ("linear-scan", "coloring")
+    }
+    out["ip"] = _solve_stats(reports)
+    gaps = [f.tier_gap for f in reports if f.fast_tier]
+    fast_total = sum(f.fast_cost for f in reports if f.fast_tier)
+    optimal_total = sum(f.optimal_cost for f in reports if f.fast_tier)
+    out["gap"] = {
+        "samples": len(gaps),
+        "mean": round(sum(gaps) / len(gaps), 6) if gaps else 0.0,
+        "max": round(max(gaps), 6) if gaps else 0.0,
+        "total": round(sum(gaps), 6),
+        "fast_cost_total": round(fast_total, 6),
+        "optimal_cost_total": round(optimal_total, 6),
+        # relative gap: how much §4 cost the fast tier leaves on the
+        # table across the suite, as a fraction of the optimum
+        "ratio": round(sum(gaps) / optimal_total, 6)
+        if optimal_total else 0.0,
+    }
     return out
 
 
@@ -100,6 +145,7 @@ def suite_perf_summary(
             "solved": sum(1 for f in reports if f.solved),
             "optimal": sum(1 for f in reports if f.optimal),
             "solve": _solve_stats(reports),
+            "tiers": _tier_stats(reports),
             "presolve": _presolve_stats(reports, counters),
             "cache": {
                 "hits": int(hits),

@@ -40,6 +40,7 @@ from ..obs import (
 )
 from ..sim import AllocatedFunction, Interpreter, RunResult
 from ..target import TargetMachine
+from ..tiers import fast_allocate, optimality_gap, tier_cost
 from .workloads import Benchmark, load_all
 
 STAT_BENCHMARKS = define_counter(
@@ -74,6 +75,14 @@ class FunctionReport:
     n_presolved_constraints: int = 0
     solve_seconds: float = 0.0
     objective: float = 0.0
+    #: fast-tier measurement: which tier answered (``linear-scan`` or
+    #: ``coloring``), how long it took, and its §4-style cost vs. the
+    #: landed exact answer (the measured optimality gap)
+    fast_tier: str = ""
+    fast_seconds: float = 0.0
+    fast_cost: float = 0.0
+    optimal_cost: float = 0.0
+    tier_gap: float = 0.0
     #: model-size breakdown by §5 feature class, when collected
     model: ModelStats | None = None
     #: solver statistics (nodes, LP relaxations, incumbents)
@@ -226,6 +235,30 @@ def run_benchmark(
             report.model = a.report.model
             report.solver = a.report.solver
         report.apply_presolve_counts()
+        # Fast-tier measurement: time the linear-scan tier on the same
+        # function/profile and price both answers with the shared
+        # tier_cost model — the bench artifact's per-tier percentiles
+        # and measured optimality gap.
+        try:
+            t0 = time.perf_counter()
+            _, fast_tier, fast_cost = fast_allocate(
+                fn, target, freq=freqs[fn.name],
+                code_size_weight=config.code_size_weight,
+            )
+            report.fast_seconds = time.perf_counter() - t0
+            report.fast_tier = fast_tier
+            report.fast_cost = fast_cost
+            final = outcome.final
+            if final.succeeded:
+                report.optimal_cost = tier_cost(
+                    final, target, freq=freqs[fn.name],
+                    code_size_weight=config.code_size_weight,
+                )
+                report.tier_gap = optimality_gap(
+                    fast_cost, report.optimal_cost
+                )
+        except AllocationError:
+            pass  # fast tier unavailable for this fn; row reads zero
         if a.succeeded:
             if validate and not config.validate:
                 validate_allocation(a, target)

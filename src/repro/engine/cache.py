@@ -275,10 +275,21 @@ class ResultCache:
             if self._count is not None and self._count > 0:
                 self._count -= 1
 
-    def put(self, record: CacheRecord) -> None:
+    def put(self, record: CacheRecord) -> str:
         """Atomically persist a record (best-effort: IO errors are
         swallowed — a cache must never fail the run), then prune the
-        least-recently-used entries past ``max_entries``."""
+        least-recently-used entries past ``max_entries``.
+
+        Returns the write's effect: ``"inserted"`` (new fingerprint,
+        occupancy grew by one), ``"replaced"`` (in-place overwrite of
+        an existing entry — the background-upgrade path — which must
+        neither grow occupancy nor touch the eviction counters), or
+        ``"error"`` (swallowed IO failure, nothing changed).  A record
+        whose entry was LRU-evicted mid-upgrade simply re-inserts:
+        ``os.replace`` makes both directions atomic, and the freshness
+        probe under the lock classifies the write correctly either
+        way.
+        """
         if not record.created:
             record.created = time.time()
         path = self.path_for(record.fingerprint)
@@ -303,12 +314,13 @@ class ResultCache:
                         pass
                     raise
             except OSError:
-                return
+                return "error"
             if fresh and self._count is not None:
                 self._count += 1
             if self.max_entries is not None:
                 self._prune_locked()
             STAT_ENTRIES.set(self._entries_locked())
+            return "inserted" if fresh else "replaced"
 
     def _entries_locked(self) -> int:
         if self._count is None:

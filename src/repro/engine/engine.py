@@ -476,6 +476,32 @@ class AllocationEngine:
             [fn], {fn.name: freq} if freq is not None else None, baseline
         ).outcomes[0]
 
+    def cached_module(
+        self,
+        functions,
+        freqs: dict[str, ExecutionFrequencies] | None = None,
+    ) -> ModuleAllocation | None:
+        """Answer from the result cache alone, or ``None``.
+
+        Probes every function's fingerprint; only when *all* of them
+        replay cleanly does this return a :class:`ModuleAllocation`
+        (every outcome ``source == "cache"``).  The tiered fast path
+        uses this so a request whose exact solve already landed — a
+        background upgrade, or a prior run — skips the fast tier and
+        replies with the optimal allocation under ``tier: "ip"``.
+        No solver work is ever attempted here.
+        """
+        if self.cache is None:
+            return None
+        outcomes = []
+        for fn in functions:
+            job = self._prepare(fn, (freqs or {}).get(fn.name))
+            hit = self._try_cache(job, None)
+            if hit is None:
+                return None
+            outcomes.append(hit)
+        return ModuleAllocation(outcomes)
+
     def fallback_module(
         self,
         functions,

@@ -15,6 +15,8 @@ Endpoints::
     POST   /v1/shards            admin add    {"id","host","port"}
     DELETE /v1/shards/<id>       admin remove (ring-aware drain)
     GET    /v1/trace?request=ID  stitched end-to-end request trace
+    GET    /v1/upgrade?request=ID  background-upgrade status (fanned
+                                 out across shards by trace_id)
     GET    /healthz              liveness (200 iff ≥1 shard up)
     GET    /metrics              Prometheus exposition
 
@@ -301,6 +303,28 @@ class AllocationGateway:
 
     # -- read-only endpoints ---------------------------------------------
 
+    def upgrade_status_body(self, ref) -> dict:
+        """Background-upgrade record for a fast-answered allocate.
+
+        The upgrade queue lives on the shard that served the original
+        request; the gateway cannot recompute that shard from a
+        trace_id alone, so it asks each shard in turn and returns the
+        first record found (the fleet is small and the verb is cheap).
+        """
+        for snap in self.manager.snapshots():
+            shard = self.manager.get(snap["id"])
+            if shard is None:
+                continue
+            try:
+                with shard.pool.lease() as client:
+                    resp = client.upgrade_status(ref)
+            except (OSError, ValueError):
+                continue
+            record = (resp.get("result") or {}).get("upgrade")
+            if record:
+                return {"upgrade": record, "shard": snap["id"]}
+        return {"upgrade": None, "shard": None}
+
     def status_body(self) -> dict:
         snaps = self.manager.snapshots()
         up = sum(1 for s in snaps if s["state"] == "up")
@@ -436,6 +460,20 @@ def _make_handler(gateway: AllocationGateway):
                 elif url.path == "/metrics":
                     self._send_text(200, gateway.render_metrics(),
                                     PROM_CONTENT_TYPE)
+                elif url.path == "/v1/upgrade":
+                    query = parse_qs(url.query)
+                    ref = (query.get("request") or [None])[0]
+                    if not ref:
+                        self._send_json(400, {
+                            "ok": False, "verb": "upgrade_status",
+                            "error": {"code": "bad_request",
+                                      "message": "need ?request=ID"}})
+                    else:
+                        body = gateway.upgrade_status_body(ref)
+                        found = body.get("upgrade") is not None
+                        self._send_json(200 if found else 404, {
+                            "ok": found, "verb": "upgrade_status",
+                            "result": body})
                 elif url.path == "/v1/trace":
                     query = parse_qs(url.query)
                     ref = (query.get("request") or [None])[0]

@@ -168,6 +168,34 @@ class ServiceClient:
             message["request"] = request_ref
         return self.request(message)
 
+    def upgrade_status(self, request_ref) -> dict:
+        """Background optimal-upgrade status of a fast-answered
+        allocate, by its trace_id or id."""
+        return self.request(
+            {"verb": "upgrade_status", "request": request_ref}
+        )
+
+    def wait_optimal(
+        self,
+        request_ref,
+        timeout: float = 120.0,
+        interval: float = 0.05,
+    ) -> dict:
+        """Poll ``upgrade_status`` until the upgrade reaches a
+        terminal state (done/failed/dropped) or ``timeout`` elapses.
+        Returns the final status response."""
+        expiry = time.monotonic() + timeout
+        response = self.upgrade_status(request_ref)
+        while True:
+            record = (response.get("result") or {}).get("upgrade")
+            state = (record or {}).get("state", "")
+            if state in ("done", "failed", "dropped"):
+                return response
+            if time.monotonic() >= expiry:
+                return response
+            time.sleep(interval)
+            response = self.upgrade_status(request_ref)
+
     def cancel(self, request_ref) -> dict:
         """Cancel a queued allocate by its trace_id or id."""
         return self.request({"verb": "cancel", "request": request_ref})

@@ -7,7 +7,8 @@ request order per connection.
 Request shape::
 
     {"verb": "allocate" | "status" | "stats" | "drain" | "ping"
-             | "cancel" | "health" | "metrics" | "trace",
+             | "cancel" | "health" | "metrics" | "trace"
+             | "upgrade_status",
      "id": <any JSON value, echoed back>,        # optional
      "trace_id": "client-chosen-id",             # optional
      "trace": true,                              # lifecycle trace
@@ -23,12 +24,15 @@ Request shape::
                 "size_only": ..., "presolve": ...,
                 "code_size_weight": ...,
                 "data_size_weight": ...},        # optional
-     # cancel / trace only:
+     # cancel / trace / upgrade_status only:
      "request": <trace_id or id of a queued/traced allocate>}
 
 The ``metrics`` verb returns the Prometheus text exposition of the
 telemetry registries; ``trace`` returns a finished request-lifecycle
-span tree by trace_id (or the most recent one).
+span tree by trace_id (or the most recent one); ``upgrade_status``
+returns the background optimal-upgrade record of a fast-answered
+allocate (states ``queued`` / ``solving`` / ``done`` / ``failed`` /
+``dropped``, with the measured optimality gap once ``done``).
 
 Response shape::
 
@@ -68,9 +72,11 @@ VERB_CANCEL = "cancel"
 VERB_HEALTH = "health"
 VERB_METRICS = "metrics"
 VERB_TRACE = "trace"
+VERB_UPGRADE_STATUS = "upgrade_status"
 VERBS = (
     VERB_ALLOCATE, VERB_STATUS, VERB_STATS, VERB_DRAIN, VERB_PING,
     VERB_CANCEL, VERB_HEALTH, VERB_METRICS, VERB_TRACE,
+    VERB_UPGRADE_STATUS,
 )
 
 E_OVERLOADED = "overloaded"

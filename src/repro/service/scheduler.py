@@ -48,8 +48,18 @@ from ..engine import (
 )
 from ..faults import breaker_snapshots
 from ..ir import format_function
-from ..obs import capture, define_counter, define_gauge, trace_phase
+from ..obs import Span, capture, define_counter, define_gauge, trace_phase
 from ..telemetry import RequestTrace, TraceStore, define_histogram
+from ..tiers import (
+    TIER_BASELINE,
+    TIER_FAST,
+    TIER_IP,
+    TierPolicy,
+    fast_allocate,
+    optimality_gap,
+    tier_cost,
+)
+from .upgrades import UpgradeJob, UpgradeQueue
 from .protocol import (
     E_CANCELLED,
     E_DRAINING,
@@ -112,6 +122,20 @@ HIST_BATCH_SOLVE = define_histogram(
 HIST_REQUEST = define_histogram(
     "service.request_latency",
     "end-to-end seconds from admission to reply",
+)
+HIST_FAST_REPLY = define_histogram(
+    "service.fast_reply",
+    "seconds a fast-tier reply took to produce (queue wait excluded)",
+)
+STAT_FAST_REPLIES = define_counter(
+    "tiers.fast_replies", "requests answered on the fast path"
+)
+STAT_SLO_MISSES = define_counter(
+    "tiers.slo_misses", "fast-path replies that exceeded --fast-slo-ms"
+)
+STAT_CACHED_OPTIMAL = define_counter(
+    "tiers.cached_optimal_replies",
+    "fast-path requests answered straight from the upgraded cache",
 )
 
 
@@ -193,10 +217,23 @@ class BatchScheduler:
         self._tenants: dict[str, dict] = {}
         self._tenant_fps: dict[str, set[str]] = {}
         self._tenant_lock = threading.Lock()
+        #: tier policy + background optimal-upgrade queue (tiered
+        #: allocation: fast reply now, exact IP solve in the background)
+        self.policy = TierPolicy(
+            fast_slo_ms=getattr(config, "fast_slo_ms", 0.0)
+        )
+        self.upgrades = UpgradeQueue(
+            runner=self._run_upgrade,
+            capacity=getattr(config, "upgrade_queue_capacity", 64),
+            keep=getattr(config, "upgrade_keep", 256),
+            on_settle=self._poke_drained,
+        )
+        self._loop: asyncio.AbstractEventLoop | None = None
 
     # -- lifecycle -------------------------------------------------------
 
     async def start(self) -> None:
+        self._loop = asyncio.get_running_loop()
         self._wake = asyncio.Event()
         self._room = asyncio.Event()
         self._room.set()
@@ -214,6 +251,8 @@ class BatchScheduler:
         self._task = asyncio.create_task(
             self._schedule(), name="repro-scheduler"
         )
+        if self.policy.fast_enabled:
+            self.upgrades.start()
 
     async def drain(self) -> None:
         """Stop admitting, finish in-flight work, then report drained."""
@@ -233,6 +272,7 @@ class BatchScheduler:
             except asyncio.CancelledError:
                 pass
             self._task = None
+        self.upgrades.stop()
         if self._solver is not None:
             self._solver.shutdown(wait=True, cancel_futures=True)
             self._solver = None
@@ -544,8 +584,24 @@ class BatchScheduler:
             self.draining
             and self._in_flight == 0
             and self._queued == 0
+            and self.upgrades.idle
         ):
             self._drained.set()
+
+    def _poke_drained(self) -> None:
+        """Upgrade-worker callback: re-check drain on the event loop.
+
+        Drain must wait for queued/in-flight background upgrades too —
+        the worker pokes the loop whenever one settles so a drain that
+        was only waiting on upgrades completes promptly.
+        """
+        loop = self._loop
+        if loop is None or loop.is_closed():
+            return
+        try:
+            loop.call_soon_threadsafe(self._check_drained)
+        except RuntimeError:
+            pass
 
     # -- solving (solver threads) ----------------------------------------
 
@@ -570,8 +626,13 @@ class BatchScheduler:
             for pending in batch:
                 req = pending.request
                 remaining = pending.remaining()
+                decision = self.policy.decide(
+                    wants_report=req.wants_report
+                )
                 if remaining is not None and remaining <= 0:
                     self._respond_expired(pending, responses)
+                elif decision.tier != TIER_IP:
+                    self._respond_fast(pending, responses)
                 elif (
                     req.wants_report
                     or (remaining is not None
@@ -755,6 +816,199 @@ class BatchScheduler:
         )
         trace.attach(span, engine_spans)
 
+    # -- fast tier + background upgrade (solver / upgrade threads) -------
+
+    def upgrade_status(self, ref) -> dict | None:
+        """Status record for the ``upgrade_status`` verb (or None)."""
+        return self.upgrades.status(ref)
+
+    def _respond_fast(
+        self, pending: _Pending, responses: dict[int, dict]
+    ) -> None:
+        """Answer within the fast SLO; enqueue the exact solve.
+
+        Cache first: when the background upgrade (or any earlier run)
+        already landed the optimal record, the reply *is* the optimal
+        allocation under ``tier: "ip"`` and nothing is enqueued.
+        Otherwise the linear scan answers — degrading to the coloring
+        baseline per the SLO-miss ordering — and the exact IP solve
+        goes on the upgrade queue.
+        """
+        req = pending.request
+        t1 = time.monotonic()
+        engine = self._engine_for(pending)
+        cached = None
+        if engine.cache is not None:
+            try:
+                cached = engine.cached_module(req.functions)
+            except Exception:
+                cached = None
+        if cached is not None:
+            STAT_CACHED_OPTIMAL.incr()
+            result = self._result(pending, list(cached))
+            result["result"]["tier"] = TIER_IP
+            self._note_fast(pending, time.monotonic() - t1, TIER_IP)
+            responses[id(pending)] = result
+            return
+        target = self._target(req.target_name)
+        weight = req.config.code_size_weight
+        entries = []
+        fast_summary: dict[str, dict] = {}
+        total_cost = 0.0
+        tiers_used: set[str] = set()
+        try:
+            with trace_phase(
+                "service-fast",
+                functions=len(req.functions),
+                trace_id=req.trace_id,
+            ):
+                for fn in req.functions:
+                    alloc, tier, cost = fast_allocate(
+                        fn, target, code_size_weight=weight
+                    )
+                    tiers_used.add(tier)
+                    total_cost += cost
+                    fast_summary[fn.name] = {"tier": tier, "cost": cost}
+                    entries.append({
+                        "function": fn.name,
+                        "status": alloc.status,
+                        "allocator": alloc.allocator,
+                        "source": "fast",
+                        "cache_hit": False,
+                        "timed_out": False,
+                        "tier": tier,
+                        "fast_cost": cost,
+                        "rendered": render_allocation(alloc, target),
+                        "code": format_function(alloc.function),
+                        "assignment": {
+                            v: r.name
+                            for v, r in sorted(alloc.assignment.items())
+                        },
+                        "code_size": allocation_code_size(alloc, target),
+                    })
+        except Exception as exc:
+            detail = f"{type(exc).__name__}: {exc}"
+            responses[id(pending)] = {
+                "ok": False,
+                "error": {"code": E_INTERNAL, "message": detail},
+            }
+            return
+        job = UpgradeJob(
+            trace_id=req.trace_id,
+            tenant=req.tenant or "",
+            target_name=req.target_name,
+            config=req.config,
+            functions=req.functions,
+            fast=fast_summary,
+            fast_cost=total_cost,
+            request_id=req.message.get("id"),
+        )
+        accepted = self.upgrades.submit(job)
+        elapsed = time.monotonic() - t1
+        if tiers_used <= {TIER_FAST}:
+            tier = TIER_FAST
+        elif tiers_used == {TIER_BASELINE}:
+            tier = TIER_BASELINE
+        else:
+            tier = "mixed"
+        self._note_fast(pending, elapsed, tier)
+        responses[id(pending)] = {
+            "ok": True,
+            "result": {
+                "target": req.target_name,
+                "functions": entries,
+                "queue_seconds": pending.started - pending.admitted,
+                "tier": tier,
+                "fast_cost": total_cost,
+                "fast_seconds": elapsed,
+                "upgrade": {
+                    "state": "queued" if accepted else "dropped",
+                    "trace_id": req.trace_id,
+                },
+            },
+        }
+
+    def _note_fast(
+        self, pending: _Pending, elapsed: float, tier: str
+    ) -> None:
+        STAT_FAST_REPLIES.incr()
+        HIST_FAST_REPLY.observe(elapsed)
+        missed = elapsed * 1000.0 > self.policy.fast_slo_ms
+        if missed:
+            STAT_SLO_MISSES.incr()
+        if pending.trace is not None:
+            pending.trace.stage(
+                "fast-solve",
+                seconds=elapsed,
+                tier=tier,
+                slo_ms=self.policy.fast_slo_ms,
+                slo_missed=missed,
+            )
+
+    def _run_upgrade(self, job: UpgradeJob) -> dict:
+        """Upgrade-worker entry: the exact IP solve for one job.
+
+        Runs on the upgrade thread.  The engine writes the optimal
+        record into the shared (per-tenant) result cache under the
+        same fingerprint the fast-answered request probes on its next
+        submit — that put *is* the in-place cache upgrade.  Returns
+        the fields the queue merges into the job's status record.
+        """
+        target = self._target(job.target_name)
+        engine = self._make_engine(
+            job.target_name, job.config, job.tenant
+        )
+        t0 = time.monotonic()
+        with trace_phase("service-upgrade", trace_id=job.trace_id):
+            with capture() as cap:
+                module_alloc = engine.allocate_module(job.functions)
+        seconds = time.monotonic() - t0
+        optimal_cost = 0.0
+        optimal_tiers: dict[str, str] = {}
+        for outcome in module_alloc:
+            optimal_cost += tier_cost(
+                outcome.final, target,
+                code_size_weight=job.config.code_size_weight,
+            )
+            optimal_tiers[outcome.function] = (
+                TIER_BASELINE if outcome.fell_back else TIER_IP
+            )
+        gap = optimality_gap(job.fast_cost, optimal_cost)
+        self._stitch_upgrade_trace(job, cap.spans, seconds, gap)
+        return {
+            "optimal_cost": optimal_cost,
+            "gap": gap,
+            "solve_seconds": seconds,
+            "optimal_tiers": optimal_tiers,
+        }
+
+    def _stitch_upgrade_trace(
+        self, job: UpgradeJob, spans, seconds: float, gap: float
+    ) -> None:
+        """Graft the background solve under the originating trace.
+
+        The request's lifecycle trace finished (and was stored) when
+        the fast reply went out; the upgrade lands later, so its span
+        subtree is stitched into the stored tree under the same
+        trace_id for ``tools/trace_view.py`` to render.
+        """
+        tree = self.traces.get(job.trace_id)
+        if not isinstance(tree, dict):
+            return
+        span = Span(
+            name="upgrade",
+            seconds=seconds,
+            meta={
+                "trace_id": job.trace_id,
+                "background": True,
+                "gap": gap,
+                "functions": len(job.functions),
+            },
+            children=list(spans),
+        )
+        tree.setdefault("children", []).append(span.to_dict())
+        self.traces.put(job.trace_id, tree)
+
     def _respond_expired(
         self, pending: _Pending, responses: dict[int, dict]
     ) -> None:
@@ -792,6 +1046,9 @@ class BatchScheduler:
                 "source": outcome.source,
                 "cache_hit": outcome.cache_hit,
                 "timed_out": outcome.timed_out,
+                "tier": (
+                    TIER_BASELINE if outcome.fell_back else TIER_IP
+                ),
             }
             if alloc.succeeded:
                 entry["rendered"] = render_allocation(alloc, target)
@@ -809,12 +1066,19 @@ class BatchScheduler:
             if report is not None and req.wants_report:
                 entry["report"] = report.to_dict()
             functions.append(entry)
+        tiers_used = {entry["tier"] for entry in functions}
         return {
             "ok": True,
             "result": {
                 "target": req.target_name,
                 "functions": functions,
                 "queue_seconds": pending.started - pending.admitted,
+                # Exact-path replies carry the tier too, so clients
+                # can branch on it without sniffing for fast fields.
+                "tier": (
+                    tiers_used.pop() if len(tiers_used) == 1
+                    else "mixed"
+                ),
             },
         }
 

@@ -72,6 +72,7 @@ from .protocol import (
     VERB_STATS,
     VERB_STATUS,
     VERB_TRACE,
+    VERB_UPGRADE_STATUS,
     ProtocolError,
     decode_line,
     encode,
@@ -159,6 +160,15 @@ class ServiceConfig:
     metrics_interval: float = 30.0
     #: finished request-lifecycle traces kept for the ``trace`` verb
     trace_keep: int = 64
+    #: fast-tier reply SLO in milliseconds; > 0 enables tiered
+    #: allocation (linear-scan reply now, exact IP solve upgraded in
+    #: the background), <= 0 keeps the pre-tiered exact-only behavior
+    fast_slo_ms: float = 0.0
+    #: background optimal-upgrade jobs that may wait (bound; past it
+    #: new upgrades are dropped and the fast answer stands)
+    upgrade_queue_capacity: int = 64
+    #: terminal upgrade-status records kept for ``upgrade_status``
+    upgrade_keep: int = 256
 
 
 class AllocationServer:
@@ -373,6 +383,21 @@ class AllocationServer:
             return self._wrap(
                 message, verb, self.trace(message.get("request"))
             )
+        if verb == VERB_UPGRADE_STATUS:
+            ref = message.get("request")
+            if ref is None:
+                raise ProtocolError(
+                    E_BAD_REQUEST,
+                    "upgrade_status needs 'request': the trace_id or "
+                    "id of a fast-answered allocate",
+                )
+            return self._wrap(
+                message, verb,
+                {
+                    "upgrade": self.scheduler.upgrade_status(ref),
+                    "queue": self.scheduler.upgrades.snapshot(),
+                },
+            )
         if verb == VERB_PING:
             return self._wrap(
                 message, verb, {"protocol": PROTOCOL_VERSION}
@@ -403,7 +428,8 @@ class AllocationServer:
             f"unknown verb {verb!r} (known: "
             f"{VERB_ALLOCATE}, {VERB_STATUS}, {VERB_STATS}, "
             f"{VERB_HEALTH}, {VERB_METRICS}, {VERB_TRACE}, "
-            f"{VERB_CANCEL}, {VERB_DRAIN}, {VERB_PING})",
+            f"{VERB_UPGRADE_STATUS}, {VERB_CANCEL}, {VERB_DRAIN}, "
+            f"{VERB_PING})",
         )
 
     def _wrap(self, message: dict, verb: str, result: dict) -> dict:
@@ -489,6 +515,11 @@ class AllocationServer:
                 "rejected": sched.rejected,
                 "cancelled": sched.cancelled,
             },
+            "tiers": {
+                "fast_slo_ms": self.config.fast_slo_ms,
+                "fast_enabled": sched.policy.fast_enabled,
+                "upgrades": sched.upgrades.snapshot(),
+            },
         }
 
     def health(self) -> dict:
@@ -563,6 +594,16 @@ class AllocationServer:
                     if sched.cache is not None else None
                 ),
                 "namespaces": sched.namespace_stats(),
+            },
+            "tiers": {
+                "fast_slo_ms": self.config.fast_slo_ms,
+                "fast_enabled": sched.policy.fast_enabled,
+                "fast_replies": counters.get("tiers.fast_replies", 0.0),
+                "slo_misses": counters.get("tiers.slo_misses", 0.0),
+                "cached_optimal_replies": counters.get(
+                    "tiers.cached_optimal_replies", 0.0
+                ),
+                "upgrades": sched.upgrades.snapshot(),
             },
             "uptime_seconds": time.monotonic() - self._started,
         }

@@ -1,0 +1,298 @@
+"""Background optimal-upgrade queue for fast-tier answers.
+
+When the service replies from the fast tier (linear scan, or its
+coloring fallback) it enqueues the *exact* IP solve here.  A single
+background worker thread drains the queue tenant-fairly and runs each
+job through the shared engine stack; when optimality lands, the result
+cache holds the optimal record under the request's canonical
+fingerprint — so the next identical submit (on this shard, which the
+gateway's warm-affinity routing makes the likely one) replays the
+optimal allocation — and the job's status record carries the measured
+optimality gap for the ``upgrade_status`` verb and ``submit
+--wait-optimal`` polling.
+
+Properties:
+
+* **bounded** — at most ``capacity`` jobs wait; past that the new job
+  is refused with a terminal ``dropped`` status (the client still has
+  its fast answer and can resubmit later);
+* **tenant-fair** — per-tenant FIFOs drained round-robin, so one
+  chatty tenant cannot starve another's upgrades;
+* **drain-aware** — an enqueued upgrade is accepted work: graceful
+  drain reports drained only after the queue is empty and the
+  in-flight upgrade (if any) finished.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+
+from ..obs import define_counter, define_gauge
+from ..telemetry import define_histogram
+
+STAT_ENQUEUED = define_counter(
+    "tiers.upgrades_enqueued", "background IP upgrades accepted"
+)
+STAT_COMPLETED = define_counter(
+    "tiers.upgrades_completed", "background IP upgrades finished"
+)
+STAT_DROPPED = define_counter(
+    "tiers.upgrades_dropped",
+    "upgrades refused because the queue was full",
+)
+STAT_FAILED = define_counter(
+    "tiers.upgrades_failed", "background IP upgrades that errored"
+)
+GAUGE_DEPTH = define_gauge(
+    "tiers.upgrade_queue_depth", "upgrades waiting for the worker"
+)
+HIST_UPGRADE_LATENCY = define_histogram(
+    "service.upgrade_latency",
+    "seconds from fast reply to landed optimal (queue wait + solve)",
+)
+
+#: terminal states a status record can reach
+TERMINAL_STATES = ("done", "failed", "dropped")
+
+
+@dataclass(slots=True)
+class UpgradeJob:
+    """One fast-answered request awaiting its exact solve."""
+
+    trace_id: str
+    tenant: str
+    target_name: str
+    config: object  # AllocatorConfig of the originating request
+    functions: list
+    #: per-function fast summary: {name: {"tier": ..., "cost": ...}}
+    fast: dict = field(default_factory=dict)
+    fast_cost: float = 0.0
+    request_id: object = None
+    enqueued: float = 0.0
+
+
+class UpgradeQueue:
+    """Bounded tenant-fair queue + one background upgrade worker.
+
+    ``runner(job) -> dict`` performs the exact solve and returns the
+    fields to merge into the job's status record (it runs on the
+    worker thread).  ``on_settle()``, when given, is called after every
+    job reaches a terminal state — the scheduler uses it to re-check
+    drain from the event loop.
+    """
+
+    def __init__(
+        self,
+        runner,
+        capacity: int = 64,
+        keep: int = 256,
+        on_settle=None,
+    ) -> None:
+        self._runner = runner
+        self.capacity = max(1, capacity)
+        self._on_settle = on_settle
+        self._cv = threading.Condition()
+        self._queues: dict[str, deque[UpgradeJob]] = {}
+        self._rr: deque[str] = deque()
+        self._queued = 0
+        self._in_flight = 0
+        self._stop = False
+        self._thread: threading.Thread | None = None
+        #: bounded trace_id -> status store for the upgrade_status verb
+        self._statuses: OrderedDict[str, dict] = OrderedDict()
+        self._keep = max(1, keep)
+        # plain accounting for status/stats bodies
+        self.enqueued = 0
+        self.completed = 0
+        self.dropped = 0
+        self.failed = 0
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-upgrade", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, timeout: float = 10.0) -> None:
+        with self._cv:
+            self._stop = True
+            self._cv.notify_all()
+        if self._thread is not None:
+            self._thread.join(timeout)
+            self._thread = None
+
+    @property
+    def depth(self) -> int:
+        return self._queued
+
+    @property
+    def in_flight(self) -> int:
+        return self._in_flight
+
+    @property
+    def idle(self) -> bool:
+        """No queued and no in-flight upgrade work (drain gate)."""
+        with self._cv:
+            return self._queued == 0 and self._in_flight == 0
+
+    def wait_idle(self, timeout: float | None = None) -> bool:
+        """Block until idle (the drain path's synchronous form)."""
+        expiry = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
+        with self._cv:
+            while self._queued or self._in_flight:
+                remaining = None
+                if expiry is not None:
+                    remaining = expiry - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                self._cv.wait(remaining)
+        return True
+
+    # -- submission (any thread) -----------------------------------------
+
+    def submit(self, job: UpgradeJob) -> bool:
+        """Enqueue one upgrade; False (with a terminal ``dropped``
+        status) when the bound is hit — never blocks."""
+        job.enqueued = time.monotonic()
+        key = job.tenant or "anon"
+        with self._cv:
+            if self._stop:
+                self.dropped += 1
+                STAT_DROPPED.incr()
+                self._set_status(job, state="dropped",
+                                 reason="shutting down")
+                return False
+            if self._queued >= self.capacity:
+                self.dropped += 1
+                STAT_DROPPED.incr()
+                self._set_status(
+                    job, state="dropped",
+                    reason=f"upgrade queue full ({self.capacity})",
+                )
+                return False
+            queue = self._queues.get(key)
+            if queue is None:
+                queue = self._queues[key] = deque()
+            if not queue:
+                self._rr.append(key)
+            queue.append(job)
+            self._queued += 1
+            self.enqueued += 1
+            STAT_ENQUEUED.incr()
+            GAUGE_DEPTH.set(self._queued)
+            self._set_status(job, state="queued")
+            self._cv.notify_all()
+        return True
+
+    def status(self, ref) -> dict | None:
+        """Status record by trace_id (or request id), newest wins."""
+        with self._cv:
+            hit = self._statuses.get(str(ref))
+            if hit is not None:
+                return dict(hit)
+            for status in reversed(self._statuses.values()):
+                if status.get("request_id") == ref:
+                    return dict(status)
+        return None
+
+    def snapshot(self) -> dict:
+        """Queue vitals for the status/stats verbs."""
+        with self._cv:
+            per_tenant = {
+                key: len(queue) for key, queue in self._queues.items()
+            }
+            return {
+                "depth": self._queued,
+                "in_flight": self._in_flight,
+                "capacity": self.capacity,
+                "per_tenant": per_tenant,
+                "enqueued": self.enqueued,
+                "completed": self.completed,
+                "dropped": self.dropped,
+                "failed": self.failed,
+            }
+
+    # -- worker ----------------------------------------------------------
+
+    def _take_next_locked(self) -> UpgradeJob:
+        key = self._rr.popleft()
+        queue = self._queues[key]
+        job = queue.popleft()
+        self._queued -= 1
+        if queue:
+            self._rr.append(key)
+        else:
+            del self._queues[key]
+        GAUGE_DEPTH.set(self._queued)
+        return job
+
+    def _loop(self) -> None:
+        while True:
+            with self._cv:
+                while not self._rr and not self._stop:
+                    self._cv.wait()
+                if not self._rr and self._stop:
+                    return
+                job = self._take_next_locked()
+                self._in_flight += 1
+                self._set_status(job, state="solving")
+            try:
+                fields = self._runner(job)
+                latency = time.monotonic() - job.enqueued
+                HIST_UPGRADE_LATENCY.observe(latency)
+                STAT_COMPLETED.incr()
+                with self._cv:
+                    self.completed += 1
+                    self._set_status(
+                        job, state="done",
+                        upgrade_seconds=latency, **(fields or {}),
+                    )
+            except Exception as exc:  # never kill the worker thread
+                STAT_FAILED.incr()
+                with self._cv:
+                    self.failed += 1
+                    self._set_status(
+                        job, state="failed",
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+            finally:
+                with self._cv:
+                    self._in_flight -= 1
+                    self._cv.notify_all()
+                if self._on_settle is not None:
+                    try:
+                        self._on_settle()
+                    except Exception:
+                        pass
+
+    # -- status store (callers hold self._cv) ----------------------------
+
+    def _set_status(self, job: UpgradeJob, **fields) -> None:
+        status = self._statuses.get(job.trace_id)
+        if status is None:
+            status = {
+                "trace_id": job.trace_id,
+                "request_id": job.request_id,
+                "tenant": job.tenant,
+                "target": job.target_name,
+                "functions": sorted(job.fast),
+                "tiers": {
+                    name: entry.get("tier")
+                    for name, entry in job.fast.items()
+                },
+                "fast_cost": job.fast_cost,
+            }
+            self._statuses[job.trace_id] = status
+        status.update(fields)
+        self._statuses.move_to_end(job.trace_id)
+        while len(self._statuses) > self._keep:
+            self._statuses.popitem(last=False)

@@ -1,0 +1,41 @@
+"""Tiered allocation: a fast linear-scan tier in front of the exact IP.
+
+The paper's solve budget (up to 1024 s per function) is fine for a
+batch compiler and fatal for a serving tier.  This package closes that
+gap with a third allocator tier between the coloring baseline and the
+IP solver: a Traub-style second-chance binpacking linear scan that
+answers in milliseconds and honors the §5 irregularity constraints
+conservatively (spill or refuse, never an invalid assignment), plus
+the policy machinery that picks a tier per request and prices the
+optimality gap once the exact answer lands in the background.
+"""
+
+from .linear_scan import (
+    LinearScanAllocator,
+    LinearScanFailure,
+    MAX_SPILL_ROUNDS,
+)
+from .policy import (
+    TIER_BASELINE,
+    TIER_FAST,
+    TIER_IP,
+    TierDecision,
+    TierPolicy,
+    fast_allocate,
+    optimality_gap,
+    tier_cost,
+)
+
+__all__ = [
+    "LinearScanAllocator",
+    "LinearScanFailure",
+    "MAX_SPILL_ROUNDS",
+    "TIER_BASELINE",
+    "TIER_FAST",
+    "TIER_IP",
+    "TierDecision",
+    "TierPolicy",
+    "fast_allocate",
+    "optimality_gap",
+    "tier_cost",
+]

@@ -1,0 +1,153 @@
+"""Tier selection and the cross-tier cost model.
+
+Three allocator tiers answer an allocation request:
+
+* ``linear-scan`` — the fast tier (:mod:`repro.tiers.linear_scan`);
+  milliseconds, feasible, conservatively §5-correct.
+* ``coloring`` — the graph-coloring baseline; slower, more precise
+  spill decisions, still heuristic.
+* ``ip`` — the paper's exact 0-1 IP; optimal, up to the full solve
+  budget.
+
+:class:`TierPolicy` picks the tier for a request and the degradation
+order when a tier refuses (fast tier first, then the coloring
+baseline — an SLO miss must never jump straight past the cheaper
+heuristic).  :func:`tier_cost` prices any allocation with one static
+§4-style model so fast and optimal answers are comparable: the
+optimality gap reported after a background upgrade is
+``tier_cost(fast) - tier_cost(optimal)`` and is non-negative by
+construction whenever the IP solve reached optimality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..allocation import Allocation, allocation_code_size
+from ..analysis import ExecutionFrequencies, static_frequencies
+from ..baseline import GraphColoringAllocator
+from ..ir import Address, Function
+from ..obs import define_counter
+from ..target import (
+    MEM_OPERAND_EXTRA_CYCLES,
+    MEM_RMW_EXTRA_CYCLES,
+    TargetMachine,
+    base_cycles,
+)
+from .linear_scan import LinearScanAllocator, LinearScanFailure
+
+#: canonical tier names carried on replies, reports and bench rows
+TIER_FAST = "linear-scan"
+TIER_BASELINE = "coloring"
+TIER_IP = "ip"
+
+STAT_FAST_PICKED = define_counter(
+    "tiers.fast_picked", "requests answered by the fast tier"
+)
+STAT_FALLBACKS = define_counter(
+    "tiers.fast_fallbacks",
+    "fast-tier refusals degraded to the coloring baseline",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class TierDecision:
+    """What a request should be answered with, and what comes later."""
+
+    #: tier that produces the reply within the latency budget
+    tier: str
+    #: whether an exact IP solve should be enqueued in the background
+    upgrade: bool
+    #: degradation order if ``tier`` refuses (SLO-miss ordering:
+    #: the fast tier is always tried before the coloring baseline)
+    fallbacks: tuple[str, ...] = ()
+
+
+@dataclass(slots=True)
+class TierPolicy:
+    """Per-request tier selection.
+
+    ``fast_slo_ms`` <= 0 disables the fast tier entirely: every
+    request goes straight to the IP solver (the pre-tiered behavior).
+    """
+
+    fast_slo_ms: float = 0.0
+
+    @property
+    def fast_enabled(self) -> bool:
+        return self.fast_slo_ms > 0
+
+    def decide(self, *, wants_report: bool = False) -> TierDecision:
+        if not self.fast_enabled:
+            return TierDecision(tier=TIER_IP, upgrade=False)
+        if wants_report:
+            # Run reports carry IP model statistics (§5 breakdown,
+            # B&B timeline) that only the exact pipeline produces.
+            return TierDecision(tier=TIER_IP, upgrade=False)
+        return TierDecision(
+            tier=TIER_FAST,
+            upgrade=True,
+            fallbacks=(TIER_BASELINE,),
+        )
+
+
+def tier_cost(
+    alloc: Allocation,
+    target: TargetMachine,
+    *,
+    code_size_weight: float = 1000.0,
+    freq: ExecutionFrequencies | None = None,
+) -> float:
+    """Static §4-style cost of an allocation: A·cycles + B·size.
+
+    Computed identically for every tier from the *rewritten* function
+    (spill code, memory operands and all), so a fast answer and the
+    optimal answer for the same request are directly comparable.
+    """
+    fn = alloc.function
+    if freq is None:
+        freq = static_frequencies(fn)
+    cycles = 0.0
+    for block, _, instr in fn.instructions():
+        weight = freq.of(block.name)
+        extra = 0.0
+        if instr.mem_dst is not None:
+            extra += MEM_RMW_EXTRA_CYCLES
+        extra += MEM_OPERAND_EXTRA_CYCLES * sum(
+            1 for s in instr.srcs if isinstance(s, Address)
+        )
+        cycles += weight * (base_cycles(instr) + extra)
+    return cycles + code_size_weight * allocation_code_size(alloc, target)
+
+
+def optimality_gap(fast_cost: float, optimal_cost: float) -> float:
+    """Gap of a fast answer vs. the landed optimum (clamped at 0:
+    rounding in the cost model must never report a negative gap)."""
+    return max(0.0, fast_cost - optimal_cost)
+
+
+def fast_allocate(
+    fn: Function,
+    target: TargetMachine,
+    *,
+    freq: ExecutionFrequencies | None = None,
+    code_size_weight: float = 1000.0,
+) -> tuple[Allocation, str, float]:
+    """Allocate one function on the fast path.
+
+    Tries the linear-scan tier first; on refusal degrades to the
+    coloring baseline (never the other way around).  Returns
+    ``(allocation, tier, cost)`` where ``tier`` names the tier that
+    actually produced the answer and ``cost`` is its
+    :func:`tier_cost`.
+    """
+    try:
+        alloc = LinearScanAllocator(target).allocate(fn, freq)
+        tier = TIER_FAST
+        STAT_FAST_PICKED.incr()
+    except LinearScanFailure:
+        STAT_FALLBACKS.incr()
+        alloc = GraphColoringAllocator(target).allocate(fn, freq)
+        tier = TIER_BASELINE
+    cost = tier_cost(alloc, target, code_size_weight=code_size_weight)
+    return alloc, tier, cost

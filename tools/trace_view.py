@@ -19,6 +19,12 @@ share of the root span's wall-clock, and the span's annotations — so a
 stitched service trace reads as the request's time budget: how long it
 sat in the queue, how long batch assembly took, where the solve went.
 
+Spans annotated ``background: true`` (the service's optimal-upgrade
+subtree, stitched onto the originating request's trace after the fast
+reply went out) are drawn with a ``~`` bar instead of ``#``: their
+time is off the request's critical path, so it can legitimately exceed
+the root's wall-clock and must not be read as reply latency.
+
 Standalone on purpose: reads plain JSON, imports nothing from the
 package, runnable against a trace captured on another machine.
 """
@@ -57,20 +63,22 @@ def render(spans, width=40, show_meta=True):
     for root in spans:
         total = root.get("seconds", 0.0) or 0.0
 
-        def walk(span, depth):
+        def walk(span, depth, background=False):
             seconds = span.get("seconds", 0.0) or 0.0
-            share = seconds / total if total > 0 else 0.0
-            bar = "#" * max(1 if seconds > 0 else 0,
-                            round(share * width))
-            label = f"{'  ' * depth}{span['name']}"
             meta = span.get("meta") or {}
+            background = background or bool(meta.get("background"))
+            share = min(1.0, seconds / total) if total > 0 else 0.0
+            bar = ("~" if background else "#") * max(
+                1 if seconds > 0 else 0, round(share * width)
+            )
+            label = f"{'  ' * depth}{span['name']}"
             tail = f"  {_fmt_meta(meta)}" if show_meta and meta else ""
             lines.append(
                 f"{label:<36} {seconds * 1e3:10.3f} ms "
                 f"{bar:<{width}}{tail}"
             )
             for child in span.get("children", []):
-                walk(child, depth + 1)
+                walk(child, depth + 1, background)
 
         walk(root, 0)
     return "\n".join(lines)
