@@ -56,6 +56,20 @@ def _solve_stats(reports) -> dict:
     )
 
 
+def _build_stats(reports) -> dict:
+    """Percentiles/total of per-function CSR model-build times.
+
+    ``build_seconds`` counts the wall-clock spent assembling matrix
+    forms (the presolve input matrix plus each submodel's backend
+    form); under the legacy object pipeline it is the per-solve
+    conversion cost the array core eliminates, so this section is the
+    before/after axis of the ``REPRO_ARRAY_CORE`` parity run.
+    """
+    return _time_stats(
+        f.build_seconds for f in reports if f.attempted
+    )
+
+
 def _tier_stats(reports) -> dict:
     """Per-tier solve-time percentiles and the measured optimality gap.
 
@@ -111,6 +125,10 @@ def _presolve_stats(reports, counters=None) -> dict:
             post_v = max(0, pre_v - removed_v)
             post_c = max(0, pre_c - removed_c)
     return {
+        # wall-clock the presolve pipeline spent reducing, per function
+        "time": _time_stats(
+            f.presolve_seconds for f in reports if f.attempted
+        ),
         "pre_variables": pre_v,
         "post_variables": post_v,
         "pre_constraints": pre_c,
@@ -145,6 +163,7 @@ def suite_perf_summary(
             "solved": sum(1 for f in reports if f.solved),
             "optimal": sum(1 for f in reports if f.optimal),
             "solve": _solve_stats(reports),
+            "model_build": _build_stats(reports),
             "tiers": _tier_stats(reports),
             "presolve": _presolve_stats(reports, counters),
             "cache": {
@@ -169,6 +188,7 @@ def suite_perf_summary(
             "solved": sum(1 for f in fns if f.solved),
             "optimal": sum(1 for f in fns if f.optimal),
             "solve": _solve_stats(fns),
+            "model_build": _build_stats(fns),
             "presolve": _presolve_stats(fns),
         }
     return summary

@@ -74,6 +74,10 @@ class FunctionReport:
     n_presolved_variables: int = 0
     n_presolved_constraints: int = 0
     solve_seconds: float = 0.0
+    #: wall-clock spent assembling CSR matrix forms (inside
+    #: ``solve_seconds``) and reducing the model in presolve
+    build_seconds: float = 0.0
+    presolve_seconds: float = 0.0
     objective: float = 0.0
     #: fast-tier measurement: which tier answered (``linear-scan`` or
     #: ``coloring``), how long it took, and its §4-style cost vs. the
@@ -121,6 +125,11 @@ class FunctionReport:
             report.n_constraints = model.n_constraints
         if solver is not None:
             report.solve_seconds = solver.solve_seconds
+            report.build_seconds = solver.build_seconds
+            if solver.presolve:
+                report.presolve_seconds = solver.presolve.get(
+                    "seconds", 0.0
+                )
             report.objective = solver.objective
             report.solved = solver.status in ("optimal", "feasible")
             report.optimal = solver.status == "optimal"
@@ -226,6 +235,8 @@ def run_benchmark(
         report.n_variables = a.n_variables
         report.n_constraints = a.n_constraints
         report.solve_seconds = a.solve_seconds
+        report.build_seconds = a.build_seconds
+        report.presolve_seconds = a.presolve_seconds
         report.objective = a.objective
         report.solved = a.succeeded
         report.optimal = a.status == "optimal"

@@ -822,6 +822,22 @@ class ORAAnalysis:
 
     def _stitch_edges(self) -> None:
         cfg = build_cfg(self.fn)
+        # Every stitch constraint is 1-2 terms with sense <= 0, and
+        # there are O(edges x segments) of them — collect the whole
+        # family as flat arrays and hand the model one batch, which
+        # builds the identical constraints in the identical order.
+        indptr = [0]
+        cols: list[int] = []
+        coefs: list[float] = []
+        names: list[str] = []
+
+        def emit(name: str, *terms) -> None:
+            for coef, var in terms:
+                cols.append(var.index)
+                coefs.append(coef)
+            indptr.append(len(cols))
+            names.append(name)
+
         for bname, entry_occ in self._entry_occ.items():
             preds = cfg.preds[bname]
             for s_name, regs in entry_occ.items():
@@ -830,29 +846,33 @@ class ORAAnalysis:
                     exit_mem = self._exit_mem.get(p, {}).get(s_name)
                     for r_name, var in regs.items():
                         if exit_regs is None or r_name not in exit_regs:
-                            self.model.add_constraint(
-                                [(1.0, var)], Sense.LE, 0.0,
+                            emit(
                                 f"edge0/{s_name}/{p}->{bname}/{r_name}",
+                                (1.0, var),
                             )
                         else:
-                            self.model.add_constraint(
-                                [(1.0, var), (-1.0, exit_regs[r_name])],
-                                Sense.LE, 0.0,
+                            emit(
                                 f"edge/{s_name}/{p}->{bname}/{r_name}",
+                                (1.0, var), (-1.0, exit_regs[r_name]),
                             )
                     mem_var = self._entry_mem[bname].get(s_name)
                     if mem_var is not None:
                         if exit_mem is None:
-                            self.model.add_constraint(
-                                [(1.0, mem_var)], Sense.LE, 0.0,
+                            emit(
                                 f"medge0/{s_name}/{p}->{bname}",
+                                (1.0, mem_var),
                             )
                         else:
-                            self.model.add_constraint(
-                                [(1.0, mem_var), (-1.0, exit_mem)],
-                                Sense.LE, 0.0,
+                            emit(
                                 f"medge/{s_name}/{p}->{bname}",
+                                (1.0, mem_var), (-1.0, exit_mem),
                             )
+        if names:
+            self.model.add_constraints_arrays(
+                indptr, cols, coefs,
+                [Sense.LE] * len(names), [0.0] * len(names),
+                names=names,
+            )
 
 
 def _find_rematerializable(fn: Function) -> dict[str, Immediate]:

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import json
 from http.client import HTTPConnection
-from urllib.parse import urlparse
+from urllib.parse import quote, urlparse
 
 
 class GatewayClient:
@@ -108,6 +108,13 @@ class GatewayClient:
         if request_ref:
             path += f"?request={request_ref}"
         return self.request("GET", path)
+
+    def upgrade(self, request_ref: str) -> dict:
+        """Background-upgrade status of a fast-answered allocate,
+        by its response id or trace id."""
+        return self.request(
+            "GET", f"/v1/upgrade?request={quote(str(request_ref))}"
+        )
 
     def healthz(self) -> dict:
         return self.request("GET", "/healthz")

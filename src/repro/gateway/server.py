@@ -15,8 +15,9 @@ Endpoints::
     POST   /v1/shards            admin add    {"id","host","port"}
     DELETE /v1/shards/<id>       admin remove (ring-aware drain)
     GET    /v1/trace?request=ID  stitched end-to-end request trace
-    GET    /v1/upgrade?request=ID  background-upgrade status (fanned
-                                 out across shards by trace_id)
+    GET    /v1/upgrade?request=ID  background-upgrade status (routed
+                                 by the original allocate's ring
+                                 affinity; fans out on unknown refs)
     GET    /healthz              liveness (200 iff ≥1 shard up)
     GET    /metrics              Prometheus exposition
 
@@ -44,6 +45,7 @@ import json
 import socket
 import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
@@ -78,6 +80,14 @@ STAT_REJECTED = define_counter(
 STAT_NO_SHARDS = define_counter(
     "gateway.no_shards", "requests that found no routable shard"
 )
+STAT_UPGRADE_AFFINITY = define_counter(
+    "gateway.upgrade_affinity",
+    "upgrade-status probes routed by the remembered allocate key",
+)
+STAT_UPGRADE_FANOUT = define_counter(
+    "gateway.upgrade_fanout",
+    "upgrade-status probes fanned out to every shard (unknown ref)",
+)
 STAT_SHARDS_UP = define_gauge(
     "gateway.shards_up", "shards currently on the hash ring"
 )
@@ -91,6 +101,10 @@ HIST_SHARD_LATENCY = define_histogram(
 #: semantic request fields that determine the allocation result —
 #: the routing fingerprint hashes exactly these
 ROUTING_FIELDS = ("source", "ir", "target", "function", "config")
+
+#: allocate replies whose routing key is remembered (by response id
+#: and trace_id) so /v1/upgrade can reuse the allocate's ring walk
+UPGRADE_KEY_CAPACITY = 512
 
 #: protocol error code -> HTTP status for proxied replies
 _HTTP_STATUS = {
@@ -150,6 +164,10 @@ class AllocationGateway:
             pool_timeout=config.proxy_timeout,
         )
         self.traces = TraceStore(keep=config.trace_keep)
+        #: response id / trace_id -> routing key of the allocate that
+        #: produced it (bounded LRU; evictions just mean fan-out)
+        self._upgrade_keys: OrderedDict[str, str] = OrderedDict()
+        self._upgrade_lock = threading.Lock()
         self._started = time.monotonic()
         self._httpd: ThreadingHTTPServer | None = None
         for i, spec in enumerate(config.shards):
@@ -247,6 +265,8 @@ class AllocationGateway:
                 continue
             STAT_PROXIED.incr()
             status = 200 if resp.get("ok") else _HTTP_STATUS.get(code, 500)
+            if resp.get("ok"):
+                self._remember_upgrade_key(resp, key)
             resp["gateway"] = {
                 "shard": shard.shard_id,
                 "attempts": attempts,
@@ -267,6 +287,20 @@ class AllocationGateway:
         self._finish_trace(gw_trace, None, resp, "exhausted")
         HIST_ROUTE.observe(time.monotonic() - t0)
         return 502, resp
+
+    def _remember_upgrade_key(self, resp: dict, key: str) -> None:
+        """Remember the routing key under every ref a client could
+        later pass to ``GET /v1/upgrade`` (response id, trace id)."""
+        refs = [str(r) for r in (resp.get("id"), resp.get("trace_id"))
+                if r]
+        if not refs:
+            return
+        with self._upgrade_lock:
+            for ref in refs:
+                self._upgrade_keys[ref] = key
+                self._upgrade_keys.move_to_end(ref)
+            while len(self._upgrade_keys) > UPGRADE_KEY_CAPACITY:
+                self._upgrade_keys.popitem(last=False)
 
     def _finish_trace(self, gw_trace, shard, resp, status: str) -> None:
         """Stitch the shard's span tree under the gateway's and store.
@@ -307,10 +341,33 @@ class AllocationGateway:
         """Background-upgrade record for a fast-answered allocate.
 
         The upgrade queue lives on the shard that served the original
-        request; the gateway cannot recompute that shard from a
-        trace_id alone, so it asks each shard in turn and returns the
-        first record found (the fleet is small and the verb is cheap).
+        request.  The gateway remembers the routing key of recent
+        allocate replies (keyed by response id and trace id), so a
+        known ref walks the *same* ring preference the allocate used —
+        owner first, then its fail-over successors, breakers consulted
+        — and normally stops at the first shard.  Only an unknown ref
+        (LRU eviction, gateway restart, someone else's request) falls
+        back to asking every shard in turn.
         """
+        with self._upgrade_lock:
+            key = self._upgrade_keys.get(str(ref))
+        if key is not None:
+            STAT_UPGRADE_AFFINITY.incr()
+            for shard in self.manager.candidates(key):
+                try:
+                    with shard.pool.lease() as client:
+                        resp = client.upgrade_status(ref)
+                except (OSError, ValueError):
+                    self.manager.report_failure(shard)
+                    continue
+                self.manager.report_success(shard)
+                record = (resp.get("result") or {}).get("upgrade")
+                if record:
+                    return {"upgrade": record,
+                            "shard": shard.shard_id,
+                            "affinity": True}
+            return {"upgrade": None, "shard": None, "affinity": True}
+        STAT_UPGRADE_FANOUT.incr()
         for snap in self.manager.snapshots():
             shard = self.manager.get(snap["id"])
             if shard is None:
@@ -322,8 +379,9 @@ class AllocationGateway:
                 continue
             record = (resp.get("result") or {}).get("upgrade")
             if record:
-                return {"upgrade": record, "shard": snap["id"]}
-        return {"upgrade": None, "shard": None}
+                return {"upgrade": record, "shard": snap["id"],
+                        "affinity": False}
+        return {"upgrade": None, "shard": None, "affinity": False}
 
     def status_body(self) -> dict:
         snaps = self.manager.snapshots()

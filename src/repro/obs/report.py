@@ -137,6 +137,8 @@ class SolverStats:
     backend: str = ""
     status: str = ""
     solve_seconds: float = 0.0
+    #: wall-clock spent assembling CSR matrix forms, inside solve_seconds
+    build_seconds: float = 0.0
     nodes: int = 0
     lp_relaxations: int = 0
     #: [(seconds since solve start, objective)] per incumbent update
@@ -156,6 +158,7 @@ class SolverStats:
             backend=result.backend,
             status=result.status.value,
             solve_seconds=result.solve_seconds,
+            build_seconds=result.build_seconds,
             nodes=result.nodes,
             lp_relaxations=result.lp_relaxations,
             incumbents=[tuple(i) for i in result.incumbents],
@@ -175,6 +178,7 @@ class SolverStats:
             "backend": self.backend,
             "status": self.status,
             "solve_seconds": self.solve_seconds,
+            "build_seconds": self.build_seconds,
             "nodes": self.nodes,
             "lp_relaxations": self.lp_relaxations,
             "incumbents": [list(i) for i in self.incumbents],
@@ -189,6 +193,7 @@ class SolverStats:
             backend=d.get("backend", ""),
             status=d.get("status", ""),
             solve_seconds=d.get("solve_seconds", 0.0),
+            build_seconds=d.get("build_seconds", 0.0),
             nodes=d.get("nodes", 0),
             lp_relaxations=d.get("lp_relaxations", 0),
             incumbents=[tuple(i) for i in d.get("incumbents", [])],

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 
 from ..solver.model import InfeasibleModel, IPModel, Sense
 from .config import PresolveConfig
+from .reduction import SubModel
 
 _TOL = 1e-9
 
@@ -45,6 +46,10 @@ class Row:
 
 class Reducer:
     """Mutable working state shared by the passes."""
+
+    #: matrix assembly cost, reported for parity with the array reducer
+    #: (the object pipeline never builds one)
+    build_seconds = 0.0
 
     def __init__(self, model: IPModel, config: PresolveConfig) -> None:
         self.model = model
@@ -238,16 +243,27 @@ class Reducer:
 
     def drop_dominated(self) -> bool:
         changed = False
+        # Pivot choice and the candidate-count limit are evaluated
+        # against pass-*start* column degrees: no fixings happen in
+        # this pass, so the dominance relation between any two rows is
+        # static, and freezing the scan order against mid-pass drops
+        # keeps the fixpoint identical while letting the array twin
+        # compute the whole scan in one batch.  Candidate *liveness*
+        # stays live — a row dropped earlier in the pass cannot serve
+        # as a dominator — which is what orders mutual duplicates.
+        degree0 = {
+            col: len(rows) for col, rows in self.rows_of.items()
+        }
+        limit = self.config.dominance_candidate_limit
         for rid, row in list(self.live_rows()):
             if self.rows[rid] is None or not row.terms:
                 continue
             pivot = min(
-                row.terms,
-                key=lambda i: (len(self.rows_of[i]), i),
+                row.terms, key=lambda i: (degree0[i], i)
             )
-            candidates = self.rows_of[pivot] - {rid}
-            if len(candidates) > self.config.dominance_candidate_limit:
+            if degree0[pivot] - 1 > limit:
                 continue
+            candidates = self.rows_of[pivot] - {rid}
             for other in sorted(candidates):
                 dominator = self.rows[other]
                 if dominator is None:
@@ -299,6 +315,50 @@ class Reducer:
         for i in sorted(self.free):
             if not self.rows_of.get(i):
                 self.fix(i, 1 if self.cost[i] < 0 else 0)
+
+    def settle_leftover_empties(self) -> None:
+        """Rows emptied by substitution must be checked even when the
+        implication pass is disabled — an unsatisfiable empty row means
+        the model is infeasible, a satisfied one is vacuous."""
+        for rid, row in list(self.live_rows()):
+            if not row.terms:
+                self._settle_empty(rid, row)
+
+    def free_indices(self) -> list[int]:
+        """Surviving free variables, as ascending original indices."""
+        return sorted(self.free)
+
+    def n_live_rows(self) -> int:
+        return sum(1 for _ in self.live_rows())
+
+    def fixed_dict(self) -> dict[int, int]:
+        return dict(self.fixed)
+
+    def single_component(self) -> list[tuple[list[int], list[int]]]:
+        all_vars = self.free_indices()
+        if not all_vars:
+            return []
+        all_rows = [rid for rid, _ in self.live_rows()]
+        return [(all_vars, all_rows)]
+
+    def build_submodel(
+        self, var_ids: list[int], row_ids: list[int], k: int
+    ) -> "SubModel":
+        original = self.model
+        sub = IPModel(name=f"{original.name}/presolve{k}")
+        col_of = {}
+        for i in var_ids:
+            var = original.variables[i]
+            col_of[i] = sub.add_var(var.name, var.cost)
+        for rid in row_ids:
+            row = self.rows[rid]
+            sub.add_constraint(
+                [(coef, col_of[i]) for i, coef in row.terms.items()],
+                row.sense,
+                row.rhs,
+                name=row.name,
+            )
+        return SubModel(model=sub, var_map=list(var_ids))
 
     def components(self) -> list[tuple[list[int], list[int]]]:
         """Connected components of the reduced incidence graph, as

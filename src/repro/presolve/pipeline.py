@@ -15,9 +15,10 @@ import time
 from ..obs import define_counter, trace_phase
 from ..solver.model import IPModel
 from ..telemetry import define_histogram
+from .array_passes import ArrayReducer
 from .config import PresolveConfig
 from .passes import Reducer
-from .reduction import PresolveReduction, PresolveSummary, SubModel
+from .reduction import PresolveReduction, PresolveSummary
 
 STAT_RUNS = define_counter(
     "presolve.runs", "models run through the presolve pipeline"
@@ -59,19 +60,19 @@ def presolve_model(
     config = config or PresolveConfig()
     start = time.perf_counter()
     STAT_RUNS.incr()
-    reducer = Reducer(model, config)
+    reducer_cls = ArrayReducer if config.array_core else Reducer
+    reducer = reducer_cls(model, config)
     summary = PresolveSummary(
-        pre_variables=len(reducer.free),
-        pre_constraints=sum(
-            1 for _ in reducer.live_rows()
-        ),
+        pre_variables=len(reducer.free_indices()),
+        pre_constraints=reducer.n_live_rows(),
+        build_seconds=reducer.build_seconds,
     )
     reduction = PresolveReduction(original=model, summary=summary)
     with trace_phase("presolve", model=model.name):
         try:
             _run_passes(reducer, config)
             reducer.settle_orphans()
-            _settle_leftover_empties(reducer)
+            reducer.settle_leftover_empties()
         except InfeasibleModel:
             reduction.infeasible = True
             STAT_INFEASIBLE.incr()
@@ -86,7 +87,7 @@ def presolve_model(
     return reduction
 
 
-def _run_passes(reducer: Reducer, config: PresolveConfig) -> None:
+def _run_passes(reducer, config: PresolveConfig) -> None:
     for round_ in range(config.max_rounds):
         changed = False
         if config.fix_implied:
@@ -100,17 +101,8 @@ def _run_passes(reducer: Reducer, config: PresolveConfig) -> None:
             break
 
 
-def _settle_leftover_empties(reducer: Reducer) -> None:
-    """Rows emptied by substitution must be checked even when the
-    implication pass is disabled — an unsatisfiable empty row means
-    the model is infeasible, a satisfied one is vacuous."""
-    for rid, row in list(reducer.live_rows()):
-        if not row.terms:
-            reducer._settle_empty(rid, row)
-
-
 def _finish(
-    reducer: Reducer,
+    reducer,
     config: PresolveConfig,
     reduction: PresolveReduction,
     summary: PresolveSummary,
@@ -121,17 +113,15 @@ def _finish(
     summary.rounds = getattr(reducer, "rounds", 0)
     if reduction.infeasible:
         return
-    reduction.fixed = dict(reducer.fixed)
+    reduction.fixed = reducer.fixed_dict()
     if config.decompose:
         components = reducer.components()
     else:
-        all_vars = sorted(reducer.free)
-        all_rows = [rid for rid, _ in reducer.live_rows()]
-        components = [(all_vars, all_rows)] if all_vars else []
+        components = reducer.single_component()
     for var_ids, row_ids in components:
         reduction.submodels.append(
-            _build_submodel(reducer, var_ids, row_ids,
-                            len(reduction.submodels))
+            reducer.build_submodel(var_ids, row_ids,
+                                   len(reduction.submodels))
         )
     summary.components = len(reduction.submodels)
     summary.post_variables = sum(
@@ -140,23 +130,3 @@ def _finish(
     summary.post_constraints = sum(
         sub.model.n_constraints for sub in reduction.submodels
     )
-
-
-def _build_submodel(
-    reducer: Reducer, var_ids: list[int], row_ids: list[int], k: int
-) -> SubModel:
-    original = reducer.model
-    sub = IPModel(name=f"{original.name}/presolve{k}")
-    col_of = {}
-    for i in var_ids:
-        var = original.variables[i]
-        col_of[i] = sub.add_var(var.name, var.cost)
-    for rid in row_ids:
-        row = reducer.rows[rid]
-        sub.add_constraint(
-            [(coef, col_of[i]) for i, coef in row.terms.items()],
-            row.sense,
-            row.rhs,
-            name=row.name,
-        )
-    return SubModel(model=sub, var_map=list(var_ids))

@@ -46,6 +46,9 @@ class PresolveSummary:
     rounds: int = 0
     #: wall-clock spent reducing (not solving)
     seconds: float = 0.0
+    #: wall-clock spent assembling the CSR array form the reducer ran
+    #: on (0 for the object pipeline, which never builds one)
+    build_seconds: float = 0.0
 
     def to_dict(self) -> dict:
         return {
@@ -59,6 +62,7 @@ class PresolveSummary:
             "components": self.components,
             "rounds": self.rounds,
             "seconds": self.seconds,
+            "build_seconds": self.build_seconds,
         }
 
     @classmethod
@@ -74,6 +78,7 @@ class PresolveSummary:
             components=int(d.get("components", 0)),
             rounds=int(d.get("rounds", 0)),
             seconds=float(d.get("seconds", 0.0)),
+            build_seconds=float(d.get("build_seconds", 0.0)),
         )
 
 

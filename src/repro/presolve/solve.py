@@ -22,6 +22,7 @@ import time
 from ..obs import define_counter, trace_phase
 from ..solver.model import IPModel
 from ..solver.result import SolveResult, SolveStatus
+from ..solver.warmstart import warm_solve
 from .config import PresolveConfig
 from .pipeline import presolve_model
 
@@ -53,6 +54,7 @@ def solve_reduced(
             solve_seconds=time.perf_counter() - start,
             backend=backend_name,
             presolve=summary,
+            build_seconds=summary.build_seconds,
         )
 
     # Largest component first: it gets the freshest time budget, and
@@ -68,12 +70,15 @@ def solve_reduced(
     timed_out = False
     nodes = 0
     lp_relaxations = 0
+    build_seconds = summary.build_seconds
     for k in order:
         sub = reduction.submodels[k]
-        res = backend_fn(sub.model, time_limit=remaining())
+        res = warm_solve(backend_fn, backend_name, sub.model,
+                         remaining())
         nodes += res.nodes
         lp_relaxations += res.lp_relaxations
         timed_out |= res.timed_out
+        build_seconds += res.build_seconds
         if not res.status.has_solution:
             return SolveResult(
                 status=res.status,
@@ -83,6 +88,7 @@ def solve_reduced(
                 backend=backend_name,
                 timed_out=timed_out,
                 presolve=summary,
+                build_seconds=build_seconds,
             )
         if res.status is not SolveStatus.OPTIMAL:
             all_optimal = False
@@ -110,4 +116,5 @@ def solve_reduced(
         backend=backend_name,
         timed_out=timed_out,
         presolve=summary,
+        build_seconds=build_seconds,
     )

@@ -15,9 +15,16 @@ from ..faults import (
 from ..obs import counter
 from .branch_bound import solve_with_branch_bound
 from .brute_force import MAX_BRUTE_VARS, solve_brute_force
+from .matrix import (
+    ARRAY_CORE_ENV,
+    MatrixModel,
+    array_core_enabled,
+    structural_fingerprint,
+)
 from .model import Constraint, InfeasibleModel, IPModel, Sense, Variable
 from .result import SolveResult, SolveStatus, complete_values
 from .scipy_backend import solve_with_scipy
+from .warmstart import WARM_CAPABLE, WarmStartStore, warm_solve, warm_start_store
 
 #: Named backend registry used by the allocator configuration.
 BACKENDS = {
@@ -79,7 +86,7 @@ def solve(
         elif config.enabled:
             result = solve_reduced(model, fn, backend, time_limit, config)
         else:
-            result = fn(model, time_limit=time_limit)
+            result = warm_solve(fn, backend, model, time_limit)
     except InfeasibleModel:
         # Proven infeasibility is a valid answer, not a backend fault.
         breaker.record_success()
@@ -92,18 +99,26 @@ def solve(
 
 
 __all__ = [
+    "ARRAY_CORE_ENV",
     "BACKENDS",
     "Constraint",
     "IPModel",
     "InfeasibleModel",
     "MAX_BRUTE_VARS",
+    "MatrixModel",
     "Sense",
     "SolveResult",
     "SolveStatus",
     "Variable",
+    "WARM_CAPABLE",
+    "WarmStartStore",
+    "array_core_enabled",
     "complete_values",
     "solve",
     "solve_brute_force",
     "solve_with_branch_bound",
     "solve_with_scipy",
+    "structural_fingerprint",
+    "warm_solve",
+    "warm_start_store",
 ]

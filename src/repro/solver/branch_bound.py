@@ -3,7 +3,17 @@
 This is the didactic/no-dependency counterpart to the HiGHS backend: LP
 relaxations are solved with ``scipy.optimize.linprog`` (dual simplex),
 branching is depth-first on the most fractional variable, and incumbents
-come from (a) integral LP solutions and (b) a greedy rounding heuristic.
+come from (a) integral LP solutions, (b) a greedy rounding heuristic,
+and (c) a caller-provided warm start from a structurally identical
+prior solve (:mod:`repro.solver.warmstart`).
+
+The LP matrices come straight from the model's cached CSR form
+(:meth:`IPModel.matrix`) — no per-solve conversion — and each node
+runs vectorized activity/bound propagation over the combined ≤-form
+matrix before paying for an LP: variables whose unfavourable value
+would push some constraint past its bound even at minimum activity are
+fixed in the node's bounds, infeasible nodes are pruned outright, and
+fully-fixed nodes are evaluated directly with no LP at all.
 
 It proves optimality on the small-to-medium models typical of the
 per-function allocation problems in the paper's Figure 9 range, and is
@@ -21,10 +31,12 @@ from scipy import sparse
 from scipy.optimize import linprog
 
 from ..obs import define_counter
-from .model import IPModel, Sense
+from .model import IPModel
 from .result import SolveResult, SolveStatus, complete_values
+from .warmstart import STAT_REJECTED, STAT_SEEDED
 
 _INT_TOL = 1e-6
+_TOL = 1e-9
 
 STAT_SOLVES = define_counter(
     "solver.bb.solves", "branch-and-bound invocations"
@@ -38,16 +50,33 @@ STAT_LPS = define_counter(
 STAT_INCUMBENTS = define_counter(
     "solver.bb.incumbents", "incumbent updates"
 )
+STAT_PROPAGATED = define_counter(
+    "solver.bb.propagated_fixings",
+    "variables fixed by node activity propagation",
+)
+STAT_PROPAGATION_PRUNES = define_counter(
+    "solver.bb.propagation_prunes",
+    "nodes pruned by activity propagation before any LP",
+)
 
 
 @dataclass(slots=True)
 class _Problem:
     cost: np.ndarray
     a_ub: sparse.csr_matrix | None
-    b_ub: np.ndarray
+    b_ub: np.ndarray | None
     a_eq: sparse.csr_matrix | None
-    b_eq: np.ndarray
+    b_eq: np.ndarray | None
     n: int
+    #: combined ≤-form system (ub rows, eq rows, negated eq rows) split
+    #: into positive/negative parts for vectorized activity bounds
+    p_pos: sparse.csr_matrix | None = None
+    p_neg: sparse.csr_matrix | None = None
+    p_rhs: np.ndarray | None = None
+    #: flat entry arrays of the combined system (row, col, coef)
+    e_row: np.ndarray | None = None
+    e_col: np.ndarray | None = None
+    e_coef: np.ndarray | None = None
 
     def lp(self, lb: np.ndarray, ub: np.ndarray):
         res = linprog(
@@ -61,41 +90,72 @@ class _Problem:
         )
         return res
 
+    def propagate(self, lb: np.ndarray, ub: np.ndarray) -> bool:
+        """Tighten node bounds by 0-1 activity propagation; returns
+        False when the node is infeasible.
 
-def _build_problem(model: IPModel, free) -> _Problem:
-    n = len(free)
-    col_of = {v.index: j for j, v in enumerate(free)}
-    cost = np.array([v.cost for v in free], dtype=float)
+        Over the combined ≤-form rows: a variable whose unfavourable
+        value overshoots some right-hand side even with every other
+        variable at its most favourable bound is fixed to its
+        favourable one; a row whose minimum activity already exceeds
+        its right-hand side kills the node.  Mutates ``lb``/``ub``.
+        """
+        if self.p_pos is None:
+            return True
+        fixed = 0
+        while True:
+            min_act = self.p_pos @ lb + self.p_neg @ ub
+            if np.any(min_act > self.p_rhs + _TOL):
+                if fixed:
+                    STAT_PROPAGATED.add(fixed)
+                return False
+            width = ub[self.e_col] - lb[self.e_col]
+            slack = self.p_rhs[self.e_row] - min_act[self.e_row]
+            over = np.abs(self.e_coef) * width > slack + _TOL
+            move = over & (width > 0)
+            if not move.any():
+                break
+            to_lb = np.unique(self.e_col[move & (self.e_coef > 0)])
+            to_ub = np.unique(self.e_col[move & (self.e_coef < 0)])
+            clash = np.intersect1d(to_lb, to_ub)
+            if clash.size:
+                STAT_PROPAGATED.add(fixed)
+                return False
+            ub[to_lb] = lb[to_lb]
+            lb[to_ub] = ub[to_ub]
+            fixed += to_lb.size + to_ub.size
+        if fixed:
+            STAT_PROPAGATED.add(fixed)
+        return True
 
-    ub_rows: list[tuple[list[int], list[float], float]] = []
-    eq_rows: list[tuple[list[int], list[float], float]] = []
-    for con in model.constraints:
-        cols = [col_of[v.index] for _, v in con.terms]
-        coefs = [c for c, _ in con.terms]
-        if con.sense is Sense.LE:
-            ub_rows.append((cols, coefs, con.rhs))
-        elif con.sense is Sense.GE:
-            ub_rows.append((cols, [-c for c in coefs], -con.rhs))
-        else:
-            eq_rows.append((cols, coefs, con.rhs))
 
-    def to_matrix(rows):
-        if not rows:
-            return None, np.zeros(0)
-        data, ri, ci, rhs = [], [], [], []
-        for i, (cols, coefs, b) in enumerate(rows):
-            ri.extend([i] * len(cols))
-            ci.extend(cols)
-            data.extend(coefs)
-            rhs.append(b)
-        return (
-            sparse.csr_matrix((data, (ri, ci)), shape=(len(rows), n)),
-            np.array(rhs, dtype=float),
+def _build_problem(model: IPModel) -> tuple["_Problem", float]:
+    """LP matrices straight from the model's cached CSR form;
+    inequality rows keep their original interleaved order."""
+    m = model.matrix()
+    a_ub, b_ub, a_eq, b_eq = m.ub_eq_split()
+    problem = _Problem(m.cost, a_ub, b_ub, a_eq, b_eq, m.n_free)
+    blocks = []
+    rhss = []
+    if a_ub is not None:
+        blocks.append(a_ub)
+        rhss.append(b_ub)
+    if a_eq is not None:
+        blocks.append(a_eq)
+        rhss.append(b_eq)
+        blocks.append(-a_eq)
+        rhss.append(-b_eq)
+    if blocks:
+        p = sparse.vstack(blocks, format="csr")
+        problem.p_pos = p.maximum(0).tocsr()
+        problem.p_neg = p.minimum(0).tocsr()
+        problem.p_rhs = np.concatenate(rhss)
+        problem.e_row = np.repeat(
+            np.arange(p.shape[0], dtype=np.intp), np.diff(p.indptr)
         )
-
-    a_ub, b_ub = to_matrix(ub_rows)
-    a_eq, b_eq = to_matrix(eq_rows)
-    return _Problem(cost, a_ub, b_ub, a_eq, b_eq, n)
+        problem.e_col = p.indices
+        problem.e_coef = p.data
+    return problem, m.build_seconds
 
 
 def _round_feasible(model: IPModel, free, x: np.ndarray) -> dict[int, int] | None:
@@ -105,12 +165,40 @@ def _round_feasible(model: IPModel, free, x: np.ndarray) -> dict[int, int] | Non
     return values if model.check(values) else None
 
 
+def _seed_incumbent(
+    model: IPModel, free, warm_start: dict[str, int] | None
+) -> tuple[dict[int, int] | None, float]:
+    """Re-validate a warm-start seed ({var name: value}) against this
+    model; a stale or infeasible seed is dropped, never trusted."""
+    if not warm_start:
+        return None, float("inf")
+    try:
+        free_values = {
+            v.index: int(warm_start[v.name]) for v in free
+        }
+    except KeyError:
+        STAT_REJECTED.incr()
+        return None, float("inf")
+    values = complete_values(model, free_values)
+    if not model.check(values):
+        STAT_REJECTED.incr()
+        return None, float("inf")
+    STAT_SEEDED.incr()
+    return values, model.evaluate(values)
+
+
 def solve_with_branch_bound(
     model: IPModel,
     time_limit: float | None = None,
     max_nodes: int = 200_000,
+    warm_start: dict[str, int] | None = None,
 ) -> SolveResult:
-    """Solve a 0-1 :class:`IPModel` by LP-based branch and bound."""
+    """Solve a 0-1 :class:`IPModel` by LP-based branch and bound.
+
+    ``warm_start`` maps free-variable *names* to a prior 0/1 solution
+    of a structurally identical model; after re-validation it becomes
+    the starting incumbent, so the bound prunes from the first node.
+    """
     free = model.free_variables()
     n = len(free)
     start = time.perf_counter()
@@ -126,13 +214,14 @@ def solve_with_branch_bound(
             backend="branch-bound",
         )
 
-    problem = _build_problem(model, free)
+    problem, build_seconds = _build_problem(model)
 
-    best_values: dict[int, int] | None = None
-    best_obj = float("inf")
+    best_values, best_obj = _seed_incumbent(model, free, warm_start)
     nodes = 0
     lp_relaxations = 0
     incumbents: list[tuple[float, float]] = []
+    if best_values is not None:
+        incumbents.append((0.0, best_obj))
     timed_out = False
 
     # DFS stack of (lb, ub) bound pairs.
@@ -150,8 +239,27 @@ def solve_with_branch_bound(
             break
         lb, ub = stack.pop()
         nodes += 1
-        lp_relaxations += 1
 
+        if not problem.propagate(lb, ub):
+            STAT_PROPAGATION_PRUNES.incr()
+            continue
+        if np.array_equal(lb, ub):
+            # propagation decided every variable: price the point
+            # directly, no LP needed (propagation proved feasibility)
+            values = {
+                v.index: int(lb[j]) for j, v in enumerate(free)
+            }
+            full = complete_values(model, values)
+            obj = model.evaluate(full)
+            if obj < best_obj:
+                best_obj = obj
+                best_values = full
+                incumbents.append(
+                    (time.perf_counter() - start, best_obj)
+                )
+            continue
+
+        lp_relaxations += 1
         res = problem.lp(lb, ub)
         if res.status != 0:  # infeasible / unbounded subproblem
             continue
@@ -214,6 +322,7 @@ def solve_with_branch_bound(
             lp_relaxations=lp_relaxations,
             backend="branch-bound",
             timed_out=timed_out,
+            build_seconds=build_seconds,
         )
     return SolveResult(
         status=SolveStatus.FEASIBLE if timed_out else SolveStatus.OPTIMAL,
@@ -225,4 +334,5 @@ def solve_with_branch_bound(
         incumbents=incumbents,
         backend="branch-bound",
         timed_out=timed_out,
+        build_seconds=build_seconds,
     )

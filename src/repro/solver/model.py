@@ -78,13 +78,35 @@ class IPModel:
         #: indices of variables that appear (live) in some constraint —
         #: those can no longer be fixed at build time (see :meth:`fix`)
         self._constrained: set[int] = set()
+        #: flat COO coefficient buffers, maintained incrementally so the
+        #: array form (:meth:`matrix`) is one bulk numpy conversion away;
+        #: columns are *original* variable indices
+        self._mx_rows: list[int] = []
+        self._mx_cols: list[int] = []
+        self._mx_data: list[float] = []
+        self._n_fixed = 0
+        self._matrix = None
 
     # -- construction ---------------------------------------------------
 
     def add_var(self, name: str, cost: float = 0.0) -> Variable:
         var = Variable(index=len(self.variables), name=name, cost=cost)
         self.variables.append(var)
+        self._matrix = None
         return var
+
+    def add_vars(
+        self, names: Iterable[str], costs: Iterable[float]
+    ) -> list[Variable]:
+        """Bulk :meth:`add_var` for array-built variable families."""
+        base = len(self.variables)
+        added = [
+            Variable(index=base + k, name=n, cost=c)
+            for k, (n, c) in enumerate(zip(names, costs))
+        ]
+        self.variables.extend(added)
+        self._matrix = None
+        return added
 
     def add_constraint(
         self,
@@ -126,9 +148,54 @@ class IPModel:
             sense=sense,
             rhs=rhs_eff,
         )
+        row = len(self.constraints)
         self.constraints.append(constraint)
         self._constrained.update(v.index for _, v in live)
+        for coef, var in live:
+            self._mx_rows.append(row)
+            self._mx_cols.append(var.index)
+            self._mx_data.append(coef)
+        self._matrix = None
         return constraint
+
+    def add_constraints_arrays(
+        self,
+        indptr,
+        cols,
+        coefs,
+        senses,
+        rhss,
+        names: Iterable[str] | None = None,
+    ) -> list["Constraint | None"]:
+        """Batch :meth:`add_constraint` over index/coefficient arrays.
+
+        Row ``k`` holds terms ``coefs[indptr[k]:indptr[k+1]]`` over the
+        original variable indices ``cols[indptr[k]:indptr[k+1]]``, with
+        sense ``senses[k]`` and right-hand side ``rhss[k]``.  Semantics
+        match the scalar path exactly — zero coefficients dropped, fixed
+        variables folded into the right-hand side, vacuous rows dropped
+        (``None`` in the result) or :class:`InfeasibleModel` raised —
+        so constraint families can be emitted as arrays without
+        changing the model that results.
+        """
+        name_list = list(names) if names is not None else None
+        out: list[Constraint | None] = []
+        variables = self.variables
+        for k in range(len(indptr) - 1):
+            lo, hi = int(indptr[k]), int(indptr[k + 1])
+            terms = [
+                (float(coefs[j]), variables[int(cols[j])])
+                for j in range(lo, hi)
+            ]
+            out.append(
+                self.add_constraint(
+                    terms,
+                    senses[k],
+                    float(rhss[k]),
+                    name=name_list[k] if name_list else "",
+                )
+            )
+        return out
 
     def fix(self, var: Variable, value: int) -> None:
         """Decide a variable at build time (0 or 1).
@@ -154,6 +221,8 @@ class IPModel:
                     f"them)"
                 )
             var.fixed = value
+            self._n_fixed += 1
+            self._matrix = None
             if value == 1:
                 self.objective_constant += var.cost
 
@@ -171,13 +240,41 @@ class IPModel:
     def free_variables(self) -> list[Variable]:
         return [v for v in self.variables if v.fixed is None]
 
+    def matrix(self):
+        """The array form of this model (:class:`MatrixModel`).
+
+        With the array core enabled the CSR form is assembled once
+        from the flat coefficient buffers and cached until the model
+        changes; with ``REPRO_ARRAY_CORE=0`` it is rebuilt on every
+        call by the legacy per-term walk, reproducing the conversion
+        cost the object pipeline used to pay on every solve.
+        """
+        from .matrix import MatrixModel, array_core_enabled
+
+        if not array_core_enabled():
+            return MatrixModel.from_ip(self)
+        if self._matrix is None:
+            self._matrix = MatrixModel.from_ip(self)
+        return self._matrix
+
     def evaluate(self, values: dict[int, int]) -> float:
         """Objective value of an assignment {var index: 0/1}.
 
         Indices of fixed variables may be omitted (their fixed value is
         used) — presolve-reduced solutions naturally cover only the
-        free variables.  A missing *free* index is still an error.
+        free variables.  A missing *free* index is still an error, and
+        so is an index outside the model's variable range: silently
+        ignoring one used to mask callers evaluating a solution
+        against the wrong model.
         """
+        n = len(self.variables)
+        for idx in values:
+            if not 0 <= idx < n:
+                raise IndexError(
+                    f"model {self.name}: assignment references "
+                    f"variable index {idx}, but the model has "
+                    f"{n} variables"
+                )
         total = self.objective_constant
         for v in self.variables:
             val = self._value_of(v, values)

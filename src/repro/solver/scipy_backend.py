@@ -1,8 +1,9 @@
 """MILP backend built on :func:`scipy.optimize.milp` (HiGHS).
 
 This plays the role of the paper's CPLEX 6.0: an industrial-strength
-branch-and-cut solver.  The model is translated to one sparse constraint
-matrix; fixed variables never reach the solver.
+branch-and-cut solver.  The model's cached CSR form
+(:meth:`IPModel.matrix`) is handed to HiGHS directly — no per-solve
+conversion; fixed variables never reach the solver.
 """
 
 from __future__ import annotations
@@ -10,11 +11,10 @@ from __future__ import annotations
 import time
 
 import numpy as np
-from scipy import sparse
 from scipy.optimize import Bounds, LinearConstraint, milp
 
 from ..obs import define_counter
-from .model import IPModel, Sense
+from .model import IPModel
 from .result import SolveResult, SolveStatus, complete_values
 
 STAT_SOLVES = define_counter(
@@ -29,16 +29,20 @@ def solve_with_scipy(
     model: IPModel,
     time_limit: float | None = None,
     gap: float = 0.0,
+    warm_start: dict[str, int] | None = None,
 ) -> SolveResult:
     """Solve a 0-1 :class:`IPModel` with HiGHS.
 
     ``time_limit`` is in seconds (``None`` = unlimited); ``gap`` is the
     relative MIP gap at which the search may stop ("optimal" is only
-    reported at gap 0).
+    reported at gap 0).  ``warm_start`` is accepted for interface
+    parity but ignored: :func:`scipy.optimize.milp` exposes no MIP
+    start.
     """
+    del warm_start
+    matrix = model.matrix()
     free = model.free_variables()
-    n = len(free)
-    col_of = {v.index: j for j, v in enumerate(free)}
+    n = matrix.n_free
 
     if n == 0:
         feasible = model.check({})
@@ -48,34 +52,12 @@ def solve_with_scipy(
             values=complete_values(model, {}),
             objective=model.objective_constant if feasible else float("inf"),
             backend="scipy-highs",
+            build_seconds=matrix.build_seconds,
         )
 
-    cost = np.array([v.cost for v in free], dtype=float)
-
-    rows: list[int] = []
-    cols: list[int] = []
-    data: list[float] = []
-    lower: list[float] = []
-    upper: list[float] = []
-    for i, con in enumerate(model.constraints):
-        for coef, var in con.terms:
-            rows.append(i)
-            cols.append(col_of[var.index])
-            data.append(coef)
-        if con.sense is Sense.LE:
-            lower.append(-np.inf)
-            upper.append(con.rhs)
-        elif con.sense is Sense.GE:
-            lower.append(con.rhs)
-            upper.append(np.inf)
-        else:
-            lower.append(con.rhs)
-            upper.append(con.rhs)
-
-    a_matrix = sparse.csr_matrix(
-        (data, (rows, cols)), shape=(len(model.constraints), n)
-    )
-    constraints = LinearConstraint(a_matrix, lower, upper)
+    cost = matrix.cost
+    lower, upper = matrix.row_bounds()
+    constraints = LinearConstraint(matrix.a, lower, upper)
     bounds = Bounds(np.zeros(n), np.ones(n))
     integrality = np.ones(n)
 
@@ -118,6 +100,7 @@ def solve_with_scipy(
             incumbents=[(elapsed, objective)],
             backend="scipy-highs",
             timed_out=timed_out,
+            build_seconds=matrix.build_seconds,
         )
 
     status = (
@@ -128,4 +111,5 @@ def solve_with_scipy(
         solve_seconds=elapsed,
         backend="scipy-highs",
         timed_out=timed_out,
+        build_seconds=matrix.build_seconds,
     )

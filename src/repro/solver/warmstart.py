@@ -1,0 +1,115 @@
+"""Warm-started incremental re-solve for near-duplicate models.
+
+The serving tier sees streams of structurally identical models whose
+costs drift between requests (recompiled functions, re-weighted
+execution frequencies).  Any feasible point of one such model is a
+feasible point of the next — feasibility depends only on the
+constraint system, never the objective — so the previous optimal
+solution is a valid *incumbent* for the next solve, and branch and
+bound can prune against it from the first node.
+
+:class:`WarmStartStore` is a process-local LRU keyed by
+:func:`~repro.solver.matrix.structural_fingerprint` — the hash of the
+constraint system and free-variable names that deliberately excludes
+the cost vector.  Values are stored by variable *name* (not index) so
+a re-built model with the same structure maps cleanly.
+
+Correctness is belt-and-braces: the backend re-validates every seed
+against its own model (``model.check``) before adopting it, a bad seed
+is simply dropped (counted in ``solver.warmstart.rejected``), and the
+usual validator / objective-parity gates downstream see warm and cold
+solves identically.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..obs import define_counter
+from .matrix import structural_fingerprint
+from .model import IPModel
+
+#: backends that accept a ``warm_start`` seed; ``scipy.optimize.milp``
+#: exposes no MIP-start, so only the in-tree branch and bound qualifies
+WARM_CAPABLE = frozenset({"branch-bound"})
+
+STAT_HITS = define_counter(
+    "solver.warmstart.hits", "warm-start store lookups that hit"
+)
+STAT_MISSES = define_counter(
+    "solver.warmstart.misses", "warm-start store lookups that missed"
+)
+STAT_STORED = define_counter(
+    "solver.warmstart.stored", "solutions recorded for future re-solves"
+)
+STAT_SEEDED = define_counter(
+    "solver.warmstart.seeded", "B&B searches seeded with an incumbent"
+)
+STAT_REJECTED = define_counter(
+    "solver.warmstart.rejected", "warm-start seeds that failed re-validation"
+)
+
+
+class WarmStartStore:
+    """Bounded LRU of {structural fingerprint: {var name: 0/1}}."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, dict[str, int]]" = OrderedDict()
+
+    def lookup(self, key: str) -> dict[str, int] | None:
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        self._entries.move_to_end(key)
+        return dict(entry)
+
+    def store(self, key: str, values: dict[str, int]) -> None:
+        self._entries[key] = dict(values)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+_STORE = WarmStartStore()
+
+
+def warm_start_store() -> WarmStartStore:
+    """The process-wide store (engine workers each hold their own)."""
+    return _STORE
+
+
+def warm_solve(backend_fn, backend: str, model: IPModel,
+               time_limit: float | None):
+    """Run ``backend_fn`` on ``model``, threading a warm start through
+    the store for capable backends.
+
+    Looks up the model's structural fingerprint, passes any prior
+    solution as the ``warm_start`` seed, and records the new solution
+    (free variables only, keyed by name) for the next structurally
+    identical request.
+    """
+    if backend not in WARM_CAPABLE:
+        return backend_fn(model, time_limit=time_limit)
+    free = model.free_variables()
+    if not free:
+        return backend_fn(model, time_limit=time_limit)
+    key = structural_fingerprint(model.matrix())
+    seed = _STORE.lookup(key)
+    if seed is None:
+        STAT_MISSES.incr()
+    else:
+        STAT_HITS.incr()
+    result = backend_fn(model, time_limit=time_limit, warm_start=seed)
+    if result.status.has_solution and result.values is not None:
+        _STORE.store(key, {
+            v.name: int(result.values[v.index]) for v in free
+        })
+        STAT_STORED.incr()
+    return result

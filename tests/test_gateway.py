@@ -299,6 +299,60 @@ def test_gateway_admin_remove_and_rejoin(fleet):
         assert "shard-1" in back["result"]["ring"]
 
 
+def test_gateway_upgrade_ring_affinity(tmp_path):
+    """GET /v1/upgrade reuses the allocate's ring walk: a known ref
+    goes straight to the owning shard; only unknown refs fan out."""
+    shards = []
+    for i in range(3):
+        config = ServiceConfig(
+            port=0, queue_capacity=16, max_in_flight=2,
+            cache_dir=str(tmp_path / f"shard-{i}"),
+            shard_id=f"shard-{i}", fast_slo_ms=200.0,
+        )
+        shards.append(ServerThread(config).start())
+    gwt = GatewayThread(GatewayConfig(port=0, probe_interval=0.2))
+    for i, shard in enumerate(shards):
+        gwt.gateway.register_shard(
+            f"shard-{i}", "127.0.0.1", shard.port)
+    gwt.start()
+    try:
+        with gw_client(gwt) as client:
+            resp = client.allocate(
+                source=OTHER_SOURCE, trace_id="up-affinity-1"
+            )
+            assert resp["ok"], resp
+            owner = resp["gateway"]["shard"]
+            assert resp["result"].get("upgrade"), (
+                "fast tier did not queue a background upgrade"
+            )
+            # known ref: served by the owning shard, no fan-out
+            up = client.upgrade("up-affinity-1")
+            assert up["ok"], up
+            assert up["result"]["shard"] == owner
+            assert up["result"]["affinity"] is True
+            # unknown ref: falls back to the full fan-out and misses
+            missing = client.upgrade("no-such-request")
+            assert not missing["ok"]
+            assert missing["result"]["affinity"] is False
+            # a wiped key store (gateway restart) still finds the
+            # record — by asking every shard instead of one
+            gwt.gateway._upgrade_keys.clear()
+            again = client.upgrade("up-affinity-1")
+            assert again["ok"], again
+            assert again["result"]["shard"] == owner
+            assert again["result"]["affinity"] is False
+            text = client.metrics()
+            assert "repro_gateway_upgrade_affinity_total 1" in text
+            assert "repro_gateway_upgrade_fanout_total 2" in text
+    finally:
+        gwt.stop()
+        for shard in shards:
+            try:
+                shard.drain(timeout=60.0)
+            except RuntimeError:
+                pass
+
+
 def test_gateway_trace_stitches_shard_tree(fleet):
     """Satellite: one end-to-end span tree across the gateway hop."""
     gwt, _ = fleet
