@@ -112,6 +112,10 @@ EXIT_OK = 0
 EXIT_SERVICE_ERROR = 1
 EXIT_USAGE = 2
 EXIT_CONNECT = 3
+#: the gateway answered 503 ``unavailable`` (every shard down or
+#: breaker-open) with a Retry-After — distinct so scripts can back
+#: off and retry instead of treating it as a hard failure
+EXIT_UNAVAILABLE = 4
 
 
 def _load(path: str):
@@ -416,20 +420,25 @@ def cmd_gateway(args) -> int:
         AllocationGateway,
         GatewayConfig,
         LocalShardFleet,
+        ShardSupervisor,
     )
 
     shards = [s for s in (args.shards or "").split(",") if s]
-    if not shards and not args.spawn:
-        print("error: gateway needs --shards host:port,... "
-              "and/or --spawn N", file=sys.stderr)
+    if not shards and not args.spawn and not args.state_file:
+        print("error: gateway needs --shards host:port,..., "
+              "--spawn N, and/or --state-file PATH", file=sys.stderr)
         return EXIT_USAGE
 
     fleet = None
     if args.spawn:
+        extra: list[str] = []
+        if args.fast_slo_ms:
+            extra += ["--fast-slo-ms", str(args.fast_slo_ms)]
         fleet = LocalShardFleet(
             count=args.spawn,
             cache_root=args.spawn_cache,
             time_limit=args.time_limit,
+            extra_args=extra,
         )
         fleet.start()
 
@@ -443,6 +452,8 @@ def cmd_gateway(args) -> int:
         breaker_threshold=args.breaker_threshold,
         breaker_reset=args.breaker_reset,
         proxy_timeout=args.proxy_timeout,
+        state_file=args.state_file or "",
+        replicate=max(0, args.replicate),
     )
     gateway = AllocationGateway(config)
     if fleet is not None:
@@ -453,6 +464,13 @@ def cmd_gateway(args) -> int:
             print(f"spawned {shard.shard_id} "
                   f"pid={shard.process.pid} port={shard.port}",
                   flush=True)
+        if not args.no_supervise:
+            gateway.supervisor = ShardSupervisor(
+                fleet,
+                gateway.manager,
+                restart_budget=args.restart_budget,
+                poll_interval=min(1.0, args.probe_interval),
+            ).start()
     gateway.start()
 
     def _stop(signum, frame):
@@ -647,6 +665,10 @@ def _render_submit(args, response: dict, lifecycle) -> int:
     except ServiceError as exc:
         if not args.json:
             print(f"error: {exc}", file=sys.stderr)
+        if exc.code == "unavailable":
+            # The whole fleet is down/breaker-open; the gateway sent
+            # Retry-After, so tell scripts to back off, not fail hard.
+            return EXIT_UNAVAILABLE
         return 1
     if args.json:
         return 0
@@ -961,6 +983,27 @@ def main(argv=None) -> int:
                            default=300.0, metavar="S",
                            help="per-attempt socket timeout toward "
                                 "a shard")
+    p_gateway.add_argument("--state-file", default="",
+                           metavar="PATH",
+                           help="journal ring membership to PATH on "
+                                "every change and restore it at "
+                                "startup (gateway crash recovery)")
+    p_gateway.add_argument("--replicate", type=int, default=0,
+                           metavar="N",
+                           help="replicate each optimal result's "
+                                "cache record to the next N ring "
+                                "successors (0 = off)")
+    p_gateway.add_argument("--restart-budget", type=int, default=3,
+                           metavar="N",
+                           help="respawn attempts per spawned-shard "
+                                "death before it is abandoned")
+    p_gateway.add_argument("--no-supervise", action="store_true",
+                           help="do not reap/respawn spawned shards "
+                                "(legacy --spawn behaviour)")
+    p_gateway.add_argument("--fast-slo-ms", type=float, default=0.0,
+                           metavar="MS",
+                           help="pass --fast-slo-ms MS to spawned "
+                                "shards (tiered allocation)")
     _add_obs_options(p_gateway, top_level=False)
     p_gateway.set_defaults(func=cmd_gateway)
 

@@ -14,7 +14,10 @@ record per suite run:
   with :func:`repro.tiers.tier_cost`;
 * presolve reduction ratios (variables and constraints removed before
   the backend ran, the §5 model-size story);
-* cache hit rate and degradation counts from the engine counters.
+* cache hit rate and degradation counts from the engine counters;
+* the measured reply-path cost of successor cache replication
+  (``suite.replication``): per-function record export + checksummed
+  import, with ``p50_ratio`` pinning it to noise next to a solve.
 
 CI runs ``python -m repro exp --bench-json BENCH_suite.json`` and
 gates the result with ``tools/check_bench_regression.py`` against
@@ -25,7 +28,9 @@ the git history of those numbers.
 from __future__ import annotations
 
 import json
+from time import perf_counter
 
+from ..engine.cache import CacheRecord, _payload_checksum
 from ..obs import snapshot
 from ..telemetry import percentile_of
 from .suite import SuiteResult
@@ -138,6 +143,57 @@ def _presolve_stats(reports, counters=None) -> dict:
     }
 
 
+def _replication_stats(reports) -> dict:
+    """Reply-path cost of successor cache replication, measured.
+
+    Per function, times exactly the serialization work the gateway's
+    ``replicate`` verb adds around a request: the owner-side export
+    (:meth:`CacheRecord.to_dict`, which computes the sha256 checksum,
+    plus the JSON wire encode) and the successor-side import (JSON
+    decode, checksum re-verify, :meth:`CacheRecord.from_dict`).  The
+    record's ``free_values`` payload is sized to the function's
+    post-presolve variable count, so the sample scales with real model
+    size.  ``p50_ratio`` relates the median per-function replication
+    cost to the median solve time; the CI tolerance gate pins it near
+    zero — replication must stay noise next to a solve, or the "warm
+    fail-over for free" story is false.
+    """
+    times = []
+    for f in reports:
+        if not f.attempted:
+            continue
+        n = max(1, f.n_presolved_variables or f.n_variables or 1)
+        record = CacheRecord(
+            fingerprint=f"bench:{f.benchmark}:{f.function}",
+            function=f.function,
+            status="optimal",
+            free_values={f"x_{i}": i & 1 for i in range(n)},
+            n_free=n,
+            objective=f.objective,
+            solve_seconds=f.solve_seconds,
+            backend="branch-bound",
+        )
+        start = perf_counter()
+        wire = json.dumps(record.to_dict())
+        data = json.loads(wire)
+        ok = (
+            data.get("sha256") == _payload_checksum(data)
+            and CacheRecord.from_dict(data) is not None
+        )
+        elapsed = perf_counter() - start
+        if not ok:  # pragma: no cover - would mean a cache-layer bug
+            continue
+        times.append(elapsed)
+    out = _time_stats(times)
+    solve_p50 = percentile_of(
+        [f.solve_seconds for f in reports if f.attempted], 50
+    )
+    out["p50_ratio"] = (
+        round(out["p50"] / solve_p50, 6) if solve_p50 else 0.0
+    )
+    return out
+
+
 def suite_perf_summary(
     suite: SuiteResult,
     wall_seconds: float,
@@ -166,6 +222,7 @@ def suite_perf_summary(
             "model_build": _build_stats(reports),
             "tiers": _tier_stats(reports),
             "presolve": _presolve_stats(reports, counters),
+            "replication": _replication_stats(reports),
             "cache": {
                 "hits": int(hits),
                 "misses": int(misses),

@@ -76,11 +76,35 @@ STAT_CORRUPT = define_counter(
     "engine.cache_corrupt",
     "corrupt cache records quarantined on load",
 )
+STAT_REPLICA_HITS = define_counter(
+    "engine.cache_replica_hits",
+    "cache hits served from a successor-replicated record",
+)
+STAT_REPLICAS_STORED = define_counter(
+    "engine.cache_replicas_stored",
+    "replicated records imported from a ring predecessor",
+)
 
 
 def _payload_checksum(d: dict) -> str:
     """sha256 over the canonical JSON of everything but the checksum."""
     payload = {k: v for k, v in d.items() if k != "sha256"}
+    canon = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canon.encode()).hexdigest()
+
+
+#: keys excluded from replica content comparison: the checksum itself,
+#: the replica marker (an owner record and its replica differ only
+#: here), and the write timestamp
+_CONTENT_NEUTRAL_KEYS = ("sha256", "replica", "created")
+
+
+def _content_key(d: dict) -> str:
+    """Checksum of the solver-meaningful payload of a record dict —
+    the version under which replication decides "same record"."""
+    payload = {
+        k: v for k, v in d.items() if k not in _CONTENT_NEUTRAL_KEYS
+    }
     canon = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canon.encode()).hexdigest()
 
@@ -129,6 +153,10 @@ class CacheRecord:
     backend: str = ""
     timed_out: bool = False
     created: float = 0.0
+    #: True when this record arrived via successor replication rather
+    #: than being solved (or upgraded) locally.  Replicas may be
+    #: overwritten by fresher replicas; locally-earned records may not.
+    replica: bool = False
 
     def to_dict(self) -> dict:
         d = {
@@ -145,6 +173,7 @@ class CacheRecord:
             "backend": self.backend,
             "timed_out": self.timed_out,
             "created": self.created,
+            "replica": self.replica,
         }
         d["sha256"] = _payload_checksum(d)
         return d
@@ -170,6 +199,9 @@ class CacheRecord:
                 backend=d.get("backend", ""),
                 timed_out=bool(d.get("timed_out", False)),
                 created=float(d.get("created", 0.0)),
+                # absent in pre-replication records: same version, so
+                # they parse as locally-earned
+                replica=bool(d.get("replica", False)),
             )
         except (KeyError, TypeError, ValueError):
             return None
@@ -253,11 +285,75 @@ class ResultCache:
         record = CacheRecord.from_dict(data)
         if record is None or record.fingerprint != fingerprint:
             return None
+        if record.replica:
+            STAT_REPLICA_HITS.incr()
         try:
             os.utime(path)
         except OSError:
             pass
         return record
+
+    def peek(self, fingerprint: str) -> CacheRecord | None:
+        """Load a record without side effects: no LRU touch, no
+        replica-hit counting, no quarantine, no fault injection.
+
+        The replication path uses this on both ends — export reads the
+        owner's record, import compares against the local one — and
+        neither read should perturb the serving-path statistics.
+        """
+        path = self.path_for(fingerprint)
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(data, dict):
+            return None
+        if data.get("version") != CACHE_VERSION:
+            return None
+        if data.get("sha256") != _payload_checksum(data):
+            return None
+        record = CacheRecord.from_dict(data)
+        if record is None or record.fingerprint != fingerprint:
+            return None
+        return record
+
+    def import_replica(self, data: dict) -> str:
+        """Store a record dict pushed by a ring predecessor.
+
+        The wire format is exactly :meth:`CacheRecord.to_dict`, so the
+        checksum the owner wrote travels with the record and is
+        re-verified here — a garbled replica is refused, never stored.
+        Returns what happened:
+
+        * ``"invalid"`` — malformed, wrong version, or checksum failed;
+        * ``"kept_local"`` — a locally-earned (non-replica) record
+          already exists; replication never clobbers it;
+        * ``"unchanged"`` — an identical replica is already present
+          (content-compared ignoring timestamps and the replica flag);
+        * ``"stored"`` — written (marked ``replica=True``);
+        * ``"error"`` — local write failed (best-effort, swallowed).
+        """
+        if not isinstance(data, dict):
+            return "invalid"
+        if data.get("version") != CACHE_VERSION:
+            return "invalid"
+        if data.get("sha256") != _payload_checksum(data):
+            return "invalid"
+        record = CacheRecord.from_dict(data)
+        if record is None or not record.fingerprint:
+            return "invalid"
+        local = self.peek(record.fingerprint)
+        if local is not None:
+            if not local.replica:
+                return "kept_local"
+            if _content_key(local.to_dict()) == _content_key(data):
+                return "unchanged"
+        record.replica = True
+        status = self.put(record)
+        if status == "error":
+            return "error"
+        STAT_REPLICAS_STORED.incr()
+        return "stored"
 
     def _quarantine(self, path: Path) -> None:
         """Move a corrupt record out of the cache tree."""

@@ -34,10 +34,13 @@ from .injector import (
 from .plan import (
     SITE_CACHE_CORRUPT,
     SITE_CACHE_IO,
+    SITE_JOURNAL_TORN_WRITE,
+    SITE_REPLICA_DROP,
     SITE_SERVICE_MALFORMED,
     SITE_SERVICE_OVERSIZED,
     SITE_SOLVER_ERROR,
     SITE_SOLVER_TIMEOUT,
+    SITE_SUPERVISOR_RESPAWN_FAIL,
     SITE_WORKER_CRASH,
     SITE_WORKER_HANG,
     SITES,
@@ -58,10 +61,13 @@ __all__ = [
     "SITES",
     "SITE_CACHE_CORRUPT",
     "SITE_CACHE_IO",
+    "SITE_JOURNAL_TORN_WRITE",
+    "SITE_REPLICA_DROP",
     "SITE_SERVICE_MALFORMED",
     "SITE_SERVICE_OVERSIZED",
     "SITE_SOLVER_ERROR",
     "SITE_SOLVER_TIMEOUT",
+    "SITE_SUPERVISOR_RESPAWN_FAIL",
     "SITE_WORKER_CRASH",
     "SITE_WORKER_HANG",
     "SiteRule",

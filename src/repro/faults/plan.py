@@ -39,6 +39,9 @@ SITE_SOLVER_TIMEOUT = "solver_timeout"    # backend returns no incumbent
 SITE_SOLVER_ERROR = "solver_error"        # backend raises
 SITE_SERVICE_MALFORMED = "service_malformed"  # request line garbled
 SITE_SERVICE_OVERSIZED = "service_oversized"  # request treated too large
+SITE_REPLICA_DROP = "replica_drop"            # successor replication send lost
+SITE_SUPERVISOR_RESPAWN_FAIL = "supervisor_respawn_fail"  # shard respawn fails
+SITE_JOURNAL_TORN_WRITE = "journal_torn_write"  # upgrade journal append torn
 
 SITES = (
     SITE_WORKER_CRASH,
@@ -49,6 +52,9 @@ SITES = (
     SITE_SOLVER_ERROR,
     SITE_SERVICE_MALFORMED,
     SITE_SERVICE_OVERSIZED,
+    SITE_REPLICA_DROP,
+    SITE_SUPERVISOR_RESPAWN_FAIL,
+    SITE_JOURNAL_TORN_WRITE,
 )
 
 #: spec options that are plan-wide, not per-site

@@ -11,8 +11,10 @@ that lets exact-IP solve costs amortize across a fleet.
 Shard membership, health probing (the service's ``health`` verb) and
 per-shard circuit breakers live in :mod:`repro.gateway.shards`;
 connection pooling in :mod:`repro.gateway.pool`; single-machine
-scale-out (``--spawn N``) in :mod:`repro.gateway.spawn`; and the
-blocking HTTP client used by ``repro submit --gateway`` in
+scale-out (``--spawn N``) in :mod:`repro.gateway.spawn`; crash
+supervision of spawned shards (reap + respawn with the original
+shard id, port, and cache) in :mod:`repro.gateway.supervisor`; and
+the blocking HTTP client used by ``repro submit --gateway`` in
 :mod:`repro.gateway.client`.
 """
 
@@ -28,6 +30,7 @@ from .server import (
 )
 from .shards import Shard, ShardManager, parse_shard_addr
 from .spawn import LocalShard, LocalShardFleet
+from .supervisor import ShardSupervisor
 
 __all__ = [
     "AllocationGateway",
@@ -42,6 +45,7 @@ __all__ = [
     "Shard",
     "ShardManager",
     "ShardPool",
+    "ShardSupervisor",
     "parse_shard_addr",
     "routing_fingerprint",
 ]

@@ -42,14 +42,20 @@ from __future__ import annotations
 
 import hashlib
 import json
+import math
+import os
+import queue
 import socket
+import tempfile
 import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
 from urllib.parse import parse_qs, urlparse
 
+from ..faults import SITE_REPLICA_DROP, should_fire
 from ..obs import counter, define_counter, define_gauge
 from ..service.protocol import (
     E_BAD_REQUEST,
@@ -57,13 +63,14 @@ from ..service.protocol import (
     E_OVERLOADED,
     E_PARSE,
     E_TOO_LARGE,
+    E_UNAVAILABLE,
     MAX_LINE_BYTES,
     error_response,
 )
 from ..telemetry import define_histogram
 from ..telemetry.lifecycle import RequestTrace, TraceStore
 from ..telemetry.prom import PROM_CONTENT_TYPE, render_prometheus
-from .shards import STATE_CODE, ShardManager, parse_shard_addr
+from .shards import STATE_CODE, UP, ShardManager, parse_shard_addr
 
 STAT_REQUESTS = define_counter(
     "gateway.requests", "HTTP requests accepted by the gateway"
@@ -91,6 +98,26 @@ STAT_UPGRADE_FANOUT = define_counter(
 STAT_SHARDS_UP = define_gauge(
     "gateway.shards_up", "shards currently on the hash ring"
 )
+STAT_REPLICATED = define_counter(
+    "gateway.replicated",
+    "cache records pushed to ring successors",
+)
+STAT_REPLICA_DROPPED = define_counter(
+    "gateway.replica_dropped",
+    "replication sends dropped (queue full, faults, shard errors)",
+)
+STAT_CHECKPOINT_WRITES = define_counter(
+    "gateway.checkpoint_writes",
+    "ring-membership checkpoints journalled to the state file",
+)
+STAT_CHECKPOINT_RESTORED = define_counter(
+    "gateway.checkpoint_restored",
+    "shards re-registered from the state file at startup",
+)
+STAT_UNAVAILABLE = define_counter(
+    "gateway.unavailable",
+    "requests refused 503 because every shard was down or breaker-open",
+)
 HIST_ROUTE = define_histogram(
     "gateway.route", "end-to-end gateway handling seconds per request"
 )
@@ -106,10 +133,19 @@ ROUTING_FIELDS = ("source", "ir", "target", "function", "config")
 #: and trace_id) so /v1/upgrade can reuse the allocate's ring walk
 UPGRADE_KEY_CAPACITY = 512
 
+#: pending successor-replication tasks the gateway will buffer; past
+#: this, new tasks are dropped (replication is best-effort)
+REPLICATION_QUEUE_CAPACITY = 256
+
+#: (fingerprint, successor) pairs remembered as already replicated,
+#: so repeat traffic does not re-push identical records
+REPLICATION_SEEN_CAPACITY = 8192
+
 #: protocol error code -> HTTP status for proxied replies
 _HTTP_STATUS = {
     E_OVERLOADED: 429,
     "draining": 503,
+    E_UNAVAILABLE: 503,
     E_BAD_REQUEST: 400,
     E_PARSE: 400,
     E_TOO_LARGE: 413,
@@ -144,6 +180,13 @@ class GatewayConfig:
     proxy_timeout: float = 300.0
     #: finished end-to-end traces kept for GET /v1/trace
     trace_keep: int = 64
+    #: ring-membership checkpoint file ("" disables): journalled on
+    #: every membership/state change, replayed at startup so a
+    #: restarted gateway re-fronts its fleet without re-registration
+    state_file: str = ""
+    #: ring successors each optimal result is replicated to (0
+    #: disables successor cache replication)
+    replicate: int = 0
 
 
 class AllocationGateway:
@@ -170,9 +213,95 @@ class AllocationGateway:
         self._upgrade_lock = threading.Lock()
         self._started = time.monotonic()
         self._httpd: ThreadingHTTPServer | None = None
+        #: set by ``repro gateway`` when it supervises a spawned
+        #: fleet; surfaces in /v1/status when present
+        self.supervisor = None
+        self._state_lock = threading.Lock()
+        self._repl_queue: queue.Queue | None = (
+            queue.Queue(maxsize=REPLICATION_QUEUE_CAPACITY)
+            if config.replicate > 0 else None
+        )
+        self._repl_seen: OrderedDict[tuple[str, str], bool] = (
+            OrderedDict()
+        )
+        self._repl_lock = threading.Lock()
+        self._replicator: threading.Thread | None = None
+        self._load_checkpoint()
         for i, spec in enumerate(config.shards):
             host, port = parse_shard_addr(spec)
             self.register_shard(f"shard-{i}", host, port)
+        self.manager.on_change = self._save_checkpoint
+        self._save_checkpoint()
+
+    # -- ring checkpoint -------------------------------------------------
+
+    def _load_checkpoint(self) -> int:
+        """Replay the state file: re-register every journalled shard
+        (``left`` shards stay administratively removed).  Returns the
+        number restored; a missing/corrupt file restores nothing."""
+        path = self.config.state_file
+        if not path:
+            return 0
+        try:
+            data = json.loads(Path(path).read_text("utf-8"))
+        except (OSError, ValueError):
+            return 0
+        restored = 0
+        entries = data.get("shards") if isinstance(data, dict) else None
+        for entry in entries if isinstance(entries, list) else []:
+            try:
+                shard_id = str(entry["id"])
+                host = str(entry["host"])
+                port = int(entry["port"])
+            except (KeyError, TypeError, ValueError):
+                continue
+            self.manager.add(shard_id, host, port)
+            if entry.get("state") == "left":
+                self.manager.leave(shard_id)
+            restored += 1
+        if restored:
+            STAT_CHECKPOINT_RESTORED.add(restored)
+        return restored
+
+    def _save_checkpoint(self) -> None:
+        """Atomically journal ring membership to the state file.
+
+        Installed as the shard manager's ``on_change`` callback, so
+        every add/leave/down/revive lands on disk; a restarted
+        gateway starts from the last observed fleet, not from its
+        static ``--shard`` flags.
+        """
+        path = self.config.state_file
+        if not path:
+            return
+        shards = [
+            {"id": s.shard_id, "host": s.host, "port": s.port,
+             "state": s.state}
+            for s in self.manager.shards()
+        ]
+        payload = json.dumps(
+            {"version": 1, "shards": shards}, indent=2, sort_keys=True
+        )
+        with self._state_lock:
+            try:
+                parent = Path(path).parent
+                parent.mkdir(parents=True, exist_ok=True)
+                fd, tmp = tempfile.mkstemp(
+                    dir=str(parent), prefix=".gateway-state-"
+                )
+                try:
+                    with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                        fh.write(payload)
+                    os.replace(tmp, path)
+                except BaseException:
+                    try:
+                        os.unlink(tmp)
+                    except OSError:
+                        pass
+                    raise
+            except OSError:
+                return  # checkpointing is best-effort
+        STAT_CHECKPOINT_WRITES.incr()
 
     # -- shard admin -----------------------------------------------------
 
@@ -224,11 +353,21 @@ class AllocationGateway:
                 candidates=len(candidates),
             )
         if not candidates:
+            # Every shard is down, breaker-open, or gone: tell the
+            # client *when* to come back (the prober's next pass is
+            # the earliest anything can rejoin the ring).
             STAT_NO_SHARDS.incr()
+            STAT_UNAVAILABLE.incr()
+            retry_after = max(
+                1, math.ceil(self.config.probe_interval))
             resp = error_response(
-                body, "allocate", E_INTERNAL, "no shard available"
+                body, "allocate", E_UNAVAILABLE,
+                "no shard available: all shards down or breaker-open",
             )
-            resp["gateway"] = {"shard": None, "attempts": 0}
+            resp["gateway"] = {
+                "shard": None, "attempts": 0,
+                "retry_after": retry_after,
+            }
             self._finish_trace(gw_trace, None, resp, "no_shards")
             HIST_ROUTE.observe(time.monotonic() - t0)
             return 503, resp
@@ -267,6 +406,7 @@ class AllocationGateway:
             status = 200 if resp.get("ok") else _HTTP_STATUS.get(code, 500)
             if resp.get("ok"):
                 self._remember_upgrade_key(resp, key)
+                self._schedule_replication(resp, key, body, shard)
             resp["gateway"] = {
                 "shard": shard.shard_id,
                 "attempts": attempts,
@@ -335,6 +475,128 @@ class AllocationGateway:
         self.traces.put(gw_trace.trace_id, gw_trace.to_dict())
         resp.setdefault("trace_id", gw_trace.trace_id)
 
+    # -- successor cache replication -------------------------------------
+
+    def _schedule_replication(
+        self, resp: dict, key: str, body: dict, shard
+    ) -> None:
+        """Queue a reply's cache records for successor replication.
+
+        Runs on the reply path but does no I/O: the background
+        replicator fetches the checksummed records from the serving
+        shard and pushes them to the next ring successors.  Only
+        exact-tier results carry fingerprints, so fast-tier replies
+        (whose cache entries the background upgrade will overwrite
+        anyway) never replicate.
+        """
+        if self._repl_queue is None:
+            return
+        result = resp.get("result") or {}
+        fingerprints = sorted({
+            str(fn["fingerprint"])
+            for fn in result.get("functions") or []
+            if isinstance(fn, dict) and fn.get("fingerprint")
+        })
+        if not fingerprints:
+            return
+        task = {
+            "shard_id": shard.shard_id,
+            "key": key,
+            "tenant": body.get("tenant"),
+            "fingerprints": fingerprints,
+        }
+        try:
+            self._repl_queue.put_nowait(task)
+        except queue.Full:
+            STAT_REPLICA_DROPPED.incr()
+
+    def _replication_loop(self) -> None:
+        assert self._repl_queue is not None
+        while True:
+            task = self._repl_queue.get()
+            if task is None:
+                return
+            try:
+                self._replicate_task(task)
+            except Exception:  # noqa: BLE001 — best-effort by design
+                STAT_REPLICA_DROPPED.incr()
+
+    def _replication_targets(self, task: dict) -> list:
+        """The next ``replicate`` distinct up successors after the
+        serving shard on the routing key's ring walk."""
+        targets = []
+        for node in self.manager.ring.preference(task["key"]):
+            if node == task["shard_id"]:
+                continue
+            shard = self.manager.get(node)
+            if shard is not None and shard.state == UP:
+                targets.append(shard)
+            if len(targets) >= self.config.replicate:
+                break
+        return targets
+
+    def _replicate_task(self, task: dict) -> None:
+        source = self.manager.get(task["shard_id"])
+        if source is None:
+            return
+        targets = self._replication_targets(task)
+        if not targets:
+            return
+        # Which (fingerprint, successor) pairs still need a push?
+        pending: dict[str, list[str]] = {}
+        with self._repl_lock:
+            for shard in targets:
+                for fp in task["fingerprints"]:
+                    if (fp, shard.shard_id) not in self._repl_seen:
+                        pending.setdefault(
+                            shard.shard_id, []).append(fp)
+        needed = sorted({fp for fps in pending.values() for fp in fps})
+        if not needed:
+            return
+        try:
+            with source.pool.lease() as client:
+                resp = client.replicate_fetch(task["tenant"], needed)
+        except (OSError, ValueError):
+            STAT_REPLICA_DROPPED.incr()
+            return
+        records = {
+            str(rec.get("fingerprint")): rec
+            for rec in (resp.get("result") or {}).get("records") or []
+            if isinstance(rec, dict) and rec.get("fingerprint")
+        }
+        for shard in targets:
+            push = []
+            for fp in pending.get(shard.shard_id, []):
+                record = records.get(fp)
+                if record is None:
+                    continue
+                if should_fire(SITE_REPLICA_DROP,
+                               f"{shard.shard_id}:{fp}"):
+                    STAT_REPLICA_DROPPED.incr()
+                    continue
+                push.append((fp, record))
+            if not push:
+                continue
+            try:
+                with shard.pool.lease() as client:
+                    reply = client.replicate_push(
+                        task["tenant"], [rec for _, rec in push])
+            except (OSError, ValueError):
+                # Replication errors never feed the breaker: losing a
+                # replica must not unring a shard that still serves.
+                STAT_REPLICA_DROPPED.incr()
+                continue
+            if not reply.get("ok"):
+                STAT_REPLICA_DROPPED.incr()
+                continue
+            STAT_REPLICATED.add(len(push))
+            with self._repl_lock:
+                for fp, _ in push:
+                    self._repl_seen[(fp, shard.shard_id)] = True
+                    self._repl_seen.move_to_end((fp, shard.shard_id))
+                while len(self._repl_seen) > REPLICATION_SEEN_CAPACITY:
+                    self._repl_seen.popitem(last=False)
+
     # -- read-only endpoints ---------------------------------------------
 
     def upgrade_status_body(self, ref) -> dict:
@@ -386,7 +648,7 @@ class AllocationGateway:
     def status_body(self) -> dict:
         snaps = self.manager.snapshots()
         up = sum(1 for s in snaps if s["state"] == "up")
-        return {
+        body = {
             "state": "serving" if up else "degraded",
             "uptime_seconds": time.monotonic() - self._started,
             "ring": {
@@ -395,7 +657,16 @@ class AllocationGateway:
             },
             "shards_up": up,
             "shards_total": len(snaps),
+            "replication": {
+                "successors": self.config.replicate,
+                "queued": (self._repl_queue.qsize()
+                           if self._repl_queue is not None else 0),
+            },
+            "checkpoint": self.config.state_file or None,
         }
+        if self.supervisor is not None:
+            body["supervisor"] = self.supervisor.snapshot()
+        return body
 
     def shards_body(self) -> dict:
         return {"shards": self.manager.snapshots(),
@@ -428,6 +699,13 @@ class AllocationGateway:
         )
         self._httpd.daemon_threads = True
         self.manager.start_probing()
+        if self._repl_queue is not None and self._replicator is None:
+            self._replicator = threading.Thread(
+                target=self._replication_loop,
+                name="gateway-replicator",
+                daemon=True,
+            )
+            self._replicator.start()
         return self._httpd
 
     @property
@@ -442,6 +720,12 @@ class AllocationGateway:
         self._httpd.serve_forever()
 
     def shutdown(self) -> None:
+        if self.supervisor is not None:
+            self.supervisor.stop()
+        if self._replicator is not None and self._repl_queue is not None:
+            self._repl_queue.put(None)
+            self._replicator.join(timeout=10.0)
+            self._replicator = None
         if self._httpd is not None:
             self._httpd.shutdown()
             self._httpd.server_close()
@@ -458,11 +742,14 @@ def _make_handler(gateway: AllocationGateway):
         def log_message(self, fmt, *args):  # noqa: D102
             pass
 
-        def _send_json(self, status: int, payload: dict) -> None:
+        def _send_json(self, status: int, payload: dict,
+                       headers: dict | None = None) -> None:
             data = json.dumps(payload).encode("utf-8")
             self.send_response(status)
             self.send_header("Content-Type", "application/json")
             self.send_header("Content-Length", str(len(data)))
+            for name, value in (headers or {}).items():
+                self.send_header(name, str(value))
             self.end_headers()
             self.wfile.write(data)
 
@@ -564,7 +851,11 @@ def _make_handler(gateway: AllocationGateway):
             try:
                 if url.path == "/v1/allocate":
                     status, resp = gateway.handle_allocate(body)
-                    self._send_json(status, resp)
+                    retry_after = (resp.get("gateway") or {}).get(
+                        "retry_after")
+                    headers = ({"Retry-After": retry_after}
+                               if retry_after else None)
+                    self._send_json(status, resp, headers)
                 elif url.path == "/v1/shards":
                     shard_id = str(body.get("id") or "")
                     host = str(body.get("host") or "127.0.0.1")

@@ -114,32 +114,54 @@ class ShardManager:
         self._lock = threading.Lock()
         self._stop = threading.Event()
         self._prober: threading.Thread | None = None
+        #: invoked (with no arguments, *outside* the lock) after any
+        #: membership or ring-state transition — the gateway hangs its
+        #: ring-checkpoint journaling here
+        self.on_change = None
+
+    def _notify_change(self) -> None:
+        """Run the membership-change callback; never from under the
+        lock (the callback may read :meth:`snapshots`)."""
+        callback = self.on_change
+        if callback is None:
+            return
+        try:
+            callback()
+        except Exception:  # noqa: BLE001 — checkpointing is best-effort
+            pass
 
     # -- membership ------------------------------------------------------
 
     def add(self, shard_id: str, host: str, port: int) -> Shard:
         """Register a shard (or re-join one that had left) as ``up``."""
+        changed = True
         with self._lock:
             existing = self._shards.get(shard_id)
             if existing is not None:
                 if existing.state == LEFT:
                     existing.state = UP
                     self.ring.add(shard_id)
-                return existing
-            shard = Shard(
-                shard_id=shard_id,
-                host=host,
-                port=port,
-                pool=ShardPool(host, port, timeout=self.pool_timeout),
-                breaker=CircuitBreaker(
-                    f"shard:{shard_id}",
-                    failure_threshold=self.breaker_threshold,
-                    reset_timeout=self.breaker_reset,
-                ),
-            )
-            self._shards[shard_id] = shard
-            self.ring.add(shard_id)
-            return shard
+                else:
+                    changed = False
+                shard = existing
+            else:
+                shard = Shard(
+                    shard_id=shard_id,
+                    host=host,
+                    port=port,
+                    pool=ShardPool(host, port,
+                                   timeout=self.pool_timeout),
+                    breaker=CircuitBreaker(
+                        f"shard:{shard_id}",
+                        failure_threshold=self.breaker_threshold,
+                        reset_timeout=self.breaker_reset,
+                    ),
+                )
+                self._shards[shard_id] = shard
+                self.ring.add(shard_id)
+        if changed:
+            self._notify_change()
+        return shard
 
     def leave(self, shard_id: str) -> bool:
         """Administrative removal: off the ring, probes stop.
@@ -154,7 +176,8 @@ class ShardManager:
                 return False
             shard.state = LEFT
             self.ring.remove(shard_id)
-            return True
+        self._notify_change()
+        return True
 
     def get(self, shard_id: str) -> Shard | None:
         with self._lock:
@@ -202,18 +225,26 @@ class ShardManager:
             self._mark_down(shard)
 
     def _mark_down(self, shard: Shard) -> None:
+        changed = False
         with self._lock:
             if shard.state == UP:
                 shard.state = DOWN
                 self.ring.remove(shard.shard_id)
                 counter("gateway.shard_down").incr()
+                changed = True
+        if changed:
+            self._notify_change()
 
     def _revive(self, shard: Shard) -> None:
+        changed = False
         with self._lock:
             if shard.state == DOWN:
                 shard.state = UP
                 self.ring.add(shard.shard_id)
                 counter("gateway.shard_revived").incr()
+                changed = True
+        if changed:
+            self._notify_change()
 
     # -- health probing --------------------------------------------------
 

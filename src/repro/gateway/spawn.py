@@ -51,10 +51,10 @@ class LocalShardFleet:
             self.shards.append(self._spawn(f"shard-{i}"))
         return self
 
-    def _spawn(self, shard_id: str) -> LocalShard:
+    def _spawn(self, shard_id: str, port: int = 0) -> LocalShard:
         cmd = [
             sys.executable, "-m", "repro", "serve",
-            "--port", "0",
+            "--port", str(port),
             "--shard-id", shard_id,
             "--time-limit", str(self.time_limit),
         ]
@@ -100,6 +100,28 @@ class LocalShardFleet:
 
     def pids(self) -> dict[str, int]:
         return {s.shard_id: s.process.pid for s in self.shards}
+
+    def poll(self) -> dict[str, int | None]:
+        """Reap exit statuses: shard id -> returncode (None = alive)."""
+        return {s.shard_id: s.process.poll() for s in self.shards}
+
+    def respawn(self, shard_id: str) -> LocalShard:
+        """Restart a dead shard on its original port, shard id, and
+        cache directory (so its persistent cache and upgrade journal
+        survive the crash).  Raises if the shard is unknown or still
+        running — supervision reaps before it respawns.
+        """
+        for i, shard in enumerate(self.shards):
+            if shard.shard_id != shard_id:
+                continue
+            if shard.process.poll() is None:
+                raise RuntimeError(f"{shard_id} is still running")
+            if shard.process.stdout is not None:
+                shard.process.stdout.close()
+            fresh = self._spawn(shard_id, port=shard.port)
+            self.shards[i] = fresh
+            return fresh
+        raise KeyError(f"no shard {shard_id!r}")
 
     def kill(self, shard_id: str) -> bool:
         """SIGKILL one shard (fail-over tests); returns False if

@@ -29,6 +29,7 @@ from .protocol import (
     E_OVERLOADED,
     E_PARSE,
     E_TOO_LARGE,
+    E_UNAVAILABLE,
     E_UNKNOWN_VERB,
     ERROR_CODES,
     MAX_LINE_BYTES,
@@ -41,6 +42,7 @@ from .protocol import (
 )
 from .scheduler import BatchScheduler
 from .server import AllocationServer, ServerThread, ServiceConfig
+from .upgrades import UpgradeJob, UpgradeJournal, UpgradeQueue
 
 __all__ = [
     "AllocateRequest",
@@ -53,6 +55,7 @@ __all__ = [
     "E_OVERLOADED",
     "E_PARSE",
     "E_TOO_LARGE",
+    "E_UNAVAILABLE",
     "E_UNKNOWN_VERB",
     "ERROR_CODES",
     "MAX_LINE_BYTES",
@@ -62,6 +65,9 @@ __all__ = [
     "ServiceClient",
     "ServiceConfig",
     "ServiceError",
+    "UpgradeJob",
+    "UpgradeJournal",
+    "UpgradeQueue",
     "VERBS",
     "decode_line",
     "encode",

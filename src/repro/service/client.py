@@ -168,12 +168,27 @@ class ServiceClient:
             message["request"] = request_ref
         return self.request(message)
 
-    def upgrade_status(self, request_ref) -> dict:
+    def upgrade_status(
+        self, request_ref, wait_ms: float | None = None
+    ) -> dict:
         """Background optimal-upgrade status of a fast-answered
-        allocate, by its trace_id or id."""
-        return self.request(
-            {"verb": "upgrade_status", "request": request_ref}
-        )
+        allocate, by its trace_id or id.
+
+        ``wait_ms`` long-polls: the server parks the reply until the
+        upgrade reaches a terminal state or the (server-capped)
+        deadline passes, so waiting clients burn one round trip
+        instead of a busy-poll loop.
+        """
+        message: dict = {
+            "verb": "upgrade_status", "request": request_ref,
+        }
+        if wait_ms is not None:
+            message["wait_ms"] = wait_ms
+        return self.request(message)
+
+    #: largest wait_ms one long-poll round asks for; must stay well
+    #: under the socket timeout so a parked reply never trips it
+    LONG_POLL_MS = 25_000.0
 
     def wait_optimal(
         self,
@@ -181,9 +196,14 @@ class ServiceClient:
         timeout: float = 120.0,
         interval: float = 0.05,
     ) -> dict:
-        """Poll ``upgrade_status`` until the upgrade reaches a
-        terminal state (done/failed/dropped) or ``timeout`` elapses.
-        Returns the final status response."""
+        """Wait until the upgrade reaches a terminal state
+        (done/failed/dropped) or ``timeout`` elapses, via server-side
+        long-polls — each round parks on the server instead of
+        sleeping client-side.  ``interval`` is kept for backward
+        compatibility but no longer paces anything.  Returns the
+        final status response.
+        """
+        del interval  # long-polling replaced the busy-poll cadence
         expiry = time.monotonic() + timeout
         response = self.upgrade_status(request_ref)
         while True:
@@ -191,10 +211,33 @@ class ServiceClient:
             state = (record or {}).get("state", "")
             if state in ("done", "failed", "dropped"):
                 return response
-            if time.monotonic() >= expiry:
+            remaining = expiry - time.monotonic()
+            if remaining <= 0 or record is None:
+                # Timed out — or the server does not know the ref, in
+                # which case no amount of parking will produce one.
                 return response
-            time.sleep(interval)
-            response = self.upgrade_status(request_ref)
+            response = self.upgrade_status(
+                request_ref,
+                wait_ms=min(self.LONG_POLL_MS, remaining * 1000.0),
+            )
+
+    def replicate_fetch(self, tenant: str, fingerprints) -> dict:
+        """Export checksummed cache records by fingerprint (the
+        gateway's replication read path)."""
+        return self.request({
+            "verb": "replicate",
+            "tenant": tenant,
+            "fetch": list(fingerprints),
+        })
+
+    def replicate_push(self, tenant: str, records) -> dict:
+        """Import replicated cache records on a ring successor (the
+        gateway's replication write path)."""
+        return self.request({
+            "verb": "replicate",
+            "tenant": tenant,
+            "records": list(records),
+        })
 
     def cancel(self, request_ref) -> dict:
         """Cancel a queued allocate by its trace_id or id."""

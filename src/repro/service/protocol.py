@@ -8,7 +8,7 @@ Request shape::
 
     {"verb": "allocate" | "status" | "stats" | "drain" | "ping"
              | "cancel" | "health" | "metrics" | "trace"
-             | "upgrade_status",
+             | "upgrade_status" | "replicate",
      "id": <any JSON value, echoed back>,        # optional
      "trace_id": "client-chosen-id",             # optional
      "trace": true,                              # lifecycle trace
@@ -25,14 +25,27 @@ Request shape::
                 "code_size_weight": ...,
                 "data_size_weight": ...},        # optional
      # cancel / trace / upgrade_status only:
-     "request": <trace_id or id of a queued/traced allocate>}
+     "request": <trace_id or id of a queued/traced allocate>,
+     # upgrade_status only: long-poll — park the reply until the
+     # upgrade reaches a terminal state or the deadline passes
+     "wait_ms": <milliseconds, capped server-side>,
+     # replicate only (exactly one of the two):
+     "fetch": ["<fingerprint>", ...],   # export cache records
+     "records": [{...}, ...]}           # import replicated records
 
 The ``metrics`` verb returns the Prometheus text exposition of the
 telemetry registries; ``trace`` returns a finished request-lifecycle
 span tree by trace_id (or the most recent one); ``upgrade_status``
 returns the background optimal-upgrade record of a fast-answered
 allocate (states ``queued`` / ``solving`` / ``done`` / ``failed`` /
-``dropped``, with the measured optimality gap once ``done``).
+``dropped``, with the measured optimality gap once ``done``).  With
+``wait_ms`` the reply is parked server-side until the record turns
+terminal or the deadline passes — the long-poll behind ``submit
+--wait-optimal``.  ``replicate`` is the gateway's successor-replication
+verb: the ``fetch`` form exports checksummed cache record dicts from
+this shard's (tenant-namespaced) cache, the ``records`` form imports
+them on a ring successor — best-effort, never clobbering a
+locally-earned record.
 
 Response shape::
 
@@ -73,10 +86,11 @@ VERB_HEALTH = "health"
 VERB_METRICS = "metrics"
 VERB_TRACE = "trace"
 VERB_UPGRADE_STATUS = "upgrade_status"
+VERB_REPLICATE = "replicate"
 VERBS = (
     VERB_ALLOCATE, VERB_STATUS, VERB_STATS, VERB_DRAIN, VERB_PING,
     VERB_CANCEL, VERB_HEALTH, VERB_METRICS, VERB_TRACE,
-    VERB_UPGRADE_STATUS,
+    VERB_UPGRADE_STATUS, VERB_REPLICATE,
 )
 
 E_OVERLOADED = "overloaded"
@@ -87,9 +101,12 @@ E_UNKNOWN_VERB = "unknown_verb"
 E_INTERNAL = "internal"
 E_TOO_LARGE = "too_large"
 E_CANCELLED = "cancelled"
+#: gateway-only: every shard is down or breaker-open — the client
+#: should honor the ``Retry-After`` header and resubmit
+E_UNAVAILABLE = "unavailable"
 ERROR_CODES = (
     E_OVERLOADED, E_DRAINING, E_BAD_REQUEST, E_PARSE, E_UNKNOWN_VERB,
-    E_INTERNAL, E_TOO_LARGE, E_CANCELLED,
+    E_INTERNAL, E_TOO_LARGE, E_CANCELLED, E_UNAVAILABLE,
 )
 
 #: request ``config`` keys -> AllocatorConfig field (whitelist: the

@@ -38,8 +38,10 @@ import time
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, replace
+from pathlib import Path
 
 from ..allocation import allocation_code_size, render_allocation
+from ..core import AllocatorConfig
 from ..engine import (
     AllocationEngine,
     EngineConfig,
@@ -59,7 +61,14 @@ from ..tiers import (
     optimality_gap,
     tier_cost,
 )
-from .upgrades import UpgradeJob, UpgradeQueue
+from .upgrades import (
+    JOURNAL_NAME,
+    STAT_RECOVERED,
+    STAT_RECOVERED_CACHED,
+    UpgradeJob,
+    UpgradeJournal,
+    UpgradeQueue,
+)
 from .protocol import (
     E_CANCELLED,
     E_DRAINING,
@@ -222,11 +231,20 @@ class BatchScheduler:
         self.policy = TierPolicy(
             fast_slo_ms=getattr(config, "fast_slo_ms", 0.0)
         )
+        #: crash-durability for queued upgrades: only meaningful when
+        #: both a cache dir (somewhere to journal, and the medium the
+        #: recovered solves land in) and the fast tier exist
+        self.upgrade_journal: UpgradeJournal | None = None
+        if config.cache_dir and self.policy.fast_enabled:
+            self.upgrade_journal = UpgradeJournal(
+                Path(config.cache_dir) / JOURNAL_NAME
+            )
         self.upgrades = UpgradeQueue(
             runner=self._run_upgrade,
             capacity=getattr(config, "upgrade_queue_capacity", 64),
             keep=getattr(config, "upgrade_keep", 256),
             on_settle=self._poke_drained,
+            journal=self.upgrade_journal,
         )
         self._loop: asyncio.AbstractEventLoop | None = None
 
@@ -253,6 +271,7 @@ class BatchScheduler:
         )
         if self.policy.fast_enabled:
             self.upgrades.start()
+            self._recover_upgrades()
 
     async def drain(self) -> None:
         """Stop admitting, finish in-flight work, then report drained."""
@@ -358,6 +377,52 @@ class BatchScheduler:
             }
             for tenant, cache in sorted(caches.items())
         }
+
+    # -- successor replication (executor threads) ------------------------
+
+    #: most records one replicate exchange may carry, each direction
+    REPLICATE_BATCH_MAX = 64
+
+    def export_records(self, tenant: str, fingerprints) -> dict:
+        """Body of the ``replicate`` fetch form.
+
+        Returns the checksummed record dicts for the requested
+        fingerprints, read side-effect-free (no LRU touch, no hit
+        counting) from this shard's tenant-namespaced cache.  Missing
+        or invalid fingerprints are simply absent from the reply.
+        """
+        cache = self.cache_for(tenant)
+        records = []
+        if cache is not None:
+            for fp in list(fingerprints)[: self.REPLICATE_BATCH_MAX]:
+                record = cache.peek(str(fp))
+                if record is not None:
+                    records.append(record.to_dict())
+        return {"tenant": tenant, "records": records}
+
+    def import_records(self, tenant: str, records) -> dict:
+        """Body of the ``replicate`` records form.
+
+        Imports replicas pushed by a ring predecessor, best-effort:
+        each record re-verifies its travelling checksum, and a
+        locally-earned record is never clobbered (see
+        :meth:`ResultCache.import_replica`).  Returns the per-outcome
+        tallies so the gateway can count what actually landed.
+        """
+        cache = self.cache_for(tenant)
+        out = {
+            "tenant": tenant, "stored": 0, "kept_local": 0,
+            "unchanged": 0, "invalid": 0, "error": 0,
+        }
+        if cache is None:
+            out["invalid"] = len(records)
+            return out
+        for data in list(records)[: self.REPLICATE_BATCH_MAX]:
+            status = cache.import_replica(
+                data if isinstance(data, dict) else {}
+            )
+            out[status] = out.get(status, 0) + 1
+        return out
 
     def tenant_stats(self) -> dict[str, dict]:
         """Per-tenant queue depth, request counts, cache occupancy."""
@@ -822,6 +887,107 @@ class BatchScheduler:
         """Status record for the ``upgrade_status`` verb (or None)."""
         return self.upgrades.status(ref)
 
+    # -- journal recovery (startup) --------------------------------------
+
+    def _recover_upgrades(self) -> None:
+        """Replay the upgrade journal after a restart.
+
+        Incomplete entries — upgrades a crashed predecessor accepted
+        but never settled — are rebuilt into jobs.  A job whose cache
+        entries already read ``tier: "ip"`` (the optimal records hit
+        disk before the crash) settles immediately; the rest go back
+        on the queue and solve normally.  Undecodable lines, e.g. the
+        torn final append of a SIGKILL'd process, are skipped, never
+        fatal.
+        """
+        journal = self.upgrade_journal
+        if journal is None:
+            return
+        incomplete, stats = journal.replay()
+        self.upgrades.replay_skipped = stats["skipped"]
+        journal.compact(incomplete)
+        for entry in incomplete.values():
+            job = self._job_from_journal(entry)
+            if job is None:
+                continue
+            self.upgrades.recovered += 1
+            STAT_RECOVERED.incr()
+            engine = self._make_engine(
+                job.target_name, job.config, job.tenant
+            )
+            cached = None
+            if engine.cache is not None:
+                try:
+                    cached = engine.cached_module(job.functions)
+                except Exception:
+                    cached = None
+            if cached is not None:
+                target = self._target(job.target_name)
+                optimal_cost = sum(
+                    tier_cost(
+                        outcome.final, target,
+                        code_size_weight=job.config.code_size_weight,
+                    )
+                    for outcome in cached
+                )
+                self.upgrades.recovered_cached += 1
+                STAT_RECOVERED_CACHED.incr()
+                self.upgrades.settle_recovered(
+                    job,
+                    optimal_cost=optimal_cost,
+                    gap=optimality_gap(job.fast_cost, optimal_cost),
+                )
+            else:
+                self.upgrades.submit(job)
+
+    def _job_from_journal(self, entry: dict) -> UpgradeJob | None:
+        """Rebuild one journaled job; ``None`` (skip) on any defect —
+        an unknown target, an unparsable IR snapshot, a missing
+        trace_id — because recovery must never stop a restart."""
+        from ..ir import parse_module
+
+        try:
+            trace_id = str(entry.get("trace_id") or "")
+            target_name = str(entry.get("target") or "")
+            if not trace_id or target_name not in self._target_factories:
+                return None
+            cfg = entry.get("config") or {}
+            if not isinstance(cfg, dict):
+                cfg = {}
+            mapping = {
+                "backend": ("backend", str),
+                "time_limit": ("time_limit", float),
+                "presolve": ("presolve", bool),
+                "size_only": ("optimize_size_only", bool),
+                "code_size_weight": ("code_size_weight", float),
+                "data_size_weight": ("data_size_weight", float),
+            }
+            kwargs = {}
+            for key, (field_name, cast) in mapping.items():
+                if cfg.get(key) is not None:
+                    kwargs[field_name] = cast(cfg[key])
+            config = AllocatorConfig(**kwargs)
+            config.trace_id = trace_id
+            functions = list(
+                parse_module(str(entry.get("ir") or ""), name="journal")
+            )
+            if not functions:
+                return None
+            fast = entry.get("fast")
+            return UpgradeJob(
+                trace_id=trace_id,
+                tenant=str(entry.get("tenant") or ""),
+                target_name=target_name,
+                config=config,
+                functions=functions,
+                fast=fast if isinstance(fast, dict) else {},
+                fast_cost=float(entry.get("fast_cost") or 0.0),
+                request_id=entry.get("request_id"),
+                recovered=True,
+            )
+        except Exception:
+            return None
+
     def _respond_fast(
         self, pending: _Pending, responses: dict[int, dict]
     ) -> None:
@@ -847,6 +1013,9 @@ class BatchScheduler:
             STAT_CACHED_OPTIMAL.incr()
             result = self._result(pending, list(cached))
             result["result"]["tier"] = TIER_IP
+            # Served straight from the upgraded cache: the reply *is*
+            # the optimal allocation, so its gap to optimal is zero.
+            result["result"]["optimality_gap"] = 0.0
             self._note_fast(pending, time.monotonic() - t1, TIER_IP)
             responses[id(pending)] = result
             return
@@ -1050,6 +1219,10 @@ class BatchScheduler:
                     TIER_BASELINE if outcome.fell_back else TIER_IP
                 ),
             }
+            if outcome.fingerprint:
+                # The cache key of this function's record — what the
+                # gateway's successor replicator fetches and pushes.
+                entry["fingerprint"] = outcome.fingerprint
             if alloc.succeeded:
                 entry["rendered"] = render_allocation(alloc, target)
                 entry["code"] = format_function(alloc.function)

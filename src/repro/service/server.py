@@ -69,6 +69,7 @@ from .protocol import (
     VERB_HEALTH,
     VERB_METRICS,
     VERB_PING,
+    VERB_REPLICATE,
     VERB_STATS,
     VERB_STATUS,
     VERB_TRACE,
@@ -391,12 +392,17 @@ class AllocationServer:
                     "upgrade_status needs 'request': the trace_id or "
                     "id of a fast-answered allocate",
                 )
+            record = await self._upgrade_record(ref, message)
             return self._wrap(
                 message, verb,
                 {
-                    "upgrade": self.scheduler.upgrade_status(ref),
+                    "upgrade": record,
                     "queue": self.scheduler.upgrades.snapshot(),
                 },
+            )
+        if verb == VERB_REPLICATE:
+            return self._wrap(
+                message, verb, await self._handle_replicate(message)
             )
         if verb == VERB_PING:
             return self._wrap(
@@ -428,8 +434,70 @@ class AllocationServer:
             f"unknown verb {verb!r} (known: "
             f"{VERB_ALLOCATE}, {VERB_STATUS}, {VERB_STATS}, "
             f"{VERB_HEALTH}, {VERB_METRICS}, {VERB_TRACE}, "
-            f"{VERB_UPGRADE_STATUS}, {VERB_CANCEL}, {VERB_DRAIN}, "
-            f"{VERB_PING})",
+            f"{VERB_UPGRADE_STATUS}, {VERB_REPLICATE}, "
+            f"{VERB_CANCEL}, {VERB_DRAIN}, {VERB_PING})",
+        )
+
+    #: hard ceiling on one upgrade_status long-poll, milliseconds —
+    #: clients loop for longer waits, so no reply parks forever
+    MAX_WAIT_MS = 30_000.0
+
+    async def _upgrade_record(self, ref, message: dict):
+        """The upgrade-status record, long-polled when asked.
+
+        ``wait_ms`` parks the reply (off-loop, in an executor thread
+        blocking on the upgrade queue's condition variable) until the
+        record turns terminal or the capped deadline passes; the last
+        observed record is returned either way.  An unknown ref
+        returns ``None`` immediately — the fast reply always records
+        the queued status before the client can possibly poll it, so
+        there is nothing coming that is worth parking for.
+        """
+        wait_ms = message.get("wait_ms")
+        if wait_ms is None:
+            return self.scheduler.upgrade_status(ref)
+        try:
+            wait_s = min(float(wait_ms), self.MAX_WAIT_MS) / 1000.0
+        except (TypeError, ValueError):
+            raise ProtocolError(
+                E_BAD_REQUEST, "wait_ms must be a number"
+            ) from None
+        if wait_s <= 0:
+            return self.scheduler.upgrade_status(ref)
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            None, self.scheduler.upgrades.wait_terminal,
+            str(ref), wait_s,
+        )
+
+    async def _handle_replicate(self, message: dict) -> dict:
+        """The ``replicate`` verb: export or import cache records."""
+        tenant = str(message.get("tenant") or "")
+        fetch = message.get("fetch")
+        records = message.get("records")
+        if (fetch is None) == (records is None):
+            raise ProtocolError(
+                E_BAD_REQUEST,
+                "replicate needs exactly one of 'fetch' "
+                "(fingerprints to export) or 'records' (to import)",
+            )
+        loop = asyncio.get_running_loop()
+        if fetch is not None:
+            if not isinstance(fetch, list):
+                raise ProtocolError(
+                    E_BAD_REQUEST, "fetch must be a list of fingerprints"
+                )
+            fingerprints = [str(f) for f in fetch]
+            return await loop.run_in_executor(
+                None, self.scheduler.export_records, tenant,
+                fingerprints,
+            )
+        if not isinstance(records, list):
+            raise ProtocolError(
+                E_BAD_REQUEST, "records must be a list of record dicts"
+            )
+        return await loop.run_in_executor(
+            None, self.scheduler.import_records, tenant, records
         )
 
     def _wrap(self, message: dict, verb: str, result: dict) -> dict:

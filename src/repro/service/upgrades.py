@@ -20,16 +20,28 @@ Properties:
   chatty tenant cannot starve another's upgrades;
 * **drain-aware** — an enqueued upgrade is accepted work: graceful
   drain reports drained only after the queue is empty and the
-  in-flight upgrade (if any) finished.
+  in-flight upgrade (if any) finished;
+* **crash-durable** — when the shard has a cache dir, every queued
+  job is journaled to an append-only JSONL file
+  (:class:`UpgradeJournal`) and marked off when it settles; on
+  startup the scheduler replays incomplete entries, so a SIGKILL'd
+  shard's promised optimal solves still land after respawn.  A
+  truncated final line (torn write — the process died mid-append) is
+  skipped, never a crash.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import tempfile
 import threading
 import time
 from collections import OrderedDict, deque
 from dataclasses import dataclass, field
+from pathlib import Path
 
+from ..faults import SITE_JOURNAL_TORN_WRITE, should_fire
 from ..obs import define_counter, define_gauge
 from ..telemetry import define_histogram
 
@@ -53,9 +65,28 @@ HIST_UPGRADE_LATENCY = define_histogram(
     "service.upgrade_latency",
     "seconds from fast reply to landed optimal (queue wait + solve)",
 )
+STAT_RECOVERED = define_counter(
+    "tiers.upgrades_recovered",
+    "journaled upgrades replayed after a restart",
+)
+STAT_RECOVERED_CACHED = define_counter(
+    "tiers.upgrades_recovered_cached",
+    "replayed upgrades completed straight from the upgraded cache",
+)
+STAT_TORN_WRITES = define_counter(
+    "tiers.journal_torn_writes",
+    "upgrade-journal appends torn mid-line (injected crash)",
+)
+STAT_REPLAY_SKIPPED = define_counter(
+    "tiers.journal_replay_skipped",
+    "undecodable upgrade-journal lines skipped during replay",
+)
 
 #: terminal states a status record can reach
 TERMINAL_STATES = ("done", "failed", "dropped")
+
+#: journal file name, under the shard's cache dir
+JOURNAL_NAME = "upgrades.journal.jsonl"
 
 
 @dataclass(slots=True)
@@ -72,6 +103,157 @@ class UpgradeJob:
     fast_cost: float = 0.0
     request_id: object = None
     enqueued: float = 0.0
+    #: True when this job was rebuilt from the journal after a restart
+    recovered: bool = False
+
+
+def serialize_job(job: UpgradeJob) -> dict:
+    """A journal ``queued`` event: everything needed to rebuild the
+    job in a fresh process.
+
+    Functions travel as printed IR text (the parser/printer round
+    trip is stable, so the replayed job computes the same cache
+    fingerprints) and the config as the protocol's semantic dict — the
+    same whitelisted knobs ``request_config`` accepts.
+    """
+    from ..ir import format_function
+
+    cfg = job.config
+    return {
+        "event": "queued",
+        "trace_id": job.trace_id,
+        "tenant": job.tenant,
+        "target": job.target_name,
+        "request_id": job.request_id,
+        "fast": job.fast,
+        "fast_cost": job.fast_cost,
+        "config": {
+            "backend": cfg.backend,
+            "time_limit": cfg.time_limit,
+            "presolve": cfg.presolve,
+            "size_only": cfg.optimize_size_only,
+            "code_size_weight": cfg.code_size_weight,
+            "data_size_weight": cfg.data_size_weight,
+        },
+        "ir": "\n\n".join(
+            format_function(fn) for fn in job.functions
+        ),
+    }
+
+
+class UpgradeJournal:
+    """Append-only JSONL record of queued/settled upgrade jobs.
+
+    One ``queued`` event per accepted job, one terminal event
+    (``done``/``failed``/``dropped``) when it settles; replay returns
+    the queued events with no matching terminal — the work a crashed
+    process still owes.  Appends are best-effort (an unwritable
+    journal must never fail the serving path) and the
+    ``journal_torn_write`` fault site simulates dying mid-append: the
+    line is written truncated, without its newline, and the journal
+    stops accepting appends — exactly the on-disk state a SIGKILL
+    between ``write`` and completion leaves behind.
+    """
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = Path(path)
+        self._lock = threading.Lock()
+        #: set after an (injected) torn write: the "process" is dead
+        #: from the journal's point of view, so nothing more lands
+        self._disabled = False
+        self.torn_writes = 0
+
+    def append(self, event: dict) -> None:
+        """Write one event line (best-effort, thread-safe)."""
+        with self._lock:
+            if self._disabled:
+                return
+            line = json.dumps(
+                event, sort_keys=True, separators=(",", ":")
+            )
+            torn = should_fire(
+                SITE_JOURNAL_TORN_WRITE,
+                str(event.get("trace_id", "")),
+            )
+            try:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                with open(self.path, "a", encoding="utf-8") as handle:
+                    if torn:
+                        handle.write(line[: max(1, len(line) // 2)])
+                        self._disabled = True
+                        self.torn_writes += 1
+                        STAT_TORN_WRITES.incr()
+                    else:
+                        handle.write(line + "\n")
+                        handle.flush()
+                        os.fsync(handle.fileno())
+            except OSError:
+                pass
+
+    def replay(self) -> tuple["OrderedDict[str, dict]", dict]:
+        """Incomplete ``queued`` events, in append order, plus stats.
+
+        Lines that fail to decode — including the torn final line of
+        a crashed append — are counted and skipped, never raised.
+        """
+        incomplete: OrderedDict[str, dict] = OrderedDict()
+        stats = {"entries": 0, "skipped": 0}
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except OSError:
+            return incomplete, stats
+        for raw in text.splitlines():
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                event = json.loads(raw)
+            except json.JSONDecodeError:
+                stats["skipped"] += 1
+                STAT_REPLAY_SKIPPED.incr()
+                continue
+            if not isinstance(event, dict):
+                stats["skipped"] += 1
+                STAT_REPLAY_SKIPPED.incr()
+                continue
+            stats["entries"] += 1
+            trace_id = str(event.get("trace_id") or "")
+            kind = event.get("event")
+            if kind == "queued" and trace_id:
+                incomplete[trace_id] = event
+            elif kind in TERMINAL_STATES:
+                incomplete.pop(trace_id, None)
+        return incomplete, stats
+
+    def compact(self, incomplete: "OrderedDict[str, dict]") -> None:
+        """Atomically rewrite the journal to just the open entries
+        (startup housekeeping after replay: settled history is
+        useless, and an unbounded journal would replay ever slower).
+        """
+        with self._lock:
+            if self._disabled:
+                return
+            try:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                fd, tmp = tempfile.mkstemp(
+                    dir=self.path.parent, prefix=".journal-"
+                )
+                try:
+                    with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                        for event in incomplete.values():
+                            handle.write(json.dumps(
+                                event, sort_keys=True,
+                                separators=(",", ":"),
+                            ) + "\n")
+                    os.replace(tmp, self.path)
+                except BaseException:
+                    try:
+                        os.unlink(tmp)
+                    except OSError:
+                        pass
+                    raise
+            except OSError:
+                pass
 
 
 class UpgradeQueue:
@@ -90,10 +272,12 @@ class UpgradeQueue:
         capacity: int = 64,
         keep: int = 256,
         on_settle=None,
+        journal: UpgradeJournal | None = None,
     ) -> None:
         self._runner = runner
         self.capacity = max(1, capacity)
         self._on_settle = on_settle
+        self._journal = journal
         self._cv = threading.Condition()
         self._queues: dict[str, deque[UpgradeJob]] = {}
         self._rr: deque[str] = deque()
@@ -109,6 +293,10 @@ class UpgradeQueue:
         self.completed = 0
         self.dropped = 0
         self.failed = 0
+        # journal-recovery accounting (set by the scheduler's replay)
+        self.recovered = 0
+        self.recovered_cached = 0
+        self.replay_skipped = 0
 
     # -- lifecycle -------------------------------------------------------
 
@@ -196,13 +384,40 @@ class UpgradeQueue:
     def status(self, ref) -> dict | None:
         """Status record by trace_id (or request id), newest wins."""
         with self._cv:
-            hit = self._statuses.get(str(ref))
-            if hit is not None:
-                return dict(hit)
-            for status in reversed(self._statuses.values()):
-                if status.get("request_id") == ref:
-                    return dict(status)
+            return self._status_locked(ref)
+
+    def _status_locked(self, ref) -> dict | None:
+        hit = self._statuses.get(str(ref))
+        if hit is not None:
+            return dict(hit)
+        for status in reversed(self._statuses.values()):
+            if status.get("request_id") == ref:
+                return dict(status)
         return None
+
+    def wait_terminal(self, ref, timeout: float) -> dict | None:
+        """Block until ``ref``'s status turns terminal, the deadline
+        passes, or the queue stops — the ``upgrade_status`` long-poll.
+
+        Returns the last observed status record (terminal or not), or
+        ``None`` immediately when the ref is unknown: the fast reply
+        records ``queued`` before the client can possibly poll, so an
+        unknown ref has nothing coming worth parking for.  Runs on an
+        executor thread; waiters ride the same condition variable the
+        worker already notifies on settle.
+        """
+        expiry = time.monotonic() + max(0.0, timeout)
+        with self._cv:
+            while True:
+                status = self._status_locked(ref)
+                if status is None:
+                    return None
+                if status.get("state") in TERMINAL_STATES:
+                    return status
+                remaining = expiry - time.monotonic()
+                if remaining <= 0 or self._stop:
+                    return status
+                self._cv.wait(min(remaining, 1.0))
 
     def snapshot(self) -> dict:
         """Queue vitals for the status/stats verbs."""
@@ -219,7 +434,37 @@ class UpgradeQueue:
                 "completed": self.completed,
                 "dropped": self.dropped,
                 "failed": self.failed,
+                "journal": {
+                    "enabled": self._journal is not None,
+                    "recovered": self.recovered,
+                    "recovered_cached": self.recovered_cached,
+                    "replay_skipped": self.replay_skipped,
+                    "torn_writes": (
+                        self._journal.torn_writes
+                        if self._journal is not None else 0
+                    ),
+                },
             }
+
+    def settle_recovered(self, job: UpgradeJob, **fields) -> None:
+        """Complete a journal-recovered job without re-solving.
+
+        The scheduler calls this when the replayed job's cache
+        entries already read ``tier: "ip"`` — the crashed process got
+        the optimal records to disk before dying, so the only missing
+        piece is the terminal status (and the journal's terminal
+        event, which :meth:`_set_status` appends).
+        """
+        STAT_COMPLETED.incr()
+        with self._cv:
+            self.completed += 1
+            self._set_status(job, state="done", **fields)
+            self._cv.notify_all()
+        if self._on_settle is not None:
+            try:
+                self._on_settle()
+            except Exception:
+                pass
 
     # -- worker ----------------------------------------------------------
 
@@ -291,8 +536,23 @@ class UpgradeQueue:
                 },
                 "fast_cost": job.fast_cost,
             }
+            if job.recovered:
+                status["recovered"] = True
             self._statuses[job.trace_id] = status
         status.update(fields)
         self._statuses.move_to_end(job.trace_id)
         while len(self._statuses) > self._keep:
             self._statuses.popitem(last=False)
+        state = fields.get("state")
+        if self._journal is not None:
+            # Journal under _cv (all callers hold it), so queued and
+            # terminal events land in causal order.
+            if state == "queued":
+                self._journal.append(serialize_job(job))
+            elif state in TERMINAL_STATES:
+                self._journal.append({
+                    "event": state, "trace_id": job.trace_id,
+                })
+        if state in TERMINAL_STATES:
+            # Wake any upgrade_status long-pollers parked on this job.
+            self._cv.notify_all()

@@ -381,8 +381,9 @@ def test_gateway_no_shards_is_503(tmp_path):
             assert not hz["ok"]
             resp = client.allocate(source=OTHER_SOURCE)
             assert not resp["ok"]
-            assert resp["error"]["code"] == "internal"
+            assert resp["error"]["code"] == "unavailable"
             assert resp["gateway"]["shard"] is None
+            assert resp["gateway"]["retry_after"] >= 1
     finally:
         gwt.stop()
 

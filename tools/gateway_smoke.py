@@ -62,6 +62,10 @@ def main() -> int:
         [sys.executable, "-m", "repro", "gateway",
          "--port", "0", "--spawn", "3",
          "--spawn-cache", cache_root,
+         # this smoke pins ring fail-over semantics with the victim
+         # *staying* dead; the supervisor's kill-and-respawn cycle is
+         # chaos_fleet_smoke.py's job
+         "--no-supervise",
          "--breaker-threshold", "1",
          "--probe-interval", "0.5",
          "--time-limit", "8"],
