@@ -995,8 +995,9 @@ def main(argv=None) -> int:
                                 "successors (0 = off)")
     p_gateway.add_argument("--restart-budget", type=int, default=3,
                            metavar="N",
-                           help="respawn attempts per spawned-shard "
-                                "death before it is abandoned")
+                           help="respawn attempts per spawned shard "
+                                "within a sliding window (cumulative "
+                                "across deaths) before it is abandoned")
     p_gateway.add_argument("--no-supervise", action="store_true",
                            help="do not reap/respawn spawned shards "
                                 "(legacy --spawn behaviour)")

@@ -133,17 +133,41 @@ class ShardManager:
     # -- membership ------------------------------------------------------
 
     def add(self, shard_id: str, host: str, port: int) -> Shard:
-        """Register a shard (or re-join one that had left) as ``up``."""
+        """Register a shard (or re-join one that had left) as ``up``.
+
+        Re-registering a known id under a *different* address adopts
+        the new address: the old pool is discarded and the breaker
+        reset, so a spawned fleet on fresh ephemeral ports displaces
+        the stale ports a checkpoint restore brought back.
+        """
         changed = True
+        stale_pool: ShardPool | None = None
         with self._lock:
             existing = self._shards.get(shard_id)
             if existing is not None:
-                if existing.state == LEFT:
+                shard = existing
+                if (existing.host, existing.port) != (host, port):
+                    stale_pool = existing.pool
+                    existing.host = host
+                    existing.port = port
+                    existing.pool = ShardPool(
+                        host, port, timeout=self.pool_timeout
+                    )
+                    existing.breaker = CircuitBreaker(
+                        f"shard:{shard_id}",
+                        failure_threshold=self.breaker_threshold,
+                        reset_timeout=self.breaker_reset,
+                    )
+                    existing.last_ok = 0.0
+                    existing.last_health = {}
+                    if existing.state != UP:
+                        existing.state = UP
+                        self.ring.add(shard_id)
+                elif existing.state == LEFT:
                     existing.state = UP
                     self.ring.add(shard_id)
                 else:
                     changed = False
-                shard = existing
             else:
                 shard = Shard(
                     shard_id=shard_id,
@@ -159,6 +183,8 @@ class ShardManager:
                 )
                 self._shards[shard_id] = shard
                 self.ring.add(shard_id)
+        if stale_pool is not None:
+            stale_pool.close()
         if changed:
             self._notify_change()
         return shard

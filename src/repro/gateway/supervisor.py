@@ -10,14 +10,20 @@ original ``--shard-id``, cache directory, and port — so the revived
 process owns exactly the ring segment, persistent cache, and upgrade
 journal its predecessor did.
 
-Respawning is budgeted: each death event gets at most
-``restart_budget`` attempts, paced by deterministic exponential
-backoff (:class:`~repro.faults.retry.RetryPolicy` salted with the
-shard id).  A shard that exhausts its budget is administratively
-removed from the ring (``manager.leave``) and the gateway keeps
-serving on the survivors — a crash loop must not take the fleet down
-with it.  Attempts can be made to fail deterministically via the
-``supervisor_respawn_fail`` fault site for chaos drills.
+Respawning is budgeted *cumulatively*: a shard gets at most
+``restart_budget`` respawn attempts within a sliding
+``budget_window`` seconds — counting both failed attempts and
+successful respawns — paced by deterministic exponential backoff
+(:class:`~repro.faults.retry.RetryPolicy` salted with the shard id).
+A shard that respawns cleanly but keeps dying therefore burns its
+budget across deaths, not per death, and once the window's budget is
+spent it is administratively removed from the ring
+(``manager.leave``) and the gateway keeps serving on the survivors —
+a crash loop must not take the fleet down with it.  A rare
+legitimate death (one crash per window) never exhausts the budget
+because older attempts age out of the window.  Attempts can be made
+to fail deterministically via the ``supervisor_respawn_fail`` fault
+site for chaos drills.
 
 Rejoin rides the existing half-open breaker path: the respawned
 process listens on the original port, so the prober's next half-open
@@ -29,6 +35,7 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import deque
 
 from ..faults import SITE_SUPERVISOR_RESPAWN_FAIL, should_fire
 from ..faults.retry import RetryPolicy
@@ -70,10 +77,12 @@ class ShardSupervisor:
         restart_budget: int = 3,
         poll_interval: float = 0.5,
         policy: RetryPolicy | None = None,
+        budget_window: float = 60.0,
     ) -> None:
         self.fleet = fleet
         self.manager = manager
         self.restart_budget = max(1, restart_budget)
+        self.budget_window = budget_window
         self.poll_interval = poll_interval
         self.policy = policy or RetryPolicy(
             max_retries=self.restart_budget,
@@ -88,6 +97,9 @@ class ShardSupervisor:
         #: site's attempt number, so injected failures replay exactly
         #: under a fixed REPRO_FAULTS seed
         self._attempts: dict[str, int] = {}
+        #: attempt timestamps per shard inside the sliding budget
+        #: window — the cumulative crash-loop budget
+        self._recent: dict[str, deque[float]] = {}
         self._lock = threading.Lock()
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
@@ -111,16 +123,40 @@ class ShardSupervisor:
                 revived.append(shard_id)
         return revived
 
+    def _take_budget(self, shard_id: str) -> tuple[int, int] | None:
+        """Consume one unit of the shard's windowed restart budget.
+
+        Returns ``(burst, n)`` — attempts currently inside the window
+        (the backoff index) and the lifetime attempt number (the
+        fault site's replay key) — or ``None`` when the window's
+        budget is already spent.
+        """
+        with self._lock:
+            now = time.monotonic()
+            recent = self._recent.setdefault(shard_id, deque())
+            while recent and now - recent[0] > self.budget_window:
+                recent.popleft()
+            if len(recent) >= self.restart_budget:
+                return None
+            recent.append(now)
+            self._attempts[shard_id] = (
+                self._attempts.get(shard_id, 0) + 1
+            )
+            return len(recent), self._attempts[shard_id]
+
     def _handle_death(self, shard_id: str) -> bool:
         STAT_DEATHS.incr()
-        for attempt in range(self.restart_budget):
-            if attempt > 0:
-                time.sleep(self.policy.delay(attempt, salt=shard_id))
-            with self._lock:
-                self._attempts[shard_id] = (
-                    self._attempts.get(shard_id, 0) + 1
-                )
-                n = self._attempts[shard_id]
+        while True:
+            # The budget is cumulative across deaths: a shard that
+            # respawns cleanly but crashes again draws from the same
+            # sliding window, so a crash loop exhausts it and is
+            # abandoned instead of respawning forever.
+            taken = self._take_budget(shard_id)
+            if taken is None:
+                break
+            burst, n = taken
+            if burst > 1:
+                time.sleep(self.policy.delay(burst - 1, salt=shard_id))
             if should_fire(SITE_SUPERVISOR_RESPAWN_FAIL, shard_id, n):
                 STAT_RESPAWN_FAILURES.incr()
                 continue
@@ -176,6 +212,7 @@ class ShardSupervisor:
         with self._lock:
             return {
                 "restart_budget": self.restart_budget,
+                "budget_window": self.budget_window,
                 "restarts": dict(self.restarts),
                 "attempts": dict(self._attempts),
                 "exhausted": sorted(self.exhausted),

@@ -465,9 +465,13 @@ class AllocationServer:
         if wait_s <= 0:
             return self.scheduler.upgrade_status(ref)
         loop = asyncio.get_running_loop()
+        # The ref goes through unchanged: _status_locked str()-coerces
+        # only for the trace_id lookup and falls back to comparing
+        # request ids by value, so a numeric protocol id resolves on
+        # the long-poll path exactly as it does without wait_ms.
         return await loop.run_in_executor(
             None, self.scheduler.upgrades.wait_terminal,
-            str(ref), wait_s,
+            ref, wait_s,
         )
 
     async def _handle_replicate(self, message: dict) -> dict:

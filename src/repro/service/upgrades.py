@@ -356,30 +356,36 @@ class UpgradeQueue:
             if self._stop:
                 self.dropped += 1
                 STAT_DROPPED.incr()
-                self._set_status(job, state="dropped",
-                                 reason="shutting down")
-                return False
-            if self._queued >= self.capacity:
+                event = self._set_status(job, state="dropped",
+                                         reason="shutting down")
+                accepted = False
+            elif self._queued >= self.capacity:
                 self.dropped += 1
                 STAT_DROPPED.incr()
-                self._set_status(
+                event = self._set_status(
                     job, state="dropped",
                     reason=f"upgrade queue full ({self.capacity})",
                 )
-                return False
-            queue = self._queues.get(key)
-            if queue is None:
-                queue = self._queues[key] = deque()
-            if not queue:
-                self._rr.append(key)
-            queue.append(job)
-            self._queued += 1
-            self.enqueued += 1
-            STAT_ENQUEUED.incr()
-            GAUGE_DEPTH.set(self._queued)
-            self._set_status(job, state="queued")
-            self._cv.notify_all()
-        return True
+                accepted = False
+            else:
+                queue = self._queues.get(key)
+                if queue is None:
+                    queue = self._queues[key] = deque()
+                if not queue:
+                    self._rr.append(key)
+                queue.append(job)
+                self._queued += 1
+                self.enqueued += 1
+                STAT_ENQUEUED.incr()
+                GAUGE_DEPTH.set(self._queued)
+                event = self._set_status(job, state="queued")
+                accepted = True
+                self._cv.notify_all()
+        # Journal off the lock, but still before returning: the fast
+        # reply only goes out after the queued event is durably on
+        # disk, so a SIGKILL after the reply cannot lose the upgrade.
+        self._journal_append(event)
+        return accepted
 
     def status(self, ref) -> dict | None:
         """Status record by trace_id (or request id), newest wins."""
@@ -453,13 +459,14 @@ class UpgradeQueue:
         entries already read ``tier: "ip"`` — the crashed process got
         the optimal records to disk before dying, so the only missing
         piece is the terminal status (and the journal's terminal
-        event, which :meth:`_set_status` appends).
+        event, appended via :meth:`_journal_append`).
         """
         STAT_COMPLETED.incr()
         with self._cv:
             self.completed += 1
-            self._set_status(job, state="done", **fields)
+            event = self._set_status(job, state="done", **fields)
             self._cv.notify_all()
+        self._journal_append(event)
         if self._on_settle is not None:
             try:
                 self._on_settle()
@@ -497,18 +504,20 @@ class UpgradeQueue:
                 STAT_COMPLETED.incr()
                 with self._cv:
                     self.completed += 1
-                    self._set_status(
+                    event = self._set_status(
                         job, state="done",
                         upgrade_seconds=latency, **(fields or {}),
                     )
+                self._journal_append(event)
             except Exception as exc:  # never kill the worker thread
                 STAT_FAILED.incr()
                 with self._cv:
                     self.failed += 1
-                    self._set_status(
+                    event = self._set_status(
                         job, state="failed",
                         error=f"{type(exc).__name__}: {exc}",
                     )
+                self._journal_append(event)
             finally:
                 with self._cv:
                     self._in_flight -= 1
@@ -521,7 +530,27 @@ class UpgradeQueue:
 
     # -- status store (callers hold self._cv) ----------------------------
 
-    def _set_status(self, job: UpgradeJob, **fields) -> None:
+    def _journal_append(self, event: dict | None) -> None:
+        """Append a journal event returned by :meth:`_set_status`.
+
+        Must be called *after* releasing ``_cv``: the append fsyncs,
+        and a disk sync under the queue's condition variable would
+        stall the worker, other tenants' submits, and every
+        ``upgrade_status`` long-poller for its duration.  The journal
+        has its own lock, so appends stay atomic.  Events still land
+        in causal order in practice — the worker can only observe a
+        job after the submitting critical section finished, and its
+        solve dwarfs the submitter's append — and a rare
+        terminal-before-queued inversion is harmless: replay would
+        treat the job as incomplete, and replayed jobs are idempotent
+        (an already-upgraded cache entry completes them immediately).
+        """
+        if event is not None and self._journal is not None:
+            self._journal.append(event)
+
+    def _set_status(self, job: UpgradeJob, **fields) -> dict | None:
+        """Record status fields; returns the journal event the caller
+        must hand to :meth:`_journal_append` once off the lock."""
         status = self._statuses.get(job.trace_id)
         if status is None:
             status = {
@@ -544,15 +573,13 @@ class UpgradeQueue:
         while len(self._statuses) > self._keep:
             self._statuses.popitem(last=False)
         state = fields.get("state")
+        event = None
         if self._journal is not None:
-            # Journal under _cv (all callers hold it), so queued and
-            # terminal events land in causal order.
             if state == "queued":
-                self._journal.append(serialize_job(job))
+                event = serialize_job(job)
             elif state in TERMINAL_STATES:
-                self._journal.append({
-                    "event": state, "trace_id": job.trace_id,
-                })
+                event = {"event": state, "trace_id": job.trace_id}
         if state in TERMINAL_STATES:
             # Wake any upgrade_status long-pollers parked on this job.
             self._cv.notify_all()
+        return event

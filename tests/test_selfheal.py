@@ -31,6 +31,7 @@ from repro.gateway import (
     GatewayConfig,
     GatewayThread,
     LocalShardFleet,
+    ShardManager,
     ShardSupervisor,
 )
 from repro.obs import reset_stats, set_stats_enabled, snapshot
@@ -546,6 +547,68 @@ def test_gateway_checkpoint_restore(tmp_path):
             second.stop()
         assert snapshot().get("gateway.checkpoint_restored", 0) >= 2
     finally:
+        try:
+            shard.drain(timeout=60.0)
+        except RuntimeError:
+            pass
+
+
+def test_manager_add_adopts_new_address():
+    """Re-registering a known shard id under a new port swaps in a
+    fresh pool and breaker — a checkpoint restore must not pin a
+    respawned fleet to its predecessor's dead ephemeral ports."""
+    manager = ShardManager()
+    shard = manager.add("shard-0", "127.0.0.1", 1111)
+    old_pool = shard.pool
+    shard.breaker.record_failure()
+    assert manager.add("shard-0", "127.0.0.1", 2222) is shard
+    assert (shard.host, shard.port) == ("127.0.0.1", 2222)
+    assert shard.pool is not old_pool
+    assert shard.pool.port == 2222
+    assert shard.breaker.snapshot()["consecutive_failures"] == 0
+    assert shard.state == "up"
+    # same id + same address stays idempotent
+    assert manager.add("shard-0", "127.0.0.1", 2222) is shard
+    assert shard.pool.port == 2222
+    # a left shard re-added on a new port rejoins the ring too
+    manager.leave("shard-0")
+    manager.add("shard-0", "127.0.0.1", 3333)
+    assert shard.state == "up"
+    assert shard.port == 3333
+    assert "shard-0" in manager.ring.nodes()
+    manager.stop()
+
+
+def test_checkpoint_restore_then_respawned_fleet_is_reachable(
+        tmp_path):
+    """Regression: gateway restart with --state-file + a freshly
+    spawned fleet.  The restore re-registers shard ids at their old
+    (now dead) ports; the spawn's register_shard must displace them,
+    or every request 503s against the stale ports."""
+    state = tmp_path / "gateway-state.json"
+    state.write_text(json.dumps({"shards": [
+        {"id": "alpha", "host": "127.0.0.1", "port": 1,
+         "state": "up"},
+    ]}), encoding="utf-8")
+    shard = ServerThread(ServiceConfig(
+        port=0, queue_capacity=16, max_in_flight=2,
+        cache_dir=str(tmp_path / "alpha"), shard_id="alpha",
+    )).start()
+    gwt = GatewayThread(GatewayConfig(
+        port=0, probe_interval=0.2, state_file=str(state)))
+    try:
+        # restore happened at construction: stale port 1 is in place
+        assert gwt.gateway.manager.get("alpha").port == 1
+        # the spawned fleet re-registers on its live port
+        gwt.gateway.register_shard("alpha", "127.0.0.1", shard.port)
+        assert gwt.gateway.manager.get("alpha").port == shard.port
+        gwt.start()
+        with gw_client(gwt) as client:
+            resp = client.allocate(source=VARIANTS[0])
+            assert resp["ok"], resp
+            assert resp["gateway"]["shard"] == "alpha"
+    finally:
+        gwt.stop()
         try:
             shard.drain(timeout=60.0)
         except RuntimeError:
